@@ -1,0 +1,49 @@
+"""A5 — ablation: the complex-query threshold (Sections 4.1, 9).
+
+The integration routes a query to Orca when its table-reference count
+reaches the threshold (3 by default; 2 for the paper's TPC-DS run; 1 in
+the Table 1 compile experiment).  The paper's future-work section admits
+the heuristic is crude.  This ablation sweeps the threshold over a mixed
+query set and reports total time and routing counts per setting.
+"""
+
+from benchmarks.conftest import write_report
+from repro.workloads.tpch import TPCH_QUERIES
+
+#: A complexity mix: single-table (Q1, Q6), mid (Q3, Q4, Q12, Q14), and
+#: wide (Q5, Q10).
+MIX = (1, 3, 4, 5, 6, 10, 12, 14)
+
+
+def test_threshold_sweep(benchmark, tpch_db):
+    def sweep():
+        results = {}
+        original = tpch_db.config.complex_query_threshold
+        try:
+            for threshold in (1, 2, 3, 4, 5, 99):
+                tpch_db.config.complex_query_threshold = threshold
+                total = 0.0
+                routed = 0
+                for number in MIX:
+                    outcome = tpch_db.run(TPCH_QUERIES[number])
+                    total += outcome.compile_seconds \
+                        + outcome.execute_seconds
+                    if outcome.optimizer_used == "orca":
+                        routed += 1
+                results[threshold] = (total, routed)
+        finally:
+            tpch_db.config.complex_query_threshold = original
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["threshold | total(s) | queries routed to Orca"]
+    for threshold, (total, routed) in results.items():
+        lines.append(f"{threshold:>9} | {total:>8.3f} | {routed}")
+    write_report("ablation_threshold.txt", "\n".join(lines))
+
+    # Monotone routing: a higher threshold never routes more queries.
+    routed_counts = [routed for __, routed in results.values()]
+    assert routed_counts == sorted(routed_counts, reverse=True)
+    # Threshold 99 routes nothing; threshold 1 routes everything.
+    assert results[99][1] == 0
+    assert results[1][1] == len(MIX)

@@ -1,0 +1,54 @@
+"""E5 — Fig. 12: "Orca is slower only on short queries".
+
+Derived from the Fig. 11 run: each query contributes a point
+(MySQL run time, Orca/MySQL ratio).  The paper's claim is that the points
+above ratio 1 cluster at small MySQL run times — compile overhead and a
+partial double optimization dominate only when execution is cheap.
+"""
+
+from benchmarks.conftest import (
+    run_tpcds_suite,
+    session_cache,
+    write_report,
+)
+from repro.bench import format_figure12
+
+
+def test_fig12_slower_only_on_short_queries(benchmark, tpcds_db):
+    cached = session_cache().get("tpcds")
+    if cached is None:
+        cached = benchmark.pedantic(run_tpcds_suite, args=(tpcds_db,),
+                                    rounds=1, iterations=1)
+        session_cache()["tpcds"] = cached
+    else:
+        benchmark.pedantic(lambda: cached, rounds=1, iterations=1)
+    result = cached
+    write_report("fig12_scatter.txt", format_figure12(result))
+
+    slower = [t for t in result.timings if t.ratio > 1.0]
+    faster = [t for t in result.timings if t.ratio <= 1.0]
+    assert faster, "Orca never won?"
+    if not slower:
+        return  # even stronger than the paper; nothing left to check
+
+    # The queries where Orca loses are short ones: their median MySQL
+    # run time sits well below the winners' median.
+    def median(values):
+        ordered = sorted(values)
+        return ordered[len(ordered) // 2]
+
+    median_slower = median([t.mysql_seconds for t in slower])
+    median_faster = median([t.mysql_seconds for t in faster])
+    assert median_slower <= median_faster, (
+        f"Orca losses are not concentrated on short queries: "
+        f"median(losses)={median_slower:.3f}s "
+        f"median(wins)={median_faster:.3f}s")
+
+    # And no *long* query may lose badly: ratio > 2 only below the
+    # suite's median MySQL time.
+    overall_median = median([t.mysql_seconds for t in result.timings])
+    for timing in slower:
+        if timing.ratio > 2.0:
+            assert timing.mysql_seconds <= overall_median, (
+                f"Q{timing.number} is long ({timing.mysql_seconds:.2f}s) "
+                f"yet {timing.ratio:.1f}X slower with Orca")

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""TPC-H workload comparison (a miniature of the paper's Section 6.1).
+
+Loads the TPC-H-style dataset, runs a selection of the 22 queries under
+both optimizers, and prints a Fig. 10-style table: per-query execution
+time for MySQL plans and Orca plans, with the total reduction.
+
+Run the full 22-query sweep with ``--all`` (takes a few minutes).
+"""
+
+import sys
+
+from repro import Database, DatabaseConfig
+from repro.bench import format_figure10, run_suite, summarize
+from repro.workloads.tpch import TPCH_QUERIES, load_tpch
+
+#: A representative subset: the paper's headline queries (Q13, Q16, Q21)
+#: plus a mix of short and long ones.
+DEFAULT_SUBSET = (1, 3, 4, 6, 13, 16, 17, 19, 21)
+
+
+def main() -> None:
+    run_all = "--all" in sys.argv
+    db = Database(DatabaseConfig(complex_query_threshold=3,
+                                 orca_search="EXHAUSTIVE2"))
+    print("loading TPC-H data...")
+    load_tpch(db, scale=1.0)
+
+    numbers = sorted(TPCH_QUERIES) if run_all else DEFAULT_SUBSET
+    queries = {n: TPCH_QUERIES[n] for n in numbers}
+    result = run_suite(db, queries, "TPC-H", timeout_seconds=120.0,
+                       progress=lambda line: print("  " + line))
+    print()
+    print(format_figure10(result))
+    print()
+    headline = summarize(result)
+    assert not headline["mismatches"], (
+        "optimizers disagreed on " + str(headline["mismatches"]))
+    print("both optimizers returned identical results on every query")
+
+
+if __name__ == "__main__":
+    main()

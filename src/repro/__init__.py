@@ -1,0 +1,45 @@
+"""repro — a reproduction of "Integrating the Orca Optimizer into MySQL".
+
+The package implements a complete embedded SQL engine with *two* query
+optimizers and the bridge the paper describes between them:
+
+* :class:`repro.Database` — the public facade: create tables, load rows,
+  ANALYZE, and run SQL through either optimizer (or let the router decide
+  by query complexity, as the paper's integration does);
+* :mod:`repro.mysql_optimizer` — the MySQL-style optimizer (greedy
+  left-deep join ordering, non-cost-based hash joins, skeleton plans,
+  plan refinement);
+* :mod:`repro.orca` — the Orca-style Cascades optimizer (memo,
+  GREEDY / EXHAUSTIVE / EXHAUSTIVE2 join search, histogram cardinality,
+  costed hash joins, preprocessing rewrites);
+* :mod:`repro.bridge` — the paper's three integration components: parse
+  tree converter, metadata provider (OID layout + DXL), and plan
+  converter (best-position arrays);
+* :mod:`repro.workloads` — TPC-H (22 queries) and TPC-DS-style (99
+  queries) schemas, data generators, and query suites;
+* :mod:`repro.bench` — the harness regenerating the paper's Fig. 10-12
+  and Table 1.
+
+Quickstart::
+
+    from repro import Database, DatabaseConfig
+    from repro.workloads.tpch import load_tpch, tpch_query
+
+    db = Database(DatabaseConfig(complex_query_threshold=3))
+    load_tpch(db, scale=0.5)
+    rows = db.execute(tpch_query(4))          # routed automatically
+    print(db.explain(tpch_query(4), optimizer="orca"))
+"""
+
+from repro.database import Database, DatabaseConfig, StatementResult
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "DatabaseConfig",
+    "ReproError",
+    "StatementResult",
+    "__version__",
+]

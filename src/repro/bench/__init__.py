@@ -1,0 +1,29 @@
+"""Benchmark harness reproducing the paper's tables and figures."""
+
+from repro.bench.harness import (
+    BenchmarkResult,
+    QueryTiming,
+    results_match,
+    run_compile_suite,
+    run_suite,
+)
+from repro.bench.report import (
+    format_figure10,
+    format_figure11,
+    format_figure12,
+    format_table1,
+    summarize,
+)
+
+__all__ = [
+    "BenchmarkResult",
+    "QueryTiming",
+    "format_figure10",
+    "format_figure11",
+    "format_figure12",
+    "format_table1",
+    "results_match",
+    "run_compile_suite",
+    "run_suite",
+    "summarize",
+]

@@ -1,0 +1,199 @@
+"""Suite runner: executes a workload under both optimizers and times it.
+
+Mirrors the paper's experimental procedure (Section 6): each query runs
+with the plan chosen by the MySQL optimizer and with the plan chosen by
+Orca; reported run times include optimization time, as in Fig. 11.  A
+per-query timeout plays the role of the paper's cancelled MySQL run of
+TPC-DS Q1 ("cancelled after 600 sec"): timed-out queries are recorded at
+the cap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.database import Database
+
+
+@dataclass
+class QueryTiming:
+    """Both optimizers' timings for one query."""
+
+    number: int
+    mysql_seconds: float
+    orca_seconds: float
+    mysql_rows: int = 0
+    orca_rows: int = 0
+    results_match: bool = True
+    mysql_timed_out: bool = False
+    orca_timed_out: bool = False
+
+    @property
+    def ratio(self) -> float:
+        """Orca time / MySQL time (Fig. 12's Y axis)."""
+        if self.mysql_seconds <= 0:
+            return 1.0
+        return self.orca_seconds / self.mysql_seconds
+
+    @property
+    def speedup(self) -> float:
+        """MySQL time / Orca time (how much faster Orca is)."""
+        if self.orca_seconds <= 0:
+            return 1.0
+        return self.mysql_seconds / self.orca_seconds
+
+
+@dataclass
+class BenchmarkResult:
+    """Timings for a whole suite."""
+
+    name: str
+    timings: List[QueryTiming] = field(default_factory=list)
+
+    @property
+    def total_mysql(self) -> float:
+        return sum(t.mysql_seconds for t in self.timings)
+
+    @property
+    def total_orca(self) -> float:
+        return sum(t.orca_seconds for t in self.timings)
+
+    @property
+    def total_reduction_percent(self) -> float:
+        """Total run-time reduction with Orca plans (62% for TPC-DS in
+        the paper, 16% for TPC-H)."""
+        if self.total_mysql <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.total_orca / self.total_mysql)
+
+    def wins(self, factor: float = 1.0) -> List[QueryTiming]:
+        """Queries where Orca is at least ``factor`` times faster."""
+        return [t for t in self.timings if t.speedup >= factor]
+
+    def losses(self, factor: float = 1.0) -> List[QueryTiming]:
+        return [t for t in self.timings if t.ratio > factor]
+
+
+def results_match(rows_a: List[tuple], rows_b: List[tuple]) -> bool:
+    """Order-insensitive result comparison with float tolerance.
+
+    Different plans accumulate floating-point sums in different orders, so
+    aggregates can differ in the last few bits; values are compared with a
+    relative tolerance instead of exactly.
+    """
+    import math
+
+    if len(rows_a) != len(rows_b):
+        return False
+
+    def sort_key(row):
+        return repr(tuple(round(v, 2) if isinstance(v, float) else v
+                          for v in row))
+
+    for row_a, row_b in zip(sorted(rows_a, key=sort_key),
+                            sorted(rows_b, key=sort_key)):
+        if len(row_a) != len(row_b):
+            return False
+        for value_a, value_b in zip(row_a, row_b):
+            if isinstance(value_a, float) and isinstance(value_b, float):
+                if not math.isclose(value_a, value_b,
+                                    rel_tol=1e-6, abs_tol=1e-6):
+                    return False
+            elif value_a != value_b:
+                return False
+    return True
+
+
+def run_suite(db: Database, queries: Dict[int, str], name: str,
+              timeout_seconds: float = 60.0,
+              verify_results: bool = True,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> BenchmarkResult:
+    """Run every query under both optimizers; returns all timings.
+
+    Timings include optimization time (compile + execute), matching the
+    paper's Fig. 11 methodology.  A query that exceeds the timeout on one
+    optimizer is recorded at the cap with ``*_timed_out`` set.
+    """
+    result = BenchmarkResult(name)
+    for number in sorted(queries):
+        sql = queries[number]
+        mysql_time, mysql_rows, mysql_to = _timed_run(
+            db, sql, "mysql", timeout_seconds)
+        orca_time, orca_rows, orca_to = _timed_run(
+            db, sql, "orca", timeout_seconds)
+        match = True
+        if verify_results and not mysql_to and not orca_to:
+            match = results_match(mysql_rows, orca_rows)
+        timing = QueryTiming(
+            number=number,
+            mysql_seconds=mysql_time,
+            orca_seconds=orca_time,
+            mysql_rows=len(mysql_rows),
+            orca_rows=len(orca_rows),
+            results_match=match,
+            mysql_timed_out=mysql_to,
+            orca_timed_out=orca_to,
+        )
+        result.timings.append(timing)
+        if progress is not None:
+            progress(f"{name} Q{number}: mysql {mysql_time:.2f}s "
+                     f"orca {orca_time:.2f}s")
+    return result
+
+
+def _timed_run(db: Database, sql: str, optimizer: str,
+               timeout_seconds: float):
+    """Run one query with a soft timeout (SIGALRM where available)."""
+    import signal
+
+    timed_out = False
+    rows: List[tuple] = []
+    start = time.perf_counter()
+
+    def _raise_timeout(signum, frame):
+        raise _SoftTimeout()
+
+    use_alarm = hasattr(signal, "SIGALRM")
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _raise_timeout)
+        signal.setitimer(signal.ITIMER_REAL, timeout_seconds)
+    try:
+        result = db.run(sql, optimizer=optimizer)
+        rows = result.rows
+    except _SoftTimeout:
+        timed_out = True
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+    elapsed = time.perf_counter() - start
+    if timed_out:
+        elapsed = timeout_seconds
+    return elapsed, rows, timed_out
+
+
+class _SoftTimeout(Exception):
+    pass
+
+
+def run_compile_suite(db: Database, queries: Dict[int, str],
+                      configurations: Dict[str, Callable[[], None]],
+                      ) -> Dict[str, float]:
+    """Total EXPLAIN (compile-only) time per configuration — Table 1.
+
+    ``configurations`` maps a label to a setup callable that mutates the
+    database config before the pass (e.g. switching the Orca search mode);
+    the MySQL-only pass uses ``optimizer="mysql"``.
+    """
+    totals: Dict[str, float] = {}
+    for label, setup in configurations.items():
+        setup()
+        optimizer = "mysql" if label == "MySQL" else "orca"
+        start = time.perf_counter()
+        for number in sorted(queries):
+            db.compile_only(queries[number], optimizer=optimizer)
+        totals[label] = time.perf_counter() - start
+    return totals

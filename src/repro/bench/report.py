@@ -1,0 +1,113 @@
+"""Report formatting: the same rows/series the paper's figures show.
+
+``format_figure10`` / ``format_figure11`` print per-query bar-chart data
+(MySQL vs Orca execution time); ``format_figure12`` prints the scatter of
+Orca/MySQL ratio against MySQL run time; ``format_table1`` prints the
+compile-overhead table.  All output is plain text so the benches can tee
+it into logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.harness import BenchmarkResult, QueryTiming
+
+
+def _bar(seconds: float, scale: float, width: int = 30) -> str:
+    if scale <= 0:
+        return ""
+    filled = int(round(width * min(1.0, seconds / scale)))
+    return "#" * max(0, filled)
+
+
+def _per_query_chart(result: BenchmarkResult, title: str) -> str:
+    scale = max((t.mysql_seconds for t in result.timings), default=1.0)
+    scale = max(scale, max((t.orca_seconds for t in result.timings),
+                           default=1.0))
+    lines = [title, "=" * len(title),
+             f"{'query':>6} | {'MySQL(s)':>9} | {'Orca(s)':>9} | "
+             f"{'speedup':>8} |"]
+    for timing in result.timings:
+        mark = ""
+        if timing.mysql_timed_out:
+            mark = " (mysql cancelled)"
+        if timing.orca_timed_out:
+            mark += " (orca cancelled)"
+        lines.append(
+            f"Q{timing.number:>5} | {timing.mysql_seconds:>9.3f} | "
+            f"{timing.orca_seconds:>9.3f} | {timing.speedup:>7.1f}X |"
+            f" {_bar(timing.mysql_seconds, scale)}{mark}")
+    lines.append("")
+    lines.append(f"total MySQL: {result.total_mysql:.2f}s   "
+                 f"total Orca: {result.total_orca:.2f}s   "
+                 f"reduction: {result.total_reduction_percent:.0f}%")
+    ten_x = sorted(t.number for t in result.wins(10.0))
+    hundred_x = sorted(t.number for t in result.wins(100.0))
+    lines.append(f">=10X faster with Orca: {ten_x}")
+    lines.append(f">=100X faster with Orca: {hundred_x}")
+    return "\n".join(lines)
+
+
+def format_figure10(result: BenchmarkResult) -> str:
+    """Fig. 10: execution time for the TPC-H queries."""
+    return _per_query_chart(
+        result, "Figure 10 - Execution time for the TPC-H queries")
+
+
+def format_figure11(result: BenchmarkResult) -> str:
+    """Fig. 11: execution time for the TPC-DS queries."""
+    return _per_query_chart(
+        result, "Figure 11 - Execution time for the TPC-DS queries")
+
+
+def format_figure12(result: BenchmarkResult) -> str:
+    """Fig. 12: Orca/MySQL ratio vs MySQL run time (log-style buckets).
+
+    "Orca is slower only on short queries": the points with ratio > 1
+    should cluster at the left (small MySQL run times).
+    """
+    lines = ["Figure 12 - Orca is slower only on short queries",
+             "=" * 48,
+             f"{'query':>6} | {'MySQL(s)':>9} | {'Orca/MySQL':>10} |"]
+    for timing in sorted(result.timings,
+                         key=lambda t: t.mysql_seconds):
+        marker = "  <-- Orca slower" if timing.ratio > 1.0 else ""
+        lines.append(f"Q{timing.number:>5} | "
+                     f"{timing.mysql_seconds:>9.3f} | "
+                     f"{timing.ratio:>10.2f} |{marker}")
+    slower = [t for t in result.timings if t.ratio > 1.0]
+    if slower:
+        median_slow = sorted(t.mysql_seconds for t in slower)[
+            len(slower) // 2]
+        lines.append("")
+        lines.append(f"queries where Orca is slower: {len(slower)}; "
+                     f"median MySQL time among them: {median_slow:.3f}s")
+    return "\n".join(lines)
+
+
+def format_table1(totals_tpch: Dict[str, float],
+                  totals_tpcds: Dict[str, float]) -> str:
+    """Table 1: total EXPLAIN times per compiler configuration."""
+    lines = ["Table 1 - Orca query compilation overhead (seconds)",
+             "=" * 52,
+             f"{'Compiler':<28} | {'TPC-H':>8} | {'TPC-DS':>8}"]
+    for label in totals_tpch:
+        tpch = totals_tpch[label]
+        tpcds = totals_tpcds.get(label, float('nan'))
+        lines.append(f"{label:<28} | {tpch:>8.2f} | {tpcds:>8.2f}")
+    return "\n".join(lines)
+
+
+def summarize(result: BenchmarkResult) -> Dict[str, object]:
+    """Headline numbers used by assertions in the benches and tests."""
+    return {
+        "total_mysql": result.total_mysql,
+        "total_orca": result.total_orca,
+        "reduction_percent": result.total_reduction_percent,
+        "orca_wins": sum(1 for t in result.timings if t.speedup > 1.0),
+        "ten_x_wins": sorted(t.number for t in result.wins(10.0)),
+        "hundred_x_wins": sorted(t.number for t in result.wins(100.0)),
+        "mismatches": sorted(t.number for t in result.timings
+                             if not t.results_match),
+    }

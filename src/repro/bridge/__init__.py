@@ -1,0 +1,19 @@
+"""The MySQL<->Orca bridge: the paper's three integration components.
+
+* :mod:`repro.bridge.parse_tree_converter` — MySQL AST -> Orca logical tree
+* :mod:`repro.bridge.metadata_provider` — the MySQL metadata provider
+* :mod:`repro.bridge.plan_converter` — Orca physical plan -> skeleton plan
+* :mod:`repro.bridge.router` — complex-query threshold routing + fallback
+"""
+
+from repro.bridge.metadata_provider import MySQLMetadataProvider
+from repro.bridge.parse_tree_converter import ParseTreeConverter
+from repro.bridge.plan_converter import OrcaPlanConverter
+from repro.bridge.router import OrcaRouter
+
+__all__ = [
+    "MySQLMetadataProvider",
+    "OrcaPlanConverter",
+    "OrcaRouter",
+    "ParseTreeConverter",
+]

@@ -1,0 +1,240 @@
+"""DXL: the XML-based exchange format between Orca and the provider.
+
+"Orca uses an XML-based data format called DXL for the three information
+exchanges" (Section 4); in this integration, only the *metadata* exchange
+uses DXL — the two tree converters exchange in-memory trees directly, as
+the paper's implementation does.  This module serialises relation
+metadata, statistics (including both histogram kinds), and type metadata
+to DXL documents and parses them back; the MD cache on the Orca side only
+ever sees the parsed-from-DXL form, so round-trip fidelity is load-bearing
+and is covered by tests.
+"""
+
+from __future__ import annotations
+
+import datetime
+import xml.etree.ElementTree as ET
+from typing import List, Optional
+
+from repro.catalog.histogram import (
+    EquiHeightHistogram,
+    Histogram,
+    SingletonHistogram,
+)
+from repro.catalog.schema import Column, Index, TableSchema
+from repro.catalog.statistics import ColumnStatistics, TableStatistics
+from repro.mysql_types import (
+    MySQLType,
+    TypeInstance,
+    is_pass_by_value,
+    is_text_related,
+)
+
+#: The DXL namespace URI, declared on every document root.
+DXL_NS = "http://greenplum.org/dxl/2010/12/"
+_NS = {"dxl": DXL_NS}
+ET.register_namespace("dxl", DXL_NS)
+
+
+def _qualify(tag: str) -> str:
+    return f"{{{DXL_NS}}}{tag}"
+
+
+def _element(tag: str, **attributes) -> ET.Element:
+    element = ET.Element(_qualify(tag))
+    for key, value in attributes.items():
+        element.set(key, str(value))
+    return element
+
+
+def _sub(parent: ET.Element, tag: str, **attributes) -> ET.Element:
+    element = _element(tag, **attributes)
+    parent.append(element)
+    return element
+
+
+# ---------------------------------------------------------------------------
+# Value encoding (type-tagged for round trips)
+# ---------------------------------------------------------------------------
+
+def encode_value(value) -> str:
+    if value is None:
+        return "null:"
+    if isinstance(value, bool):
+        return f"bool:{int(value)}"
+    if isinstance(value, int):
+        return f"int:{value}"
+    if isinstance(value, float):
+        return f"float:{value!r}"
+    if isinstance(value, datetime.datetime):
+        return f"datetime:{value.isoformat()}"
+    if isinstance(value, datetime.date):
+        return f"date:{value.isoformat()}"
+    return f"str:{value}"
+
+
+def decode_value(text: str):
+    tag, __, body = text.partition(":")
+    if tag == "null":
+        return None
+    if tag == "bool":
+        return bool(int(body))
+    if tag == "int":
+        return int(body)
+    if tag == "float":
+        return float(body)
+    if tag == "date":
+        return datetime.date.fromisoformat(body)
+    if tag == "datetime":
+        return datetime.datetime.fromisoformat(body)
+    return body
+
+
+# ---------------------------------------------------------------------------
+# Relation metadata
+# ---------------------------------------------------------------------------
+
+def relation_to_dxl(schema: TableSchema, relation_oid: int,
+                    column_oids: List[int], index_oids: List[int]) -> str:
+    root = _element("Relation", Mdid=relation_oid, Name=schema.name,
+                    Schema=schema.schema)
+    columns = _sub(root, "Columns")
+    for column, oid in zip(schema.columns, column_oids):
+        _sub(columns, "Column", Mdid=oid, Name=column.name,
+             TypeName=column.type.base.value,
+             TypeModifier=column.type.modifier
+             if column.type.modifier is not None else "",
+             Nullable=int(column.nullable))
+    indexes = _sub(root, "Indexes")
+    for index, oid in zip(schema.indexes, index_oids):
+        _sub(indexes, "Index", Mdid=oid, Name=index.name,
+             Columns=",".join(index.column_names),
+             Unique=int(index.unique), Primary=int(index.primary))
+    return ET.tostring(root, encoding="unicode")
+
+
+def relation_from_dxl(text: str) -> TableSchema:
+    root = ET.fromstring(text)
+    columns: List[Column] = []
+    for element in root.find("dxl:Columns", _NS):
+        modifier_text = element.get("TypeModifier", "")
+        modifier = int(modifier_text) if modifier_text else None
+        columns.append(Column(
+            element.get("Name"),
+            TypeInstance(MySQLType[element.get("TypeName")], modifier),
+            bool(int(element.get("Nullable"))),
+        ))
+    indexes: List[Index] = []
+    for element in root.find("dxl:Indexes", _NS):
+        indexes.append(Index(
+            element.get("Name"),
+            tuple(element.get("Columns").split(",")),
+            unique=bool(int(element.get("Unique"))),
+            primary=bool(int(element.get("Primary"))),
+        ))
+    return TableSchema(root.get("Name"), columns, indexes,
+                       schema=root.get("Schema"))
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+# ---------------------------------------------------------------------------
+
+def statistics_to_dxl(statistics: TableStatistics,
+                      statistics_oid: int) -> str:
+    root = _element("Statistics", Mdid=statistics_oid,
+                    Rows=statistics.row_count)
+    for name, column in statistics.columns.items():
+        element = _sub(root, "ColumnStatistics", Name=name,
+                       Nulls=column.null_count,
+                       Distinct=column.distinct_count,
+                       Unique=int(column.unique),
+                       Min=encode_value(column.min_value),
+                       Max=encode_value(column.max_value))
+        if column.histogram is not None:
+            element.append(_histogram_to_element(column.histogram))
+    return ET.tostring(root, encoding="unicode")
+
+
+def statistics_from_dxl(text: str) -> TableStatistics:
+    root = ET.fromstring(text)
+    statistics = TableStatistics(row_count=int(root.get("Rows")))
+    for element in root:
+        histogram: Optional[Histogram] = None
+        histogram_element = element.find("dxl:Histogram", _NS)
+        if histogram_element is not None:
+            histogram = _histogram_from_element(histogram_element)
+        statistics.columns[element.get("Name")] = ColumnStatistics(
+            null_count=int(element.get("Nulls")),
+            distinct_count=int(element.get("Distinct")),
+            min_value=decode_value(element.get("Min")),
+            max_value=decode_value(element.get("Max")),
+            histogram=histogram,
+            unique=bool(int(element.get("Unique"))),
+        )
+    return statistics
+
+
+def _histogram_to_element(histogram: Histogram) -> ET.Element:
+    element = _element("Histogram", Kind=histogram.kind)
+    if isinstance(histogram, SingletonHistogram):
+        for value, fraction in histogram.frequencies.items():
+            _sub(element, "Bucket", Value=encode_value(value),
+                 Fraction=repr(fraction))
+        return element
+    if isinstance(histogram, EquiHeightHistogram):
+        for i in range(histogram.bucket_count):
+            _sub(element, "Bucket", Lower=repr(histogram.lowers[i]),
+                 Upper=repr(histogram.uppers[i]),
+                 Cumulative=repr(histogram.cumulative[i]),
+                 Ndv=repr(histogram.bucket_ndv[i]))
+        return element
+    raise ValueError(f"unknown histogram kind {histogram.kind!r}")
+
+
+def _histogram_from_element(element: ET.Element) -> Histogram:
+    kind = element.get("Kind")
+    if kind == "singleton":
+        frequencies = {}
+        for bucket in element:
+            frequencies[decode_value(bucket.get("Value"))] = \
+                float(bucket.get("Fraction"))
+        return SingletonHistogram(frequencies)
+    lowers: List[float] = []
+    uppers: List[float] = []
+    cumulative: List[float] = []
+    bucket_ndv: List[float] = []
+    for bucket in element:
+        lowers.append(float(bucket.get("Lower")))
+        uppers.append(float(bucket.get("Upper")))
+        cumulative.append(float(bucket.get("Cumulative")))
+        bucket_ndv.append(float(bucket.get("Ndv")))
+    return EquiHeightHistogram(lowers, uppers, cumulative, bucket_ndv)
+
+
+# ---------------------------------------------------------------------------
+# Type metadata (Section 5.1's per-type information)
+# ---------------------------------------------------------------------------
+
+def type_to_dxl(mysql_type: MySQLType, oid: int) -> str:
+    from repro.mysql_types import TYPE_LENGTHS, category_of
+
+    length = TYPE_LENGTHS[mysql_type]
+    root = _element("Type", Mdid=oid, Name=mysql_type.value,
+                    Category=category_of(mysql_type).value,
+                    Length=length if length is not None else "variable",
+                    PassByValue=int(is_pass_by_value(mysql_type)),
+                    TextRelated=int(is_text_related(mysql_type)))
+    return ET.tostring(root, encoding="unicode")
+
+
+def type_from_dxl(text: str) -> dict:
+    root = ET.fromstring(text)
+    return {
+        "mdid": int(root.get("Mdid")),
+        "name": root.get("Name"),
+        "category": root.get("Category"),
+        "length": root.get("Length"),
+        "pass_by_value": bool(int(root.get("PassByValue"))),
+        "text_related": bool(int(root.get("TextRelated"))),
+    }

@@ -1,0 +1,253 @@
+"""Metadata OID layout (Sections 5.2, 5.3, and 5.6).
+
+The metadata provider identifies every object by an OID.  Objects whose
+counts are known in advance (types, expressions, functions) are laid out
+consecutively from fixed base values ("base + enumeration ID"); relations
+and their sub-objects, whose counts are open-ended, live far above in
+per-relation strides so collisions are impossible (Fig. 9).
+
+Expression OIDs follow the paper's cube scheme:
+
+* arithmetic: 12 left categories x 12 right categories x 5 operators
+  = **720** expressions;
+* comparison: 12 x 12 x 6 = **864** expressions;
+* aggregation: unary, over the 14 categories (12 scalar + STAR/ANY)
+  x 6 aggregates = **84** expressions.
+
+Commutator and inverse OIDs are computed with the exact 5-step procedure
+of Section 5.3: decode the OID to its enumeration id, decode that to the
+type-category expression, rewrite it, re-encode, and return — or return
+:data:`INVALID_OID` when no rewrite exists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import InvalidOidError
+from repro.mysql_types import (
+    AGGREGATE_CATEGORIES,
+    SCALAR_CATEGORIES,
+    MySQLType,
+    TypeCategory,
+)
+from repro.sql import ast
+
+#: Returned for expressions without a commutator/inverse (Section 5.3:
+#: "a special invalid OID is returned").
+INVALID_OID = 0
+
+TYPE_BASE = 1_000
+ARITHMETIC_BASE = 10_000
+COMPARISON_BASE = 20_000
+AGGREGATE_BASE = 30_000
+FUNCTION_BASE = 40_000
+RELATION_BASE = 1_000_000
+RELATION_STRIDE = 10_000
+COLUMN_OFFSET = 1
+INDEX_OFFSET = 500
+HISTOGRAM_OFFSET = 600
+STATISTICS_OFFSET = 900
+
+#: Operator enumerations fix the cube's third axis.
+ARITHMETIC_OPS = (ast.BinOp.ADD, ast.BinOp.SUB, ast.BinOp.MUL,
+                  ast.BinOp.DIV, ast.BinOp.MOD)
+COMPARISON_OPS = (ast.BinOp.LT, ast.BinOp.LE, ast.BinOp.GT,
+                  ast.BinOp.GE, ast.BinOp.EQ, ast.BinOp.NE)
+AGGREGATE_FUNCS = (ast.AggFunc.COUNT, ast.AggFunc.MIN, ast.AggFunc.MAX,
+                   ast.AggFunc.SUM, ast.AggFunc.AVG, ast.AggFunc.STDDEV)
+
+ARITHMETIC_COUNT = (len(SCALAR_CATEGORIES) * len(SCALAR_CATEGORIES)
+                    * len(ARITHMETIC_OPS))           # 720
+COMPARISON_COUNT = (len(SCALAR_CATEGORIES) * len(SCALAR_CATEGORIES)
+                    * len(COMPARISON_OPS))           # 864
+AGGREGATE_COUNT = (len(AGGREGATE_CATEGORIES)
+                   * len(AGGREGATE_FUNCS))           # 84
+
+_TYPES = tuple(MySQLType)
+_SCALAR_INDEX = {category: index
+                 for index, category in enumerate(SCALAR_CATEGORIES)}
+_AGG_INDEX = {category: index
+              for index, category in enumerate(AGGREGATE_CATEGORIES)}
+
+#: Regular (non-mapped) functions the provider enumerates (Section 5.4).
+REGULAR_FUNCTIONS = (
+    "EXTRACT", "SUBSTRING", "CAST", "ROUND", "UPPER", "CONCAT", "ABS",
+    "LOWER", "TRIM", "LTRIM", "RTRIM", "LENGTH", "FLOOR", "CEIL", "SQRT",
+    "MOD", "POWER", "YEAR", "MONTH", "DAYOFMONTH", "DAYOFWEEK",
+    "COALESCE", "IFNULL", "NULLIF", "GREATEST", "LEAST",
+)
+_FUNCTION_INDEX = {name: index
+                   for index, name in enumerate(REGULAR_FUNCTIONS)}
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+def type_oid(mysql_type: MySQLType) -> int:
+    return TYPE_BASE + _TYPES.index(mysql_type)
+
+
+def decode_type(oid: int) -> MySQLType:
+    index = oid - TYPE_BASE
+    if 0 <= index < len(_TYPES):
+        return _TYPES[index]
+    raise InvalidOidError(f"{oid} is not a type OID")
+
+
+# ---------------------------------------------------------------------------
+# Expression cubes
+# ---------------------------------------------------------------------------
+
+def arithmetic_oid(left: TypeCategory, right: TypeCategory,
+                   op: ast.BinOp) -> int:
+    """OID of an arithmetic expression: one point in the 12x12x5 cube."""
+    i = _SCALAR_INDEX[left]
+    j = _SCALAR_INDEX[right]
+    k = ARITHMETIC_OPS.index(op)
+    enum_id = (i * len(SCALAR_CATEGORIES) + j) * len(ARITHMETIC_OPS) + k
+    return ARITHMETIC_BASE + enum_id
+
+
+def decode_arithmetic(oid: int
+                      ) -> Tuple[TypeCategory, TypeCategory, ast.BinOp]:
+    enum_id = oid - ARITHMETIC_BASE
+    if not 0 <= enum_id < ARITHMETIC_COUNT:
+        raise InvalidOidError(f"{oid} is not an arithmetic expression OID")
+    pair, k = divmod(enum_id, len(ARITHMETIC_OPS))
+    i, j = divmod(pair, len(SCALAR_CATEGORIES))
+    return SCALAR_CATEGORIES[i], SCALAR_CATEGORIES[j], ARITHMETIC_OPS[k]
+
+
+def comparison_oid(left: TypeCategory, right: TypeCategory,
+                   op: ast.BinOp) -> int:
+    """OID of a comparison expression: one point in the 12x12x6 cube."""
+    i = _SCALAR_INDEX[left]
+    j = _SCALAR_INDEX[right]
+    k = COMPARISON_OPS.index(op)
+    enum_id = (i * len(SCALAR_CATEGORIES) + j) * len(COMPARISON_OPS) + k
+    return COMPARISON_BASE + enum_id
+
+
+def decode_comparison(oid: int
+                      ) -> Tuple[TypeCategory, TypeCategory, ast.BinOp]:
+    enum_id = oid - COMPARISON_BASE
+    if not 0 <= enum_id < COMPARISON_COUNT:
+        raise InvalidOidError(f"{oid} is not a comparison expression OID")
+    pair, k = divmod(enum_id, len(COMPARISON_OPS))
+    i, j = divmod(pair, len(SCALAR_CATEGORIES))
+    return SCALAR_CATEGORIES[i], SCALAR_CATEGORIES[j], COMPARISON_OPS[k]
+
+
+def aggregate_oid(category: TypeCategory, func: ast.AggFunc) -> int:
+    """OID of an aggregate expression: the 14x6 two-dimensional array.
+
+    COUNT(*) uses the STAR category and COUNT(expr) the ANY category
+    (Section 5.2); the other aggregates use the operand's category.
+    """
+    i = _AGG_INDEX[category]
+    k = AGGREGATE_FUNCS.index(func)
+    enum_id = i * len(AGGREGATE_FUNCS) + k
+    return AGGREGATE_BASE + enum_id
+
+
+def decode_aggregate(oid: int) -> Tuple[TypeCategory, ast.AggFunc]:
+    enum_id = oid - AGGREGATE_BASE
+    if not 0 <= enum_id < AGGREGATE_COUNT:
+        raise InvalidOidError(f"{oid} is not an aggregate expression OID")
+    i, k = divmod(enum_id, len(AGGREGATE_FUNCS))
+    return AGGREGATE_CATEGORIES[i], AGGREGATE_FUNCS[k]
+
+
+# ---------------------------------------------------------------------------
+# Commutators and inverses (Section 5.3)
+# ---------------------------------------------------------------------------
+
+def commutator_oid(oid: int) -> int:
+    """OID of the commuted expression, or INVALID_OID when none exists.
+
+    Implements the 5-step procedure of Section 5.3: classify by OID slot,
+    convert to the enumeration id, decode to the type-category expression,
+    rewrite, and re-encode.
+    """
+    # Step 1: determine the expression type from the OID's slot.
+    if ARITHMETIC_BASE <= oid < ARITHMETIC_BASE + ARITHMETIC_COUNT:
+        # Steps 2-3: decode.
+        left, right, op = decode_arithmetic(oid)
+        # Step 4: only + and * commute.
+        if op not in (ast.BinOp.ADD, ast.BinOp.MUL):
+            return INVALID_OID
+        # Step 5: re-encode with operands swapped.
+        return arithmetic_oid(right, left, op)
+    if COMPARISON_BASE <= oid < COMPARISON_BASE + COMPARISON_COUNT:
+        left, right, op = decode_comparison(oid)
+        return comparison_oid(right, left, ast.COMMUTED_COMPARISON[op])
+    return INVALID_OID
+
+
+def inverse_oid(oid: int) -> int:
+    """OID of the negated comparison (a < b -> a >= b), else INVALID_OID.
+
+    "Inverse expressions exist only for comparison expressions"
+    (Section 5.3).
+    """
+    if COMPARISON_BASE <= oid < COMPARISON_BASE + COMPARISON_COUNT:
+        left, right, op = decode_comparison(oid)
+        return comparison_oid(left, right, ast.INVERSE_COMPARISON[op])
+    return INVALID_OID
+
+
+# ---------------------------------------------------------------------------
+# Functions
+# ---------------------------------------------------------------------------
+
+def function_oid(name: str) -> int:
+    """OID of a regular function, or INVALID_OID for unknown names."""
+    index = _FUNCTION_INDEX.get(name.upper())
+    if index is None:
+        return INVALID_OID
+    return FUNCTION_BASE + index
+
+
+# ---------------------------------------------------------------------------
+# Relations and their sub-objects
+# ---------------------------------------------------------------------------
+
+def relation_oid(relation_index: int) -> int:
+    return RELATION_BASE + relation_index * RELATION_STRIDE
+
+
+def column_oid(relation_index: int, position: int) -> int:
+    return relation_oid(relation_index) + COLUMN_OFFSET + position
+
+
+def index_oid(relation_index: int, index_position: int) -> int:
+    return relation_oid(relation_index) + INDEX_OFFSET + index_position
+
+
+def histogram_oid(relation_index: int, position: int) -> int:
+    return relation_oid(relation_index) + HISTOGRAM_OFFSET + position
+
+
+def statistics_oid(relation_index: int) -> int:
+    return relation_oid(relation_index) + STATISTICS_OFFSET
+
+
+def decode_relation_oid(oid: int) -> Tuple[int, str, Optional[int]]:
+    """Decode a relation-space OID to (relation index, kind, sub-index)."""
+    if oid < RELATION_BASE:
+        raise InvalidOidError(f"{oid} is below the relation OID space")
+    offset = oid - RELATION_BASE
+    relation_index, rest = divmod(offset, RELATION_STRIDE)
+    if rest == 0:
+        return relation_index, "relation", None
+    if COLUMN_OFFSET <= rest < INDEX_OFFSET:
+        return relation_index, "column", rest - COLUMN_OFFSET
+    if INDEX_OFFSET <= rest < HISTOGRAM_OFFSET:
+        return relation_index, "index", rest - INDEX_OFFSET
+    if HISTOGRAM_OFFSET <= rest < STATISTICS_OFFSET:
+        return relation_index, "histogram", rest - HISTOGRAM_OFFSET
+    if rest == STATISTICS_OFFSET:
+        return relation_index, "statistics", None
+    raise InvalidOidError(f"{oid} does not decode to a relation object")

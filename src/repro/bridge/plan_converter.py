@@ -1,0 +1,200 @@
+"""Orca physical plan -> MySQL skeleton plan (Section 4.2).
+
+Translation happens in two passes over each block's physical tree, exactly
+as the paper describes:
+
+**First pass** (Section 4.2.1): a pre-order traversal groups physical
+leaves into query blocks using the TABLE_LIST pointer each table
+descriptor carries ("each leaf node contains a TABLE_LIST object which
+contains ... a link to the leaf's containing query block").  If a leaf
+turns out to belong to a different block than the plan being converted —
+i.e. Orca changed the query-block structure — conversion aborts with
+:class:`OrcaFallbackError` and "the system resorts to the usual MySQL
+query optimization".
+
+**Second pass** (Section 4.2.2): the tree is linearised into MySQL's
+*best-position arrays*: spine positions in pre-order, each entry holding
+the table, its access method, its cost, and its output-row estimate —
+which is how Orca's estimates end up in MySQL's EXPLAIN.  Bushy subtrees
+become nested ``branch`` entries, the best-position extension of
+Section 7, lesson 1.
+
+Two conventions from the lessons-learned section are honoured here:
+
+* the **build/probe flip** for MySQL inner hash joins (lesson 2): Orca
+  emits HashJoin(probe, build) with the build on the right; a skeleton
+  position *is* the build side and refinement probes with the prefix,
+  which realises MySQL's reversed convention;
+* **CTE one-producer -> n-consumer copies** (Section 4.2.3): every CTE
+  consumer becomes its own CTE-scan position (its own "producer plan" in
+  MySQL terms); at run time the first one to execute materialises the
+  shared result, so exactly one producer executes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import OrcaFallbackError
+from repro.executor.plan import JoinKind
+from repro.mysql_optimizer.skeleton import (
+    AggStrategy,
+    BlockSkeleton,
+    JoinMethod,
+    PositionEntry,
+    SkeletonPlan,
+)
+from repro.orca.operators import (
+    JoinVariant,
+    PhysicalGbAgg,
+    PhysicalGet,
+    PhysicalHashJoin,
+    PhysicalLimit,
+    PhysicalNLJoin,
+    PhysicalOp,
+    PhysicalSort,
+)
+from repro.orca.optimizer import OrcaBlockPlan
+from repro.sql.blocks import QueryBlock, StatementContext
+
+_VARIANT_TO_KIND = {
+    JoinVariant.INNER: JoinKind.INNER,
+    JoinVariant.LEFT: JoinKind.LEFT,
+    JoinVariant.SEMI: JoinKind.SEMI,
+    JoinVariant.ANTI: JoinKind.ANTI,
+}
+
+
+class OrcaPlanConverter:
+    """Converts per-block Orca physical plans into one skeleton plan."""
+
+    def __init__(self, context: StatementContext) -> None:
+        self.context = context
+
+    def convert(self, block_plans: Dict[int, OrcaBlockPlan],
+                top_block: QueryBlock) -> SkeletonPlan:
+        plan = SkeletonPlan(self.context, top_block, origin="orca")
+        for block_plan in block_plans.values():
+            plan.add(self._convert_block(block_plan))
+        return plan
+
+    # -- per-block conversion -----------------------------------------------------
+
+    def _convert_block(self, block_plan: OrcaBlockPlan) -> BlockSkeleton:
+        root = block_plan.root
+        # Strip block-level operators: aggregation/sort/limit decisions are
+        # carried as skeleton attributes, not positions.
+        while isinstance(root, (PhysicalLimit, PhysicalSort, PhysicalGbAgg)):
+            root = root.children()[0] if root.children() else None
+        self._first_pass(root, block_plan.block)
+        positions: List[PositionEntry] = []
+        if root is not None:
+            positions = self._linearize(root, block_plan.block)
+        self._check_coverage(positions, block_plan.block)
+        return BlockSkeleton(
+            block=block_plan.block,
+            positions=positions,
+            total_cost=block_plan.cost,
+            total_rows=block_plan.rows,
+            agg_strategy=AggStrategy.STREAM if block_plan.agg_streaming
+            else AggStrategy.HASH,
+            order_satisfied=block_plan.order_satisfied,
+        )
+
+    # -- pass 1: query-block discovery and validation ---------------------------------
+
+    def _first_pass(self, root: PhysicalOp, block: QueryBlock) -> None:
+        if root is None:
+            return
+        for leaf in root.leaves():
+            if not isinstance(leaf, PhysicalGet):
+                raise OrcaFallbackError(
+                    f"unexpected physical leaf {leaf.name()!r}")
+            entry = leaf.descriptor.entry
+            if entry.block is not block:
+                # Orca changed the query block structure: abort and let
+                # the router fall back to the MySQL optimizer.
+                raise OrcaFallbackError(
+                    f"leaf {leaf.descriptor.alias!r} belongs to block "
+                    f"#{entry.block.block_id}, expected "
+                    f"#{block.block_id}")
+
+    # -- pass 2: fill the best-position arrays -------------------------------------------
+
+    def _linearize(self, op: PhysicalOp,
+                   block: QueryBlock) -> List[PositionEntry]:
+        if isinstance(op, PhysicalGet):
+            return [self._leaf_position(op)]
+        if isinstance(op, PhysicalNLJoin):
+            positions = self._linearize(op.outer, block)
+            positions.extend(self._attach_side(
+                op.inner, block, JoinMethod.NLJ,
+                _VARIANT_TO_KIND[op.variant], op))
+            return positions
+        if isinstance(op, PhysicalHashJoin):
+            # Build/probe flip (lesson 2): the spine continues through the
+            # probe side; the build side becomes the array position, which
+            # refinement will feed to MySQL's reversed-convention hash
+            # join as its build input.
+            positions = self._linearize(op.probe, block)
+            positions.extend(self._attach_side(
+                op.build, block, JoinMethod.HASH,
+                _VARIANT_TO_KIND[op.variant], op))
+            return positions
+        raise OrcaFallbackError(
+            f"cannot linearise physical operator {op.name()!r}")
+
+    def _attach_side(self, side: PhysicalOp, block: QueryBlock,
+                     method: JoinMethod, kind: JoinKind,
+                     join_op: PhysicalOp) -> List[PositionEntry]:
+        if isinstance(side, PhysicalGet):
+            position = self._leaf_position(side)
+            position.join_method = method
+            position.join_kind = kind
+            position.fanout = join_op.rows
+            position.cost = join_op.cost
+            return [position]
+        inner_positions = self._linearize(side, block)
+        if kind in (JoinKind.SEMI, JoinKind.ANTI):
+            # Semi/anti nests stay flat: refinement recognises the run of
+            # positions sharing the nest id.
+            for position in inner_positions:
+                position.join_method = method
+                position.join_kind = kind
+            inner_positions[0].fanout = join_op.rows
+            inner_positions[0].cost = join_op.cost
+            return inner_positions
+        branch = PositionEntry(
+            branch=inner_positions,
+            join_method=method,
+            join_kind=kind,
+            fanout=join_op.rows,
+            cost=join_op.cost,
+        )
+        return [branch]
+
+    def _leaf_position(self, leaf: PhysicalGet) -> PositionEntry:
+        entry = leaf.descriptor.entry
+        return PositionEntry(
+            entry_id=entry.entry_id,
+            access=leaf.access,
+            nest_id=entry.semijoin_nest,
+            join_kind=JoinKind.INNER,
+            fanout=leaf.rows,
+            cost=leaf.cost,
+        )
+
+    # -- safety net ------------------------------------------------------------------------
+
+    def _check_coverage(self, positions: List[PositionEntry],
+                        block: QueryBlock) -> None:
+        covered: set = set()
+        for position in positions:
+            covered.update(position.all_entry_ids())
+        expected = {entry.entry_id for entry in block.entries}
+        if covered != expected:
+            missing = expected - covered
+            extra = covered - expected
+            raise OrcaFallbackError(
+                f"best-position arrays do not cover the block: "
+                f"missing={sorted(missing)} extra={sorted(extra)}")

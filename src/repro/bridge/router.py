@@ -1,0 +1,128 @@
+"""Query routing: which optimizer compiles a statement (Sections 3, 4.1).
+
+The router implements the paper's conservative policy:
+
+* only SELECT statements are ever routed to Orca (the parser already
+  restricts this reproduction to SELECT);
+* only "complex" queries qualify — complexity is the total number of table
+  references, and the threshold defaults to 3 (checked by the Database
+  facade for ``optimizer="auto"``);
+* recursive CTEs and multi-column GROUPING are rejected before Orca
+  (the SQL frontend already refuses them, mirroring Section 4.1);
+* any :class:`OrcaFallbackError` during conversion or optimization makes
+  the router return ``None``, and the caller "resorts to the usual MySQL
+  query optimization".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.catalog.catalog import Catalog
+from repro.errors import OrcaError, OrcaFallbackError
+from repro.bridge.metadata_provider import MySQLMetadataProvider
+from repro.bridge.parse_tree_converter import ParseTreeConverter
+from repro.bridge.plan_converter import OrcaPlanConverter
+from repro.mysql_optimizer.skeleton import SkeletonPlan
+from repro.orca.joinorder import JoinSearchMode, SubEstimates
+from repro.orca.mdcache import MDAccessor
+from repro.orca.optimizer import OrcaBlockPlan, OrcaConfig, OrcaOptimizer
+from repro.orca.preprocess import preprocess_block, push_cte_predicates
+from repro.selectivity import SelectivityEstimator
+from repro.sql import ast
+from repro.sql.blocks import EntryKind, QueryBlock, StatementContext
+
+
+class OrcaRouter:
+    """Drives the full Orca detour for one statement."""
+
+    def __init__(self, catalog: Catalog, config,
+                 orca_config: Optional[OrcaConfig] = None) -> None:
+        self.catalog = catalog
+        self.config = config
+        if orca_config is not None:
+            self.orca_config = orca_config
+        else:
+            self.orca_config = OrcaConfig(
+                search=JoinSearchMode[config.orca_search])
+        #: Populated on every successful optimization, for observability.
+        self.last_provider: Optional[MySQLMetadataProvider] = None
+        self.last_accessor: Optional[MDAccessor] = None
+        self.last_converter: Optional[ParseTreeConverter] = None
+
+    def optimize(self, stmt: ast.SelectStmt, block: QueryBlock,
+                 context: StatementContext) -> Optional[SkeletonPlan]:
+        """Optimize with Orca; None means fall back to MySQL."""
+        try:
+            return self._optimize(block, context)
+        except (OrcaFallbackError, OrcaError):
+            return None
+
+    # -- the detour -----------------------------------------------------------------
+
+    def _optimize(self, block: QueryBlock,
+                  context: StatementContext) -> SkeletonPlan:
+        provider = MySQLMetadataProvider(self.catalog)
+        accessor = MDAccessor(provider)
+        converter = ParseTreeConverter(accessor)
+        estimator = SelectivityEstimator(accessor, use_histograms=True)
+        optimizer = OrcaOptimizer(estimator, self.orca_config)
+        self.last_provider = provider
+        self.last_accessor = accessor
+        self.last_converter = converter
+
+        # Preprocessing rewrites (OR factorization, scalar-subquery ->
+        # derived table, CTE predicate pushdown) mutate the blocks; the
+        # plan refinement that later consumes the skeleton sees the
+        # rewritten predicates, as the real integration's broadened MySQL
+        # did (Section 7, lessons 3-4).
+        preprocess_block(
+            block,
+            enable_or_factorization=self.orca_config
+            .enable_or_factorization,
+            enable_derived_subqueries=self.orca_config
+            .enable_derived_subqueries)
+        if self.orca_config.enable_cte_pushdown:
+            push_cte_predicates(block)
+
+        block_plans: Dict[int, OrcaBlockPlan] = {}
+        estimates = SubEstimates()
+        self._optimize_block(block, converter, optimizer, block_plans,
+                             estimates, set())
+        return OrcaPlanConverter(context).convert(block_plans, block)
+
+    def _optimize_block(self, block: QueryBlock,
+                        converter: ParseTreeConverter,
+                        optimizer: OrcaOptimizer,
+                        block_plans: Dict[int, OrcaBlockPlan],
+                        estimates: SubEstimates,
+                        in_progress: Set[int]) -> OrcaBlockPlan:
+        existing = block_plans.get(block.block_id)
+        if existing is not None:
+            return existing
+        if block.block_id in in_progress:
+            raise OrcaFallbackError("cyclic block structure")
+        in_progress.add(block.block_id)
+        for sub in self._sub_blocks(block):
+            sub_plan = self._optimize_block(sub, converter, optimizer,
+                                            block_plans, estimates,
+                                            in_progress)
+            estimates.add(sub.block_id, sub_plan.rows, sub_plan.cost)
+        logical = converter.convert_block(block)
+        block_plan = optimizer.optimize_block(logical, estimates)
+        block_plans[block.block_id] = block_plan
+        in_progress.discard(block.block_id)
+        return block_plan
+
+    def _sub_blocks(self, block: QueryBlock):
+        subs = []
+        for binding in block.cte_bindings:
+            subs.append(binding.block)
+        for entry in block.entries:
+            if entry.kind in (EntryKind.DERIVED, EntryKind.CTE) and \
+                    entry.sub_block is not None:
+                subs.append(entry.sub_block)
+        subs.extend(block.all_subquery_blocks())
+        for __, side in block.set_ops:
+            subs.append(side)
+        return subs

@@ -1,0 +1,26 @@
+"""The MySQL-style data dictionary: schemas, statistics, and histograms."""
+
+from repro.catalog.schema import Column, Index, TableSchema
+from repro.catalog.statistics import ColumnStatistics, TableStatistics
+from repro.catalog.histogram import (
+    EquiHeightHistogram,
+    Histogram,
+    SingletonHistogram,
+    build_histogram,
+    encode_string_key,
+)
+from repro.catalog.catalog import Catalog
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStatistics",
+    "EquiHeightHistogram",
+    "Histogram",
+    "Index",
+    "SingletonHistogram",
+    "TableSchema",
+    "TableStatistics",
+    "build_histogram",
+    "encode_string_key",
+]

@@ -1,0 +1,252 @@
+"""Singleton and equi-height histograms.
+
+Both optimizers consume histograms.  MySQL supports singleton and
+equi-height histograms for every type, including strings; Orca originally
+supported only *singleton* string histograms (a non-order-preserving hash
+prevents range estimation).  The paper (Sections 5.5 and 7) extends Orca
+with equi-height string histograms by encoding string bucket boundaries as
+64-bit signed integers with an order-preserving fixed-length prefix code.
+:func:`encode_string_key` implements that code, including its documented
+weakness: strings sharing a long common prefix become indistinguishable.
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Number of leading bytes folded into the 64-bit string key (Section 7:
+#: "because of the fixed length, it cannot distinguish between two strings
+#: with a long common prefix").
+_STRING_KEY_PREFIX_BYTES = 7
+
+
+def encode_string_key(value: str) -> int:
+    """Encode a string as an order-preserving 56-bit non-negative integer.
+
+    The first seven bytes of the string are packed big-endian (fitting
+    comfortably in the paper's 64-bit signed integer), so
+    ``encode_string_key(a) < encode_string_key(b)`` whenever ``a < b``
+    byte-wise *and* the strings differ within the prefix.  Strings that
+    agree on the first seven bytes map to the same key — the precise
+    limitation the paper reports for its scheme.
+    """
+    key = 0
+    data = value.encode("utf-8", errors="replace")[:_STRING_KEY_PREFIX_BYTES]
+    for i in range(_STRING_KEY_PREFIX_BYTES):
+        byte = data[i] if i < len(data) else 0
+        key = (key << 8) | byte
+    return key
+
+
+def _to_number(value) -> float:
+    """Map any histogram-able value onto the real line, order preserved."""
+    if value is None:
+        raise ValueError("NULL has no histogram position")
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, datetime.datetime):
+        return value.timestamp()
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    if isinstance(value, datetime.time):
+        return value.hour * 3600.0 + value.minute * 60.0 + value.second
+    if isinstance(value, str):
+        return float(encode_string_key(value))
+    raise ValueError(f"cannot place {value!r} on a histogram axis")
+
+
+class Histogram:
+    """Interface shared by both histogram kinds.
+
+    All selectivity results are fractions of the *non-null* rows in
+    [0, 1]; callers scale by the null fraction separately.
+    """
+
+    kind = "abstract"
+
+    def selectivity_eq(self, value) -> float:
+        raise NotImplementedError
+
+    def selectivity_range(self, low, high,
+                          low_inclusive: bool = True,
+                          high_inclusive: bool = False) -> float:
+        """Fraction of rows with low <= value <(=) high; None = unbounded."""
+        raise NotImplementedError
+
+    def selectivity_lt(self, value, inclusive: bool = False) -> float:
+        return self.selectivity_range(None, value, high_inclusive=inclusive)
+
+    def selectivity_gt(self, value, inclusive: bool = False) -> float:
+        return self.selectivity_range(value, None, low_inclusive=inclusive)
+
+    @property
+    def distinct_values(self) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class SingletonHistogram(Histogram):
+    """One bucket per distinct value: exact equality selectivities.
+
+    MySQL builds these when a column has at most ``histogram buckets``
+    distinct values; Orca's native string histograms are of this kind.
+    """
+
+    frequencies: Dict[object, float]  # value -> fraction of non-null rows
+    kind = "singleton"
+
+    def selectivity_eq(self, value) -> float:
+        return self.frequencies.get(value, 0.0)
+
+    def selectivity_range(self, low, high,
+                          low_inclusive: bool = True,
+                          high_inclusive: bool = False) -> float:
+        total = 0.0
+        for value, fraction in self.frequencies.items():
+            if low is not None:
+                cmp = _to_number(value) - _to_number(low)
+                if cmp < 0 or (cmp == 0 and not low_inclusive):
+                    continue
+            if high is not None:
+                cmp = _to_number(value) - _to_number(high)
+                if cmp > 0 or (cmp == 0 and not high_inclusive):
+                    continue
+            total += fraction
+        return min(1.0, total)
+
+    @property
+    def distinct_values(self) -> float:
+        return float(len(self.frequencies))
+
+
+@dataclass
+class EquiHeightHistogram(Histogram):
+    """Equal-mass buckets: (lower, upper, cumulative_fraction, bucket_ndv).
+
+    Buckets are stored as parallel arrays ordered by upper bound.  The
+    cumulative fraction at index ``i`` is the fraction of non-null rows
+    with value <= ``uppers[i]``.
+    """
+
+    lowers: List[float]
+    uppers: List[float]
+    cumulative: List[float]
+    bucket_ndv: List[float]
+    kind = "equi_height"
+
+    def __post_init__(self) -> None:
+        if not (len(self.lowers) == len(self.uppers) == len(self.cumulative)
+                == len(self.bucket_ndv)):
+            raise ValueError("equi-height arrays must have equal lengths")
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self.uppers)
+
+    @property
+    def distinct_values(self) -> float:
+        return sum(self.bucket_ndv)
+
+    def _bucket_fraction(self, index: int) -> float:
+        previous = self.cumulative[index - 1] if index > 0 else 0.0
+        return self.cumulative[index] - previous
+
+    def selectivity_eq(self, value) -> float:
+        if not self.uppers:
+            return 0.0
+        point = _to_number(value)
+        index = bisect.bisect_left(self.uppers, point)
+        if index >= self.bucket_count or point < self.lowers[index]:
+            return 0.0
+        ndv = max(1.0, self.bucket_ndv[index])
+        return self._bucket_fraction(index) / ndv
+
+    def _cumulative_below(self, point: float, inclusive: bool) -> float:
+        """Fraction of rows with value < point (or <= when inclusive)."""
+        if not self.uppers:
+            return 0.0
+        index = bisect.bisect_left(self.uppers, point)
+        if index >= self.bucket_count:
+            return 1.0
+        before = self.cumulative[index - 1] if index > 0 else 0.0
+        lower, upper = self.lowers[index], self.uppers[index]
+        if point < lower:
+            return before
+        if upper == lower:
+            inside = 1.0 if (point > upper or (inclusive and point == upper)) \
+                else 0.0
+        else:
+            inside = (point - lower) / (upper - lower)
+            if inclusive:
+                inside += 1.0 / max(1.0, self.bucket_ndv[index])
+            inside = min(1.0, max(0.0, inside))
+        return before + inside * self._bucket_fraction(index)
+
+    def selectivity_range(self, low, high,
+                          low_inclusive: bool = True,
+                          high_inclusive: bool = False) -> float:
+        upper_mass = (1.0 if high is None
+                      else self._cumulative_below(_to_number(high),
+                                                  high_inclusive))
+        lower_mass = (0.0 if low is None
+                      else self._cumulative_below(_to_number(low),
+                                                  not low_inclusive))
+        return max(0.0, min(1.0, upper_mass - lower_mass))
+
+
+#: Columns with at most this many distinct values get singleton histograms,
+#: matching MySQL's ANALYZE TABLE behaviour.
+SINGLETON_NDV_LIMIT = 64
+DEFAULT_BUCKETS = 32
+
+
+def build_histogram(values: Sequence, buckets: int = DEFAULT_BUCKETS,
+                    singleton_limit: int = SINGLETON_NDV_LIMIT
+                    ) -> Optional[Histogram]:
+    """Build the appropriate histogram for a column's non-null values.
+
+    Returns ``None`` for an empty column.  Few distinct values produce a
+    :class:`SingletonHistogram`; otherwise an :class:`EquiHeightHistogram`
+    is built (numeric axis via :func:`_to_number`, so strings use the
+    order-preserving prefix code).
+    """
+    non_null = [value for value in values if value is not None]
+    if not non_null:
+        return None
+    distinct = set(non_null)
+    total = float(len(non_null))
+    if len(distinct) <= singleton_limit:
+        counts: Dict[object, int] = {}
+        for value in non_null:
+            counts[value] = counts.get(value, 0) + 1
+        return SingletonHistogram(
+            {value: count / total for value, count in counts.items()})
+    return _build_equi_height(non_null, buckets)
+
+
+def _build_equi_height(non_null: Sequence, buckets: int) -> EquiHeightHistogram:
+    points = sorted(_to_number(value) for value in non_null)
+    total = len(points)
+    per_bucket = max(1, total // buckets)
+    lowers: List[float] = []
+    uppers: List[float] = []
+    cumulative: List[float] = []
+    bucket_ndv: List[float] = []
+    start = 0
+    while start < total:
+        end = min(total, start + per_bucket)
+        # Extend the bucket so equal values never straddle a boundary.
+        while end < total and points[end] == points[end - 1]:
+            end += 1
+        segment = points[start:end]
+        lowers.append(segment[0])
+        uppers.append(segment[-1])
+        cumulative.append(end / total)
+        bucket_ndv.append(float(len(set(segment))))
+        start = end
+    return EquiHeightHistogram(lowers, uppers, cumulative, bucket_ndv)

@@ -1,0 +1,68 @@
+"""Table and column statistics served to both optimizers.
+
+The metadata provider (Section 5.5) ships, per relation: cardinality;
+per-column null counts; per-column distinct counts; and histograms.  The
+paper additionally lifted MySQL's restriction that UNIQUE columns carry no
+histogram, so that Orca could see them — ``ColumnStatistics.from_values``
+therefore always builds a histogram when asked, and the ``unique`` flag is
+carried alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.catalog.histogram import Histogram, build_histogram
+
+
+@dataclass
+class ColumnStatistics:
+    """Statistics for a single column."""
+
+    null_count: int = 0
+    distinct_count: int = 0
+    min_value: object = None
+    max_value: object = None
+    histogram: Optional[Histogram] = None
+    unique: bool = False
+
+    @staticmethod
+    def from_values(values: Sequence, unique: bool = False,
+                    with_histogram: bool = True) -> "ColumnStatistics":
+        """Compute statistics over a column's values (ANALYZE TABLE)."""
+        non_null = [value for value in values if value is not None]
+        distinct = set(non_null)
+        histogram = build_histogram(non_null) if with_histogram else None
+        return ColumnStatistics(
+            null_count=len(values) - len(non_null),
+            distinct_count=len(distinct),
+            min_value=min(non_null) if non_null else None,
+            max_value=max(non_null) if non_null else None,
+            histogram=histogram,
+            unique=unique,
+        )
+
+    def null_fraction(self, row_count: int) -> float:
+        if row_count <= 0:
+            return 0.0
+        return min(1.0, self.null_count / row_count)
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for a whole table."""
+
+    row_count: int = 0
+    columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics:
+        """Statistics for a column; a neutral default if never analyzed."""
+        if name not in self.columns:
+            self.columns[name] = ColumnStatistics(
+                distinct_count=max(1, self.row_count // 10))
+        return self.columns[name]
+
+    def ndv(self, name: str) -> float:
+        """Distinct-value count with a safe floor of one."""
+        return float(max(1, self.column(name).distinct_count))

@@ -1,0 +1,252 @@
+"""The public facade: a small embedded SQL engine with two optimizers.
+
+Usage::
+
+    db = Database()
+    db.create_table(schema)
+    db.load("t", rows)
+    db.analyze()
+    rows = db.execute("SELECT ...")                    # routed per config
+    rows = db.execute("SELECT ...", optimizer="mysql") # force a path
+    text = db.explain("SELECT ...", optimizer="orca")
+
+Routing follows the paper: only SELECT statements whose table-reference
+count reaches ``complex_query_threshold`` take the Orca detour
+(Section 4.1); everything else — and any query on which the bridge aborts —
+uses the MySQL optimizer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import TableSchema
+from repro.errors import ReproError
+from repro.executor.executor import Executor
+from repro.executor.explain import explain_plan
+from repro.mysql_optimizer.optimizer import MySQLOptimizer
+from repro.mysql_optimizer.refinement import PlanBuilder
+from repro.mysql_optimizer.skeleton import SkeletonPlan
+from repro.sql import ast as sql_ast
+from repro.sql.parser import parse_statement
+from repro.sql.prepare import prepare
+from repro.sql.resolver import Resolver
+from repro.storage.engine import StorageEngine
+
+
+@dataclass
+class DatabaseConfig:
+    """Engine configuration knobs used in the paper's experiments."""
+
+    #: Minimum table references for the Orca detour (Section 4.1 default).
+    complex_query_threshold: int = 3
+    #: Orca's join-order search: "GREEDY", "EXHAUSTIVE", or "EXHAUSTIVE2".
+    orca_search: str = "EXHAUSTIVE2"
+    #: Master toggle: with False, every query uses the MySQL optimizer.
+    orca_enabled: bool = True
+    #: Routing policy for ``optimizer="auto"``:
+    #: * "threshold" — the paper's shipped heuristic: route when the
+    #:   table-reference count reaches ``complex_query_threshold``;
+    #: * "cost_based" — the paper's first future-work alternative
+    #:   (Section 9): always run MySQL's fast greedy optimization, and
+    #:   take the Orca detour only when the MySQL plan's estimated cost
+    #:   exceeds ``mysql_cost_threshold`` ("almost certainly ... better
+    #:   than our three-table heuristic").
+    routing: str = "threshold"
+    #: Estimated-cost trigger for cost-based routing.
+    mysql_cost_threshold: float = 500.0
+
+
+@dataclass
+class StatementResult:
+    """Rows plus compile/execute timings for benchmark harnesses."""
+
+    rows: List[tuple]
+    optimizer_used: str
+    compile_seconds: float
+    execute_seconds: float
+    explain: Optional[str] = None
+
+
+class Database:
+    """An embedded single-schema database with MySQL and Orca optimizers."""
+
+    def __init__(self, config: Optional[DatabaseConfig] = None) -> None:
+        self.config = config or DatabaseConfig()
+        self.catalog = Catalog()
+        self.storage = StorageEngine(self.catalog)
+
+    # -- DDL / DML ---------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.storage.create_table(schema)
+
+    def load(self, table_name: str, rows: Iterable[Sequence]) -> None:
+        self.storage.load_rows(table_name, list(rows))
+
+    def analyze(self, with_histograms: bool = True) -> None:
+        """ANALYZE every table (row counts, NDVs, histograms)."""
+        self.storage.analyze_all(with_histograms)
+
+    # -- compilation -------------------------------------------------------------
+
+    def _compile(self, sql: str, optimizer: str
+                 ) -> Tuple[Executor, str]:
+        """Parse, prepare, optimize, and refine; returns (executor, used)."""
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, sql_ast.SelectStmt):
+            raise ReproError("only SELECT statements can be compiled; "
+                             "DML executes directly")
+        return self._compile_select(stmt, optimizer)
+
+    def _compile_select(self, stmt, optimizer: str) -> Tuple[Executor, str]:
+        block, context = Resolver(self.catalog).resolve(stmt)
+        prepare(block)
+
+        route = self._route(stmt, optimizer)
+        used = "mysql"
+        skeleton: Optional[SkeletonPlan] = None
+        if route == "cost":
+            # Future-work routing (Section 9): greedy-optimize first, and
+            # only detour to Orca when the MySQL plan looks expensive.
+            skeleton = MySQLOptimizer(self.catalog).optimize(block, context)
+            top_cost = skeleton.skeleton_for(block).total_cost
+            if top_cost >= self.config.mysql_cost_threshold:
+                orca_skeleton = self._orca_optimize(stmt, block, context)
+                if orca_skeleton is not None:
+                    skeleton = orca_skeleton
+                    used = "orca"
+        elif route == "orca":
+            skeleton = self._orca_optimize(stmt, block, context)
+            used = "orca" if skeleton is not None else "mysql"
+        if skeleton is None:
+            skeleton = MySQLOptimizer(self.catalog).optimize(block, context)
+        executor = PlanBuilder(skeleton, self.catalog, self.storage).build()
+        return executor, used
+
+    def _orca_optimize(self, stmt, block, context
+                       ) -> Optional[SkeletonPlan]:
+        from repro.bridge.router import OrcaRouter
+
+        router = OrcaRouter(self.catalog, self.config)
+        return router.optimize(stmt, block, context)
+
+    def _route(self, stmt, optimizer: str) -> str:
+        if optimizer == "mysql":
+            return "mysql"
+        if optimizer == "orca":
+            return "orca"
+        if optimizer != "auto":
+            raise ReproError(f"unknown optimizer {optimizer!r}")
+        if not self.config.orca_enabled:
+            return "mysql"
+        if self.config.routing == "cost_based":
+            return "cost"
+        refs = stmt.table_reference_count()
+        if refs >= self.config.complex_query_threshold:
+            return "orca"
+        return "mysql"
+
+    # -- DML ---------------------------------------------------------------------
+
+    def _execute_dml(self, stmt, start: float) -> StatementResult:
+        """Run INSERT/DELETE/UPDATE directly (never routed — Section 4.1)."""
+        from repro import dml
+
+        compiled = time.perf_counter()
+        if isinstance(stmt, sql_ast.InsertStmt):
+            affected = dml.execute_insert(self.storage, stmt)
+        elif isinstance(stmt, sql_ast.DeleteStmt):
+            affected = dml.execute_delete(self.storage, stmt)
+        else:
+            affected = dml.execute_update(self.storage, stmt)
+        done = time.perf_counter()
+        return StatementResult(
+            rows=[(affected,)],
+            optimizer_used="mysql",
+            compile_seconds=compiled - start,
+            execute_seconds=done - compiled,
+        )
+
+    # -- public query API -----------------------------------------------------------
+
+    def execute(self, sql: str, optimizer: str = "auto") -> List[tuple]:
+        return self.run(sql, optimizer).rows
+
+    def run(self, sql: str, optimizer: str = "auto") -> StatementResult:
+        """Execute with timing breakdown (used by the benchmark harness).
+
+        DML statements return a single row holding the affected-row
+        count; they never take the Orca detour (Section 4.1).
+        """
+        start = time.perf_counter()
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, sql_ast.SelectStmt):
+            return self._execute_dml(stmt, start)
+        executor, used = self._compile_select(stmt, optimizer)
+        compiled = time.perf_counter()
+        rows = executor.execute()
+        done = time.perf_counter()
+        return StatementResult(
+            rows=rows,
+            optimizer_used=used,
+            compile_seconds=compiled - start,
+            execute_seconds=done - compiled,
+        )
+
+    def explain(self, sql: str, optimizer: str = "auto") -> str:
+        executor, __ = self._compile(sql, optimizer)
+        return explain_plan(executor.top_plan)
+
+    def explain_analyze(self, sql: str, optimizer: str = "auto") -> str:
+        """EXPLAIN ANALYZE: execute with per-operator actual row counts.
+
+        The plan is instrumented, executed once, and rendered with
+        ``(actual rows=N)`` next to the optimizer's estimates — making
+        estimation errors (the histogram story of Section 5.5) visible
+        per operator.
+        """
+        from repro.executor.explain import instrument_plan
+        from repro.executor.plan import DerivedMaterializeNode
+
+        executor, __ = self._compile(sql, optimizer)
+        instrument_plan(executor.top_plan)
+        executor.execute()
+        # Copy rebind counts (Section 7, Orca change 3) onto the
+        # materialise nodes so the rendering can show them.
+        runtime = executor.last_runtime
+        stack = [executor.top_plan]
+        seen = set()
+        while stack:
+            plan = stack.pop()
+            if id(plan) in seen or plan.root is None:
+                continue
+            seen.add(id(plan))
+            nodes = [plan.root]
+            while nodes:
+                node = nodes.pop()
+                nodes.extend(node.children())
+                if isinstance(node, DerivedMaterializeNode):
+                    node.actual_rebinds = runtime.rebind_counts.get(
+                        id(node), 0)
+                subplan = getattr(node, "subplan", None)
+                if subplan is not None:
+                    stack.append(subplan)
+        return explain_plan(executor.top_plan, analyze=True)
+
+    def compile_only(self, sql: str, optimizer: str = "auto"
+                     ) -> StatementResult:
+        """Compile (EXPLAIN) without executing — for Table 1 experiments."""
+        start = time.perf_counter()
+        executor, used = self._compile(sql, optimizer)
+        compiled = time.perf_counter()
+        return StatementResult(
+            rows=[],
+            optimizer_used=used,
+            compile_seconds=compiled - start,
+            execute_seconds=0.0,
+            explain=explain_plan(executor.top_plan),
+        )

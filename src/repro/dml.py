@@ -1,0 +1,126 @@
+"""DML execution: INSERT / DELETE / UPDATE.
+
+These statements never take the Orca detour — "the parse tree converter
+only sends SELECT queries to Orca" (Section 4.1) — and they need no
+cost-based optimization in this engine: they bind against a single table
+and run directly against the storage engine.
+
+Statistics are not maintained incrementally; run ``Database.analyze()``
+after bulk changes, as with MySQL's ANALYZE TABLE.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.catalog.schema import TableSchema
+from repro.errors import ExecutionError, ResolutionError
+from repro.executor.expression import ExpressionCompiler, is_true
+from repro.mysql_types import coerce
+from repro.sql import ast
+from repro.sql.rewrite import map_expr
+
+
+def _bind_to_table(expr: ast.Expr, schema: TableSchema) -> ast.Expr:
+    """Resolve column references against a single table (entry slot 0)."""
+
+    def fn(node: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(node, ast.ColumnRef) and node.entry_id is None:
+            if node.table is not None and \
+                    node.table.lower() != schema.name.lower():
+                raise ResolutionError(
+                    f"unknown table {node.table!r} in DML expression")
+            position = schema.column_position(node.column)
+            bound = ast.ColumnRef(schema.name, node.column, 0, position)
+            bound.resolved_type = schema.columns[position].type
+            return bound
+        if isinstance(node, (ast.ScalarSubquery, ast.InSubqueryExpr,
+                             ast.ExistsExpr)):
+            raise ExecutionError("subqueries are not supported in DML")
+        return None
+
+    return map_expr(expr, fn)
+
+
+def _compile(expr: ast.Expr, schema: TableSchema) -> Callable:
+    return ExpressionCompiler().compile(_bind_to_table(expr, schema))
+
+
+def execute_insert(storage, stmt: ast.InsertStmt) -> int:
+    """Evaluate the VALUES rows, coerce to column types, and append."""
+    schema = storage.catalog.table(stmt.table)
+    if stmt.column_names is None:
+        positions = list(range(len(schema.columns)))
+    else:
+        positions = [schema.column_position(name)
+                     for name in stmt.column_names]
+    rows: List[tuple] = []
+    for value_exprs in stmt.rows:
+        if len(value_exprs) != len(positions):
+            raise ExecutionError(
+                f"INSERT row has {len(value_exprs)} values for "
+                f"{len(positions)} columns")
+        row: List = [None] * len(schema.columns)
+        for position, expr in zip(positions, value_exprs):
+            compiled = _compile(expr, schema)
+            value = compiled([None])
+            column = schema.columns[position]
+            if value is None and not column.nullable:
+                raise ExecutionError(
+                    f"column {column.name!r} cannot be NULL")
+            row[position] = coerce(value, column.type.base)
+        rows.append(tuple(row))
+    storage.load_rows(stmt.table, rows)
+    return len(rows)
+
+
+def execute_delete(storage, stmt: ast.DeleteStmt) -> int:
+    """Delete rows matching WHERE; returns the number removed."""
+    schema = storage.catalog.table(stmt.table)
+    heap = storage.heap(stmt.table)
+    if stmt.where is None:
+        removed = heap.row_count
+        storage.replace_rows(stmt.table, [])
+        return removed
+    predicate = _compile(stmt.where, schema)
+    keep: List[tuple] = []
+    removed = 0
+    for row in heap.rows:
+        if is_true(predicate([row])):
+            removed += 1
+        else:
+            keep.append(row)
+    storage.replace_rows(stmt.table, keep)
+    return removed
+
+
+def execute_update(storage, stmt: ast.UpdateStmt) -> int:
+    """Apply SET assignments to rows matching WHERE; returns rows changed."""
+    schema = storage.catalog.table(stmt.table)
+    heap = storage.heap(stmt.table)
+    predicate = (_compile(stmt.where, schema)
+                 if stmt.where is not None else None)
+    compiled = [(schema.column_position(name), schema.column(name),
+                 _compile(expr, schema))
+                for name, expr in stmt.assignments]
+    changed = 0
+    new_rows: List[tuple] = []
+    for row in heap.rows:
+        if predicate is None or is_true(predicate([row])):
+            values = list(row)
+            # Evaluate every right-hand side against the *old* row, as
+            # SQL requires, then assign.
+            results = [(position, column, fn([row]))
+                       for position, column, fn in compiled]
+            for position, column, value in results:
+                if value is None and not column.nullable:
+                    raise ExecutionError(
+                        f"column {column.name!r} cannot be NULL")
+                values[position] = coerce(value, column.type.base) \
+                    if value is not None else None
+            new_rows.append(tuple(values))
+            changed += 1
+        else:
+            new_rows.append(row)
+    storage.replace_rows(stmt.table, new_rows)
+    return changed

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  The hierarchy mirrors the places
+where the real integration can fail: the SQL frontend, the catalog, either
+optimizer, the bridge, and execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL frontend errors."""
+
+
+class LexerError(SqlError):
+    """Raised when the lexer encounters an unrecognised character."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} at position {position}")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot parse the token stream."""
+
+
+class UnsupportedSqlError(SqlError):
+    """Raised for SQL the engine deliberately does not support.
+
+    MySQL (and therefore this reproduction) rejects INTERSECT / EXCEPT;
+    the paper rewrote TPC-DS queries that used them (Section 6.2).
+    """
+
+
+class ResolutionError(SqlError):
+    """Raised for name-resolution failures (unknown table/column, ambiguity)."""
+
+
+class CatalogError(ReproError):
+    """Raised for data-dictionary failures (missing table, duplicate index)."""
+
+
+class StorageError(ReproError):
+    """Raised by the storage engine (bad row shape, missing index)."""
+
+
+class OptimizerError(ReproError):
+    """Base class for optimizer failures."""
+
+
+class MySQLOptimizerError(OptimizerError):
+    """Raised when the greedy MySQL-style optimizer cannot produce a plan."""
+
+
+class OrcaError(OptimizerError):
+    """Raised inside the Orca-style Cascades optimizer."""
+
+
+class OrcaFallbackError(OrcaError):
+    """Raised when Orca optimization must be abandoned for this query.
+
+    The bridge catches this and falls back to the MySQL optimizer, as the
+    paper's plan converter does when Orca changed the query-block
+    structure (Section 4.2.1) or an unsupported construct is found.
+    """
+
+
+class BridgeError(ReproError):
+    """Raised by the MySQL<->Orca bridge components."""
+
+
+class MetadataProviderError(BridgeError):
+    """Raised when the metadata provider cannot serve a requested object."""
+
+
+class InvalidOidError(MetadataProviderError):
+    """Raised when an OID does not decode to any laid-out object (S5.6)."""
+
+
+class ExecutionError(ReproError):
+    """Raised during plan execution."""

@@ -1,0 +1,41 @@
+"""The MySQL-style execution engine: Volcano iterators over heap storage."""
+
+from repro.executor.plan import (
+    AccessMethod,
+    AggregateNode,
+    DerivedMaterializeNode,
+    HashJoinNode,
+    IndexLookupNode,
+    IndexOrderedScanNode,
+    IndexRangeScanNode,
+    JoinKind,
+    LimitNode,
+    NestedLoopJoinNode,
+    PlanNode,
+    QueryPlan,
+    SortNode,
+    TableScanNode,
+    WindowNode,
+)
+from repro.executor.executor import Executor
+from repro.executor.explain import explain_plan
+
+__all__ = [
+    "AccessMethod",
+    "AggregateNode",
+    "DerivedMaterializeNode",
+    "Executor",
+    "HashJoinNode",
+    "IndexLookupNode",
+    "IndexOrderedScanNode",
+    "IndexRangeScanNode",
+    "JoinKind",
+    "LimitNode",
+    "NestedLoopJoinNode",
+    "PlanNode",
+    "QueryPlan",
+    "SortNode",
+    "TableScanNode",
+    "WindowNode",
+    "explain_plan",
+]

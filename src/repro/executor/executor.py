@@ -1,0 +1,71 @@
+"""The statement executor: runs a bundle of per-block query plans.
+
+One :class:`Executor` is built per optimized statement.  It owns the plan
+for every query block (the top-level block plus derived tables, CTEs, and
+subquery blocks), creates a fresh :class:`~repro.executor.plan.ExecutionRuntime`
+per execution, and serves as the subplan host for compiled subquery
+expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ExecutionError
+from repro.executor.plan import ExecutionRuntime, QueryPlan
+from repro.sql.blocks import QueryBlock
+
+
+class Executor:
+    """Executes an optimized statement against a storage engine."""
+
+    def __init__(self, storage, context) -> None:
+        self.storage = storage
+        #: The statement context; its entry count (read at execution time,
+        #: after plan building may have added pseudo entries) sizes the
+        #: runtime context array.
+        self.context = context
+        self._plans: Dict[int, QueryPlan] = {}
+        self.top_plan: Optional[QueryPlan] = None
+        #: The runtime of the in-flight execution; compiled subquery
+        #: closures read this to find per-execution caches.
+        self.current_runtime: Optional[ExecutionRuntime] = None
+
+    # -- plan registry -----------------------------------------------------------
+
+    def register_plan(self, block: QueryBlock, plan: QueryPlan,
+                      top: bool = False) -> None:
+        self._plans[block.block_id] = plan
+        if top:
+            self.top_plan = plan
+
+    def plan_for(self, block: QueryBlock) -> QueryPlan:
+        try:
+            return self._plans[block.block_id]
+        except KeyError:
+            raise ExecutionError(
+                f"no plan registered for block #{block.block_id}") from None
+
+    def has_plan(self, block: QueryBlock) -> bool:
+        return block.block_id in self._plans
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_block(self, block: QueryBlock,
+                  runtime: ExecutionRuntime) -> Iterator[tuple]:
+        """Run one block's plan under an existing runtime (subqueries)."""
+        return self.plan_for(block).run(runtime)
+
+    def execute(self) -> List[tuple]:
+        """Run the statement and return all output rows."""
+        if self.top_plan is None:
+            raise ExecutionError("no top-level plan registered")
+        runtime = ExecutionRuntime(self.storage, self.context.entry_count)
+        previous = self.current_runtime
+        self.current_runtime = runtime
+        #: Kept for post-execution inspection (EXPLAIN ANALYZE rebinds).
+        self.last_runtime = runtime
+        try:
+            return list(self.top_plan.run(runtime))
+        finally:
+            self.current_runtime = previous

@@ -1,0 +1,181 @@
+"""EXPLAIN output in MySQL's FORMAT=TREE style.
+
+Orca-assisted plans are tagged ``EXPLAIN (ORCA)`` on the first line, and
+cost/row estimates shown on each node are whichever optimizer's estimates
+were copied into the plan (Section 4.2.2 / Listing 7).  Correlated
+materialisations carry the "(invalidate on row from ...)" annotation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sql import ast
+from repro.executor import plan as p
+
+
+def expr_text(expr: ast.Expr) -> str:
+    """Render an expression in compact SQL-ish text for plan labels."""
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        if isinstance(value, str):
+            return f"'{value}'"
+        return str(value)
+    if isinstance(expr, ast.ColumnRef):
+        return expr.display
+    if isinstance(expr, ast.BinaryExpr):
+        return (f"({expr_text(expr.left)} {expr.op.value} "
+                f"{expr_text(expr.right)})")
+    if isinstance(expr, ast.NotExpr):
+        return f"(not {expr_text(expr.operand)})"
+    if isinstance(expr, ast.NegExpr):
+        return f"(-{expr_text(expr.operand)})"
+    if isinstance(expr, ast.IsNullExpr):
+        suffix = "is not null" if expr.negated else "is null"
+        return f"({expr_text(expr.operand)} {suffix})"
+    if isinstance(expr, ast.BetweenExpr):
+        word = "not between" if expr.negated else "between"
+        return (f"({expr_text(expr.operand)} {word} {expr_text(expr.low)} "
+                f"and {expr_text(expr.high)})")
+    if isinstance(expr, ast.LikeExpr):
+        word = "not like" if expr.negated else "like"
+        return f"({expr_text(expr.operand)} {word} {expr_text(expr.pattern)})"
+    if isinstance(expr, ast.InListExpr):
+        word = "not in" if expr.negated else "in"
+        items = ", ".join(expr_text(item) for item in expr.items)
+        return f"({expr_text(expr.operand)} {word} ({items}))"
+    if isinstance(expr, ast.InSubqueryExpr):
+        word = "not in" if expr.negated else "in"
+        return f"({expr_text(expr.operand)} {word} (subquery))"
+    if isinstance(expr, ast.ExistsExpr):
+        word = "not exists" if expr.negated else "exists"
+        return f"{word}(subquery)"
+    if isinstance(expr, ast.ScalarSubquery):
+        return "(subquery)"
+    if isinstance(expr, ast.AggCall):
+        if expr.star:
+            return "count(*)"
+        inner = expr_text(expr.arg) if expr.arg is not None else ""
+        distinct = "distinct " if expr.distinct else ""
+        return f"{expr.func.value.lower()}({distinct}{inner})"
+    if isinstance(expr, ast.CaseExpr):
+        return "case ... end"
+    if isinstance(expr, ast.FuncCall):
+        args = ", ".join(expr_text(arg) for arg in expr.args)
+        return f"{expr.name.lower()}({args})"
+    if isinstance(expr, ast.WindowCall):
+        return f"{expr.func.lower()}(...) over (...)"
+    if isinstance(expr, ast.GroupingCall):
+        return f"grouping({expr_text(expr.arg)})"
+    if isinstance(expr, ast.IntervalLiteral):
+        interval = expr.interval
+        if interval.months:
+            return f"interval {interval.months} month"
+        return f"interval {interval.days} day"
+    if isinstance(expr, ast.Star):
+        return "*"
+    return type(expr).__name__
+
+
+def explain_plan(query_plan: p.QueryPlan, analyze: bool = False) -> str:
+    """Produce the EXPLAIN FORMAT=TREE-style text for a query plan.
+
+    With ``analyze=True``, per-operator *actual* row counts recorded by a
+    prior instrumented execution (see :func:`instrument_plan`) are shown
+    next to the estimates — EXPLAIN ANALYZE style.
+    """
+    header = "EXPLAIN (ORCA)" if query_plan.origin == "orca" \
+        else "EXPLAIN"
+    if analyze:
+        header += " ANALYZE"
+    lines: List[str] = [header]
+    if query_plan.limit is not None:
+        lines.append(f" > Limit: {query_plan.limit} row(s)")
+    if query_plan.root is not None:
+        _render(query_plan.root, lines, depth=1, analyze=analyze)
+    else:
+        lines.append(" -> Rows fetched before execution")
+    for op, part in query_plan.union_parts:
+        lines.append(f" -> {op.value}")
+        if part.root is not None:
+            _render(part.root, lines, depth=2, analyze=analyze)
+    return "\n".join(lines)
+
+
+def instrument_plan(query_plan: p.QueryPlan) -> None:
+    """Attach actual-row counters to every node of a plan tree.
+
+    Each node's ``run`` is wrapped (per instance) to count the context
+    states it emits; ``actual_rows`` starts at 0 and accumulates across
+    executions until re-instrumented.  Sub-plans of derived tables and
+    CTEs are instrumented recursively.
+    """
+    seen = set()
+
+    def instrument_node(node: p.PlanNode) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        node.actual_rows = 0
+        original = node.run
+
+        def counting_run(runtime, _node=node, _original=original):
+            for item in _original(runtime):
+                _node.actual_rows += 1
+                yield item
+
+        node.run = counting_run
+        for child in node.children():
+            instrument_node(child)
+        subplan = getattr(node, "subplan", None)
+        if subplan is not None:
+            instrument_subplan(subplan)
+
+    def instrument_subplan(subplan: p.QueryPlan) -> None:
+        if id(subplan) in seen:
+            return
+        seen.add(id(subplan))
+        if subplan.root is not None:
+            instrument_node(subplan.root)
+        for __, part in subplan.union_parts:
+            instrument_subplan(part)
+
+    instrument_subplan(query_plan)
+
+
+def _render(node: p.PlanNode, lines: List[str], depth: int,
+            analyze: bool = False) -> None:
+    indent = "  " * depth
+    annotation = f"  (cost={node.cost:.2f} rows={max(1, round(node.rows))})"
+    if analyze:
+        actual = getattr(node, "actual_rows", None)
+        if actual is not None:
+            annotation += f" (actual rows={actual})"
+    lines.append(f"{indent}-> {node.label()}{annotation}")
+    if node.filter_conjuncts:
+        text = " and ".join(expr_text(c) for c in node.filter_conjuncts)
+        lines.append(f"{indent}     Filter: {text}")
+    if isinstance(node, p.DerivedMaterializeNode):
+        invalidation = node.invalidation_label()
+        rebinds = ""
+        if analyze and getattr(node, "actual_rebinds", None) is not None:
+            rebinds = f" (rebinds={node.actual_rebinds})"
+        if invalidation is None:
+            lines.append(f"{indent}    -> Materialize{rebinds}")
+        else:
+            lines.append(
+                f"{indent}    -> Materialize ({invalidation}){rebinds}")
+        _render_subplan(node.subplan, lines, depth + 2, analyze)
+        return
+    if isinstance(node, p.CteScanNode):
+        lines.append(f"{indent}    -> Materialize CTE {node.cte_name}")
+        _render_subplan(node.subplan, lines, depth + 2, analyze)
+        return
+    for child in node.children():
+        _render(child, lines, depth + 1, analyze)
+
+
+def _render_subplan(subplan: p.QueryPlan, lines: List[str],
+                    depth: int, analyze: bool = False) -> None:
+    if subplan.root is not None:
+        _render(subplan.root, lines, depth, analyze)

@@ -1,0 +1,556 @@
+"""Compilation of resolved expressions into Python closures.
+
+This is the runtime analog of MySQL's ``Item`` evaluation.  Each resolved
+expression compiles to a function of the execution context (a list indexed
+by table-entry id holding each entry's current row tuple, or ``None`` for
+a null-extended outer-join row).
+
+SQL three-valued logic is represented with Python ``True`` / ``False`` /
+``None``; a predicate passes a filter only when it evaluates to ``True``.
+
+Aggregate and window calls must have been rewritten into column references
+on the block's aggregation/window pseudo-entries before compilation — the
+plan-refinement phase guarantees that — so encountering one here is an
+internal error.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+import re
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ExecutionError
+from repro.mysql_types import Interval
+from repro.sql import ast
+
+CompiledExpr = Callable[[list], object]
+
+
+def is_true(value) -> bool:
+    """SQL filter semantics: only TRUE passes; NULL and FALSE do not."""
+    return value is True
+
+
+class ExpressionCompiler:
+    """Compiles expressions; subquery expressions need a subplan executor.
+
+    ``subplan_runner(block, ctx)`` must return an iterator of projected
+    output tuples for a subquery block evaluated under the given context
+    (so that correlated references read the outer rows).  The compiler
+    memoizes subquery results keyed by the values of their correlation
+    sources, mirroring MySQL's subquery result caching.
+    """
+
+    def __init__(self, subplan_host=None) -> None:
+        #: An object exposing ``current_runtime`` and
+        #: ``run_block(block, runtime) -> iterator of tuples`` (the
+        #: Executor).  Only needed when compiling subquery expressions.
+        self._subplan_host = subplan_host
+        self._like_cache: Dict[str, re.Pattern] = {}
+
+    # -- public API -------------------------------------------------------------
+
+    def compile(self, expr: ast.Expr) -> CompiledExpr:
+        method = getattr(self, "_compile_" + type(expr).__name__, None)
+        if method is None:
+            raise ExecutionError(
+                f"cannot compile expression node {type(expr).__name__}")
+        return method(expr)
+
+    def compile_many(self, exprs: List[ast.Expr]) -> List[CompiledExpr]:
+        return [self.compile(expr) for expr in exprs]
+
+    def compile_filter(self, conjuncts: List[ast.Expr]) -> CompiledExpr:
+        """Compile a conjunct list into a single TRUE/FALSE/None check."""
+        compiled = self.compile_many(conjuncts)
+        if not compiled:
+            return lambda ctx: True
+        if len(compiled) == 1:
+            return compiled[0]
+
+        def evaluate(ctx):
+            for fn in compiled:
+                if fn(ctx) is not True:
+                    return False
+            return True
+
+        return evaluate
+
+    # -- leaves ------------------------------------------------------------------
+
+    def _compile_Literal(self, expr: ast.Literal) -> CompiledExpr:
+        value = expr.value
+        return lambda ctx: value
+
+    def _compile_IntervalLiteral(self, expr: ast.IntervalLiteral
+                                 ) -> CompiledExpr:
+        interval = expr.interval
+        return lambda ctx: interval
+
+    def _compile_ColumnRef(self, expr: ast.ColumnRef) -> CompiledExpr:
+        entry_id = expr.entry_id
+        position = expr.position
+        if entry_id is None or position is None:
+            raise ExecutionError(
+                f"unresolved column reference {expr.display!r}")
+
+        def read(ctx):
+            row = ctx[entry_id]
+            return row[position] if row is not None else None
+
+        return read
+
+    # -- arithmetic and comparison --------------------------------------------------
+
+    def _compile_BinaryExpr(self, expr: ast.BinaryExpr) -> CompiledExpr:
+        op = expr.op
+        if op is ast.BinOp.AND:
+            left = self.compile(expr.left)
+            right = self.compile(expr.right)
+
+            def and_eval(ctx):
+                lhs = left(ctx)
+                if lhs is False:
+                    return False
+                rhs = right(ctx)
+                if rhs is False:
+                    return False
+                if lhs is None or rhs is None:
+                    return None
+                return True
+
+            return and_eval
+        if op is ast.BinOp.OR:
+            left = self.compile(expr.left)
+            right = self.compile(expr.right)
+
+            def or_eval(ctx):
+                lhs = left(ctx)
+                if lhs is True:
+                    return True
+                rhs = right(ctx)
+                if rhs is True:
+                    return True
+                if lhs is None or rhs is None:
+                    return None
+                return False
+
+            return or_eval
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        if op in ast.COMPARISON_OPS:
+            return _comparison(op, left, right)
+        return _arithmetic(op, left, right)
+
+    def _compile_NotExpr(self, expr: ast.NotExpr) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+
+        def not_eval(ctx):
+            value = operand(ctx)
+            if value is None:
+                return None
+            return not value
+
+        return not_eval
+
+    def _compile_NegExpr(self, expr: ast.NegExpr) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+
+        def neg(ctx):
+            value = operand(ctx)
+            return None if value is None else -value
+
+        return neg
+
+    def _compile_IsNullExpr(self, expr: ast.IsNullExpr) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        if expr.negated:
+            return lambda ctx: operand(ctx) is not None
+        return lambda ctx: operand(ctx) is None
+
+    def _compile_BetweenExpr(self, expr: ast.BetweenExpr) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        low = self.compile(expr.low)
+        high = self.compile(expr.high)
+        negated = expr.negated
+
+        def between(ctx):
+            value = operand(ctx)
+            lo = low(ctx)
+            hi = high(ctx)
+            if value is None or lo is None or hi is None:
+                return None
+            result = lo <= value <= hi
+            return (not result) if negated else result
+
+        return between
+
+    def _compile_LikeExpr(self, expr: ast.LikeExpr) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        pattern = self.compile(expr.pattern)
+        negated = expr.negated
+        cache = self._like_cache
+
+        def like(ctx):
+            value = operand(ctx)
+            pat = pattern(ctx)
+            if value is None or pat is None:
+                return None
+            regex = cache.get(pat)
+            if regex is None:
+                regex = _like_to_regex(pat)
+                cache[pat] = regex
+            result = regex.match(str(value)) is not None
+            return (not result) if negated else result
+
+        return like
+
+    def _compile_InListExpr(self, expr: ast.InListExpr) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        items = self.compile_many(expr.items)
+        negated = expr.negated
+        constant_items = all(isinstance(item, ast.Literal)
+                             for item in expr.items)
+        if constant_items:
+            values = {item.value for item in expr.items
+                      if item.value is not None}
+            has_null = any(item.value is None for item in expr.items)
+
+            def in_const(ctx):
+                value = operand(ctx)
+                if value is None:
+                    return None
+                found = value in values
+                if not found and has_null:
+                    return None
+                return (not found) if negated else found
+
+            return in_const
+
+        def in_list(ctx):
+            value = operand(ctx)
+            if value is None:
+                return None
+            saw_null = False
+            for item in items:
+                candidate = item(ctx)
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    return False if negated else True
+            if saw_null:
+                return None
+            return True if negated else False
+
+        return in_list
+
+    def _compile_CaseExpr(self, expr: ast.CaseExpr) -> CompiledExpr:
+        whens = [(self.compile(cond), self.compile(value))
+                 for cond, value in expr.whens]
+        else_value = (self.compile(expr.else_value)
+                      if expr.else_value is not None else None)
+
+        def case(ctx):
+            for cond, value in whens:
+                if cond(ctx) is True:
+                    return value(ctx)
+            return else_value(ctx) if else_value is not None else None
+
+        return case
+
+    def _compile_GroupingCall(self, expr: ast.GroupingCall) -> CompiledExpr:
+        # Plain GROUP BY (no ROLLUP) never produces super-aggregate rows,
+        # so GROUPING(col) is always 0 — the single-column support the
+        # paper added for TPC-DS (Section 4.1).
+        return lambda ctx: 0
+
+    # -- subqueries ----------------------------------------------------------------
+
+    def _subplan(self, block) -> Callable:
+        if self._subplan_host is None:
+            raise ExecutionError(
+                "subquery evaluation requires an executor-backed compiler")
+        host = self._subplan_host
+        from repro.sql.blocks import correlation_sources
+
+        sources = correlation_sources(block)
+        block_id = block.block_id
+
+        def run(ctx) -> list:
+            runtime = host.current_runtime
+            key = (block_id,) + tuple(ctx[entry_id] for entry_id in sources)
+            cache = runtime.subquery_cache
+            rows = cache.get(key)
+            if rows is None:
+                rows = list(host.run_block(block, runtime))
+                cache[key] = rows
+            return rows
+
+        return run
+
+    def _compile_ScalarSubquery(self, expr: ast.ScalarSubquery
+                                ) -> CompiledExpr:
+        run = self._subplan(expr.block)
+
+        def scalar(ctx):
+            rows = run(ctx)
+            if not rows:
+                return None
+            if len(rows) > 1:
+                raise ExecutionError("scalar subquery returned >1 row")
+            return rows[0][0]
+
+        return scalar
+
+    def _compile_InSubqueryExpr(self, expr: ast.InSubqueryExpr
+                                ) -> CompiledExpr:
+        run = self._subplan(expr.block)
+        operand = self.compile(expr.operand)
+        negated = expr.negated
+
+        def in_subquery(ctx):
+            value = operand(ctx)
+            if value is None:
+                return None
+            found = False
+            saw_null = False
+            for row in run(ctx):
+                candidate = row[0]
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    found = True
+                    break
+            if found:
+                return False if negated else True
+            if saw_null:
+                return None
+            return True if negated else False
+
+        return in_subquery
+
+    def _compile_ExistsExpr(self, expr: ast.ExistsExpr) -> CompiledExpr:
+        run = self._subplan(expr.block)
+        negated = expr.negated
+
+        def exists(ctx):
+            found = bool(run(ctx))
+            return (not found) if negated else found
+
+        return exists
+
+    # -- functions ------------------------------------------------------------------
+
+    def _compile_FuncCall(self, expr: ast.FuncCall) -> CompiledExpr:
+        args = self.compile_many(expr.args)
+        name = expr.name
+        if name.startswith("CAST_"):
+            return _compile_cast(name[5:], args[0])
+        if name.startswith("EXTRACT_"):
+            return _compile_extract(name[8:], args[0])
+        builder = _FUNCTIONS.get(name)
+        if builder is None:
+            raise ExecutionError(f"unknown function {name!r}")
+        return builder(args)
+
+    def _compile_AggCall(self, expr: ast.AggCall) -> CompiledExpr:
+        raise ExecutionError(
+            "aggregate call reached the expression compiler; plan "
+            "refinement should have rewritten it")
+
+    def _compile_WindowCall(self, expr: ast.WindowCall) -> CompiledExpr:
+        raise ExecutionError(
+            "window call reached the expression compiler; plan "
+            "refinement should have rewritten it")
+
+    def _compile_Star(self, expr: ast.Star) -> CompiledExpr:
+        raise ExecutionError("* must be expanded during resolution")
+
+
+# ---------------------------------------------------------------------------
+# Operator helpers
+# ---------------------------------------------------------------------------
+
+def _comparison(op: ast.BinOp, left: CompiledExpr,
+                right: CompiledExpr) -> CompiledExpr:
+    import operator as _op
+
+    table = {
+        ast.BinOp.EQ: _op.eq,
+        ast.BinOp.NE: _op.ne,
+        ast.BinOp.LT: _op.lt,
+        ast.BinOp.LE: _op.le,
+        ast.BinOp.GT: _op.gt,
+        ast.BinOp.GE: _op.ge,
+    }
+    compare = table[op]
+
+    def evaluate(ctx):
+        lhs = left(ctx)
+        if lhs is None:
+            return None
+        rhs = right(ctx)
+        if rhs is None:
+            return None
+        return compare(lhs, rhs)
+
+    return evaluate
+
+
+def _arithmetic(op: ast.BinOp, left: CompiledExpr,
+                right: CompiledExpr) -> CompiledExpr:
+    def evaluate(ctx):
+        lhs = left(ctx)
+        if lhs is None:
+            return None
+        rhs = right(ctx)
+        if rhs is None:
+            return None
+        if isinstance(rhs, Interval):
+            if not isinstance(lhs, datetime.date):
+                raise ExecutionError("interval arithmetic needs a date")
+            if op is ast.BinOp.ADD:
+                return rhs.add_to(lhs)
+            if op is ast.BinOp.SUB:
+                return rhs.negate().add_to(lhs)
+            raise ExecutionError(f"bad interval operator {op}")
+        if isinstance(lhs, datetime.date) and isinstance(rhs, datetime.date) \
+                and op is ast.BinOp.SUB:
+            return (lhs - rhs).days
+        if op is ast.BinOp.ADD:
+            if isinstance(lhs, datetime.date) and isinstance(rhs, int):
+                return lhs + datetime.timedelta(days=rhs)
+            return lhs + rhs
+        if op is ast.BinOp.SUB:
+            if isinstance(lhs, datetime.date) and isinstance(rhs, int):
+                return lhs - datetime.timedelta(days=rhs)
+            return lhs - rhs
+        if op is ast.BinOp.MUL:
+            return lhs * rhs
+        if op is ast.BinOp.DIV:
+            return None if rhs == 0 else lhs / rhs
+        if op is ast.BinOp.MOD:
+            return None if rhs == 0 else lhs % rhs
+        raise ExecutionError(f"bad arithmetic operator {op}")
+
+    return evaluate
+
+
+def _like_to_regex(pattern: str) -> re.Pattern:
+    parts: List[str] = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("".join(parts) + r"\Z", re.DOTALL)
+
+
+def _compile_cast(target: str, arg: CompiledExpr) -> CompiledExpr:
+    def cast(ctx):
+        value = arg(ctx)
+        if value is None:
+            return None
+        if target == "DATE":
+            if isinstance(value, datetime.datetime):
+                return value.date()
+            if isinstance(value, datetime.date):
+                return value
+            return datetime.date.fromisoformat(str(value))
+        if target in ("SIGNED", "UNSIGNED", "INTEGER", "INT"):
+            return int(value)
+        if target in ("DOUBLE", "FLOAT", "DECIMAL"):
+            return float(value)
+        if target in ("CHAR", "VARCHAR"):
+            return str(value)
+        raise ExecutionError(f"unsupported CAST target {target}")
+
+    return cast
+
+
+def _compile_extract(unit: str, arg: CompiledExpr) -> CompiledExpr:
+    def extract(ctx):
+        value = arg(ctx)
+        if value is None:
+            return None
+        if unit == "YEAR":
+            return value.year
+        if unit == "MONTH":
+            return value.month
+        if unit == "DAY":
+            return value.day
+        if unit == "QUARTER":
+            return (value.month - 1) // 3 + 1
+        if unit == "WEEK":
+            return value.isocalendar()[1]
+        raise ExecutionError(f"unsupported EXTRACT unit {unit}")
+
+    return extract
+
+
+def _null_guard(fn):
+    """Wrap an n-ary Python function with NULL-in/NULL-out semantics."""
+
+    def build(args: List[CompiledExpr]) -> CompiledExpr:
+        def evaluate(ctx):
+            values = [arg(ctx) for arg in args]
+            if any(value is None for value in values):
+                return None
+            return fn(*values)
+
+        return evaluate
+
+    return build
+
+
+def _build_coalesce(args: List[CompiledExpr]) -> CompiledExpr:
+    def coalesce(ctx):
+        for arg in args:
+            value = arg(ctx)
+            if value is not None:
+                return value
+        return None
+
+    return coalesce
+
+
+def _substring(value, start, length=None):
+    start_index = max(0, int(start) - 1)
+    text = str(value)
+    if length is None:
+        return text[start_index:]
+    return text[start_index:start_index + int(length)]
+
+
+_FUNCTIONS = {
+    "CONCAT": _null_guard(lambda *parts: "".join(str(p) for p in parts)),
+    "UPPER": _null_guard(lambda s: str(s).upper()),
+    "LOWER": _null_guard(lambda s: str(s).lower()),
+    "LENGTH": _null_guard(lambda s: len(str(s))),
+    "TRIM": _null_guard(lambda s: str(s).strip()),
+    "LTRIM": _null_guard(lambda s: str(s).lstrip()),
+    "RTRIM": _null_guard(lambda s: str(s).rstrip()),
+    "ABS": _null_guard(abs),
+    "ROUND": _null_guard(lambda v, digits=0: round(v, int(digits))),
+    "FLOOR": _null_guard(math.floor),
+    "CEIL": _null_guard(math.ceil),
+    "CEILING": _null_guard(math.ceil),
+    "SQRT": _null_guard(math.sqrt),
+    "MOD": _null_guard(lambda a, b: None if b == 0 else a % b),
+    "POWER": _null_guard(lambda a, b: a ** b),
+    "SUBSTRING": _null_guard(_substring),
+    "SUBSTR": _null_guard(_substring),
+    "YEAR": _null_guard(lambda d: d.year),
+    "MONTH": _null_guard(lambda d: d.month),
+    "DAYOFMONTH": _null_guard(lambda d: d.day),
+    "DAYOFWEEK": _null_guard(lambda d: d.isoweekday() % 7 + 1),
+    "COALESCE": _build_coalesce,
+    "IFNULL": _build_coalesce,
+    "NULLIF": _null_guard(lambda a, b: None if a == b else a),
+    "GREATEST": _null_guard(max),
+    "LEAST": _null_guard(min),
+}

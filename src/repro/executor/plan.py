@@ -1,0 +1,1001 @@
+"""Physical plan nodes and their Volcano-style execution.
+
+A plan node tree is produced by MySQL plan refinement (for both the MySQL
+and the Orca paths — Section 4.3) and executed against the storage engine.
+Execution is context-based: the runtime context is a list indexed by
+table-entry id; each access-path node writes the entry's current row into
+its slot and *yields control* for every produced combination.  Expressions
+read slots directly, which makes correlated evaluation (the paper's
+"invalidate on row from part" rebinds) natural: a correlated sub-plan
+simply reads the outer entry's current slot.
+
+Every node carries `cost` and `rows` estimates copied from whichever
+optimizer produced it, so EXPLAIN shows Orca's estimates on Orca plans
+(Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.sql import ast
+from repro.sql.blocks import QueryBlock
+
+
+class JoinKind(enum.Enum):
+    INNER = "inner"
+    LEFT = "left"
+    SEMI = "semi"
+    ANTI = "antijoin"
+
+
+class AccessMethod(enum.Enum):
+    TABLE_SCAN = "table_scan"
+    INDEX_RANGE = "index_range"
+    INDEX_LOOKUP = "index_lookup"
+    INDEX_SCAN = "index_scan"
+    MATERIALIZE = "materialize"
+    CTE_SCAN = "cte_scan"
+
+
+class ExecutionRuntime:
+    """Per-execution state shared across the whole plan tree."""
+
+    def __init__(self, storage, context_size: int) -> None:
+        self.storage = storage
+        self.ctx: List = [None] * context_size
+        #: cte_id -> materialised rows (single execution per statement,
+        #: like MySQL's one-producer-executes model).
+        self.cte_rows: Dict[int, List[tuple]] = {}
+        #: Per-execution materialisation caches for derived tables, keyed
+        #: by plan-node identity -> {correlation snapshot -> rows}.  A
+        #: changed snapshot invalidates (re-materialises), matching the
+        #: paper's "invalidate on row from ..." semantics; previously seen
+        #: snapshots are reused like MySQL's subquery result cache.
+        self.materializations: Dict[int, Dict[object, List[tuple]]] = {}
+        #: Per-execution subquery-result cache, keyed by
+        #: (block id, correlation values).
+        self.subquery_cache: Dict[tuple, List[tuple]] = {}
+        #: Materialisation (rebind) counts per derived node — "the rebind
+        #: count is simply the number of rows coming from the outer side"
+        #: (Section 7), deduplicated here by the subquery cache.
+        self.rebind_counts: Dict[int, int] = {}
+
+
+class PlanNode:
+    """Base class for physical plan nodes."""
+
+    def __init__(self) -> None:
+        self.cost: float = 0.0
+        self.rows: float = 0.0
+        #: Filter attached during predicate placement (for EXPLAIN).
+        self.filter_conjuncts: List[ast.Expr] = []
+        #: Compiled filter; identity-true when no conjuncts.
+        self.filter_fn: Callable = _always_true
+
+    def children(self) -> Sequence["PlanNode"]:
+        return ()
+
+    def produced_entries(self) -> List[int]:
+        """Entry ids whose context slots this subtree writes."""
+        produced: List[int] = []
+        for child in self.children():
+            produced.extend(child.produced_entries())
+        return produced
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+
+def _always_true(ctx) -> bool:
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Access paths
+# ---------------------------------------------------------------------------
+
+class _LeafNode(PlanNode):
+    def __init__(self, entry_id: int, alias: str) -> None:
+        super().__init__()
+        self.entry_id = entry_id
+        self.alias = alias
+
+    def produced_entries(self) -> List[int]:
+        return [self.entry_id]
+
+
+class TableScanNode(_LeafNode):
+    """Sequential heap scan (benefits from prefetch in the cost models)."""
+
+    method = AccessMethod.TABLE_SCAN
+
+    def __init__(self, entry_id: int, table_name: str, alias: str) -> None:
+        super().__init__(entry_id, alias)
+        self.table_name = table_name
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        ctx = runtime.ctx
+        slot = self.entry_id
+        check = self.filter_fn
+        for row in runtime.storage.table_scan(self.table_name):
+            ctx[slot] = row
+            if check(ctx) is True:
+                yield
+
+    def label(self) -> str:
+        return f"Table scan on {self.alias}"
+
+
+class IndexRangeScanNode(_LeafNode):
+    """Range scan over an index using constant bounds."""
+
+    method = AccessMethod.INDEX_RANGE
+
+    def __init__(self, entry_id: int, table_name: str, alias: str,
+                 index_name: str, low: Optional[tuple], high: Optional[tuple],
+                 low_inclusive: bool = True, high_inclusive: bool = True
+                 ) -> None:
+        super().__init__(entry_id, alias)
+        self.table_name = table_name
+        self.index_name = index_name
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        ctx = runtime.ctx
+        slot = self.entry_id
+        check = self.filter_fn
+        rows = runtime.storage.index_range_rows(
+            self.table_name, self.index_name, self.low, self.high,
+            self.low_inclusive, self.high_inclusive)
+        for row in rows:
+            ctx[slot] = row
+            if check(ctx) is True:
+                yield
+
+    def label(self) -> str:
+        return (f"Index range scan on {self.alias} "
+                f"using {self.index_name}")
+
+
+class IndexLookupNode(_LeafNode):
+    """Point lookup with keys computed from the current context (ref).
+
+    This is MySQL's ``ref`` / ``eq_ref`` access: the inner side of an
+    index nested-loop join.
+    """
+
+    method = AccessMethod.INDEX_LOOKUP
+
+    def __init__(self, entry_id: int, table_name: str, alias: str,
+                 index_name: str, key_exprs: List[ast.Expr],
+                 key_fns: List[Callable]) -> None:
+        super().__init__(entry_id, alias)
+        self.table_name = table_name
+        self.index_name = index_name
+        self.key_exprs = key_exprs
+        self.key_fns = key_fns
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        ctx = runtime.ctx
+        slot = self.entry_id
+        check = self.filter_fn
+        key = tuple(fn(ctx) for fn in self.key_fns)
+        if any(part is None for part in key):
+            return
+        rows = runtime.storage.index_lookup_rows(
+            self.table_name, self.index_name, key)
+        for row in rows:
+            ctx[slot] = row
+            if check(ctx) is True:
+                yield
+
+    def label(self) -> str:
+        keys = ", ".join(_expr_text(expr) for expr in self.key_exprs)
+        return (f"Index lookup on {self.alias} using {self.index_name} "
+                f"({keys})")
+
+
+class IndexOrderedScanNode(_LeafNode):
+    """Full index scan that supplies rows in key order (Section 7/4)."""
+
+    method = AccessMethod.INDEX_SCAN
+
+    def __init__(self, entry_id: int, table_name: str, alias: str,
+                 index_name: str, descending: bool = False) -> None:
+        super().__init__(entry_id, alias)
+        self.table_name = table_name
+        self.index_name = index_name
+        self.descending = descending
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        ctx = runtime.ctx
+        slot = self.entry_id
+        check = self.filter_fn
+        rows = runtime.storage.index_ordered_rows(
+            self.table_name, self.index_name, self.descending)
+        for row in rows:
+            ctx[slot] = row
+            if check(ctx) is True:
+                yield
+
+    def label(self) -> str:
+        direction = " (reverse)" if self.descending else ""
+        return f"Index scan on {self.alias} using {self.index_name}{direction}"
+
+
+class DerivedMaterializeNode(_LeafNode):
+    """Materialise a sub-plan into a temporary table and scan it.
+
+    When ``correlation_sources`` is non-empty the materialisation is
+    invalidated whenever any source slot changes — the paper's
+    "Materialize (invalidate on row from part)" behaviour in Listing 7.
+    """
+
+    method = AccessMethod.MATERIALIZE
+
+    def __init__(self, entry_id: int, alias: str, subplan: "QueryPlan",
+                 correlation_sources: List[int]) -> None:
+        super().__init__(entry_id, alias)
+        self.subplan = subplan
+        self.correlation_sources = correlation_sources
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        ctx = runtime.ctx
+        slot = self.entry_id
+        check = self.filter_fn
+        if self.correlation_sources:
+            key = tuple(ctx[source] for source in self.correlation_sources)
+        else:
+            key = None
+        by_key = runtime.materializations.setdefault(id(self), {})
+        rows = by_key.get(key)
+        if rows is None:
+            rows = list(self.subplan.run(runtime))
+            by_key[key] = rows
+            # Rebind accounting (the paper's Section 7, Orca change 3,
+            # concerns exactly these counts): one rebind per distinct
+            # outer-row snapshot that forces a re-materialisation.
+            runtime.rebind_counts[id(self)] = \
+                runtime.rebind_counts.get(id(self), 0) + 1
+        for row in rows:
+            ctx[slot] = row
+            if check(ctx) is True:
+                yield
+
+    def label(self) -> str:
+        return f"Table scan on {self.alias}"
+
+    def invalidation_label(self) -> Optional[str]:
+        if not self.correlation_sources:
+            return None
+        return "invalidate on row from outer reference"
+
+
+class _Never:
+    pass
+
+
+_NEVER = _Never()
+
+
+class CteScanNode(_LeafNode):
+    """Scan of a shared CTE materialisation.
+
+    MySQL compiles one producer per consumer but executes only one
+    (Section 4.2.3); the runtime keys materialisations by cte id so the
+    first consumer executes the producer and the rest reuse its rows.
+    """
+
+    method = AccessMethod.CTE_SCAN
+
+    def __init__(self, entry_id: int, alias: str, cte_id: int,
+                 cte_name: str, subplan: "QueryPlan") -> None:
+        super().__init__(entry_id, alias)
+        self.cte_id = cte_id
+        self.cte_name = cte_name
+        self.subplan = subplan
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        rows = runtime.cte_rows.get(self.cte_id)
+        if rows is None:
+            rows = list(self.subplan.run(runtime))
+            runtime.cte_rows[self.cte_id] = rows
+        ctx = runtime.ctx
+        slot = self.entry_id
+        check = self.filter_fn
+        for row in rows:
+            ctx[slot] = row
+            if check(ctx) is True:
+                yield
+
+    def label(self) -> str:
+        return f"Table scan on {self.alias} (cte {self.cte_name})"
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+class NestedLoopJoinNode(PlanNode):
+    """Nested-loop join; the inner side restarts per outer combination."""
+
+    def __init__(self, outer: PlanNode, inner: PlanNode, kind: JoinKind,
+                 conjuncts: List[ast.Expr], condition_fn: Callable) -> None:
+        super().__init__()
+        self.outer = outer
+        self.inner = inner
+        self.kind = kind
+        self.conjuncts = conjuncts
+        self.condition_fn = condition_fn
+        self._inner_entries = inner.produced_entries()
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.outer, self.inner)
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        ctx = runtime.ctx
+        condition = self.condition_fn
+        check = self.filter_fn
+        kind = self.kind
+        inner_entries = self._inner_entries
+        for __ in self.outer.run(runtime):
+            matched = False
+            for __ in self.inner.run(runtime):
+                if condition(ctx) is not True:
+                    continue
+                matched = True
+                if kind is JoinKind.SEMI or kind is JoinKind.ANTI:
+                    break
+                if check(ctx) is True:
+                    yield
+            if kind is JoinKind.SEMI:
+                if matched and check(ctx) is True:
+                    yield
+            elif kind is JoinKind.ANTI:
+                if not matched:
+                    for entry_id in inner_entries:
+                        ctx[entry_id] = None
+                    if check(ctx) is True:
+                        yield
+            elif kind is JoinKind.LEFT and not matched:
+                for entry_id in inner_entries:
+                    ctx[entry_id] = None
+                if check(ctx) is True:
+                    yield
+
+    def label(self) -> str:
+        if self.kind is JoinKind.INNER:
+            return "Nested loop inner join"
+        if self.kind is JoinKind.LEFT:
+            return "Nested loop left join"
+        if self.kind is JoinKind.SEMI:
+            return "Nested loop semijoin"
+        return "Nested loop antijoin"
+
+
+class HashJoinNode(PlanNode):
+    """Hash join: materialises the build side, probes with the other.
+
+    The *probe* child is the row-preserving side for LEFT / SEMI / ANTI
+    kinds.  Note the paper's lesson 2 (Section 7): MySQL's *inner* hash
+    join reverses the usual build/probe convention; the plan converter
+    performs that flip before constructing this node, so here build is
+    always build.
+    """
+
+    def __init__(self, probe: PlanNode, build: PlanNode, kind: JoinKind,
+                 probe_key_exprs: List[ast.Expr], probe_key_fns: List[Callable],
+                 build_key_exprs: List[ast.Expr], build_key_fns: List[Callable],
+                 residual_conjuncts: List[ast.Expr],
+                 residual_fn: Callable) -> None:
+        super().__init__()
+        self.probe = probe
+        self.build = build
+        self.kind = kind
+        self.probe_key_exprs = probe_key_exprs
+        self.probe_key_fns = probe_key_fns
+        self.build_key_exprs = build_key_exprs
+        self.build_key_fns = build_key_fns
+        self.residual_conjuncts = residual_conjuncts
+        self.residual_fn = residual_fn
+        self._build_entries = build.produced_entries()
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.probe, self.build)
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        ctx = runtime.ctx
+        build_entries = self._build_entries
+        table: Dict[tuple, List[tuple]] = {}
+        build_fns = self.build_key_fns
+        for __ in self.build.run(runtime):
+            key = tuple(fn(ctx) for fn in build_fns)
+            if any(part is None for part in key):
+                continue
+            table.setdefault(key, []).append(
+                tuple(ctx[entry_id] for entry_id in build_entries))
+        probe_fns = self.probe_key_fns
+        residual = self.residual_fn
+        check = self.filter_fn
+        kind = self.kind
+        empty: List[tuple] = []
+        for __ in self.probe.run(runtime):
+            key = tuple(fn(ctx) for fn in probe_fns)
+            bucket = empty if any(part is None for part in key) \
+                else table.get(key, empty)
+            matched = False
+            for saved in bucket:
+                for entry_id, row in zip(build_entries, saved):
+                    ctx[entry_id] = row
+                if residual(ctx) is not True:
+                    continue
+                matched = True
+                if kind is JoinKind.SEMI or kind is JoinKind.ANTI:
+                    break
+                if check(ctx) is True:
+                    yield
+            if kind is JoinKind.SEMI:
+                if matched and check(ctx) is True:
+                    yield
+            elif kind is JoinKind.ANTI:
+                if not matched:
+                    for entry_id in build_entries:
+                        ctx[entry_id] = None
+                    if check(ctx) is True:
+                        yield
+            elif kind is JoinKind.LEFT and not matched:
+                for entry_id in build_entries:
+                    ctx[entry_id] = None
+                if check(ctx) is True:
+                    yield
+
+    def label(self) -> str:
+        keys = ", ".join(
+            f"{_expr_text(p)} = {_expr_text(b)}"
+            for p, b in zip(self.probe_key_exprs, self.build_key_exprs))
+        if self.kind is JoinKind.INNER:
+            name = "Inner hash join"
+        elif self.kind is JoinKind.LEFT:
+            name = "Left hash join"
+        elif self.kind is JoinKind.SEMI:
+            name = "Hash semijoin"
+        else:
+            name = "Hash antijoin"
+        return f"{name} ({keys})" if keys else f"{name} (cross)"
+
+
+# ---------------------------------------------------------------------------
+# Block-level operators
+# ---------------------------------------------------------------------------
+
+class FilterNode(PlanNode):
+    """Stand-alone filter (used for HAVING and leftover predicates)."""
+
+    def __init__(self, child: PlanNode, conjuncts: List[ast.Expr],
+                 condition_fn: Callable) -> None:
+        super().__init__()
+        self.child = child
+        self.conjuncts = conjuncts
+        self.condition_fn = condition_fn
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        condition = self.condition_fn
+        ctx = runtime.ctx
+        for __ in self.child.run(runtime):
+            if condition(ctx) is True:
+                yield
+
+    def label(self) -> str:
+        text = " and ".join(_expr_text(c) for c in self.conjuncts)
+        return f"Filter: ({text})"
+
+
+class SortNode(PlanNode):
+    """Materialising sort over the live context slots."""
+
+    def __init__(self, child: PlanNode, order_items: List[ast.OrderItem],
+                 key_fns: List[Callable], live_entries: List[int]) -> None:
+        super().__init__()
+        self.child = child
+        self.order_items = order_items
+        self.key_fns = key_fns
+        self.live_entries = live_entries
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        ctx = runtime.ctx
+        live = self.live_entries
+        captured: List[Tuple[tuple, tuple]] = []
+        for __ in self.child.run(runtime):
+            keys = tuple(fn(ctx) for fn in self.key_fns)
+            captured.append((keys, tuple(ctx[e] for e in live)))
+        sort_rows(captured, self.order_items)
+        for __, saved in captured:
+            for entry_id, row in zip(live, saved):
+                ctx[entry_id] = row
+            yield
+
+    def label(self) -> str:
+        parts = []
+        for item in self.order_items:
+            text = _expr_text(item.expr)
+            parts.append(f"{text} DESC" if item.descending else text)
+        return "Sort: " + ", ".join(parts)
+
+
+def sort_rows(captured: List[Tuple[tuple, tuple]],
+              order_items: List[ast.OrderItem]) -> None:
+    """Stable multi-key sort with MySQL NULL ordering.
+
+    NULLs sort first ascending and last descending; implemented as one
+    stable pass per key from least- to most-significant.
+    """
+    for index in range(len(order_items) - 1, -1, -1):
+        descending = order_items[index].descending
+
+        def key_fn(entry, i=index):
+            value = entry[0][i]
+            if value is None:
+                return (0, 0)
+            return (1, value)
+
+        captured.sort(key=key_fn, reverse=descending)
+
+
+class AggSpec:
+    """One aggregate computation within an AggregateNode."""
+
+    def __init__(self, func: ast.AggFunc, arg_fn: Optional[Callable],
+                 distinct: bool, star: bool) -> None:
+        self.func = func
+        self.arg_fn = arg_fn
+        self.distinct = distinct
+        self.star = star
+
+
+class AggregateStrategy(enum.Enum):
+    HASH = "hash"
+    STREAM = "stream"
+
+
+class AggregateNode(PlanNode):
+    """Grouping and aggregation; output goes to the block's agg entry.
+
+    STREAM requires input grouped on the group keys (the builder inserts a
+    sort when needed — MySQL's classic sort-then-stream aggregation, which
+    the paper's Q72 plans both use).
+    """
+
+    def __init__(self, child: Optional[PlanNode], group_fns: List[Callable],
+                 group_exprs: List[ast.Expr], specs: List[AggSpec],
+                 strategy: AggregateStrategy, output_entry_id: int) -> None:
+        super().__init__()
+        self.child = child
+        self.group_fns = group_fns
+        self.group_exprs = group_exprs
+        self.specs = specs
+        self.strategy = strategy
+        self.output_entry_id = output_entry_id
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,) if self.child is not None else ()
+
+    def produced_entries(self) -> List[int]:
+        return [self.output_entry_id]
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        if self.strategy is AggregateStrategy.STREAM:
+            yield from self._run_stream(runtime)
+        else:
+            yield from self._run_hash(runtime)
+
+    def _child_states(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        if self.child is None:
+            yield  # SELECT without FROM: one empty input state
+        else:
+            yield from self.child.run(runtime)
+
+    def _run_hash(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        ctx = runtime.ctx
+        groups: Dict[tuple, List[_Accumulator]] = {}
+        order: List[tuple] = []
+        for __ in self._child_states(runtime):
+            key = tuple(fn(ctx) for fn in self.group_fns)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [_Accumulator(spec) for spec in self.specs]
+                groups[key] = accumulators
+                order.append(key)
+            for accumulator in accumulators:
+                accumulator.add(ctx)
+        if not groups and not self.group_fns:
+            # Scalar aggregation over empty input yields one row.
+            groups[()] = [_Accumulator(spec) for spec in self.specs]
+            order.append(())
+        slot = self.output_entry_id
+        for key in order:
+            ctx[slot] = key + tuple(a.result() for a in groups[key])
+            yield
+
+    def _run_stream(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        ctx = runtime.ctx
+        slot = self.output_entry_id
+        current_key: object = _NEVER
+        accumulators: List[_Accumulator] = []
+        saw_input = False
+        for __ in self._child_states(runtime):
+            saw_input = True
+            key = tuple(fn(ctx) for fn in self.group_fns)
+            if isinstance(current_key, _Never):
+                current_key = key
+                accumulators = [_Accumulator(spec) for spec in self.specs]
+            elif key != current_key:
+                ctx[slot] = current_key + tuple(
+                    a.result() for a in accumulators)
+                yield
+                current_key = key
+                accumulators = [_Accumulator(spec) for spec in self.specs]
+            for accumulator in accumulators:
+                accumulator.add(ctx)
+        if saw_input:
+            ctx[slot] = current_key + tuple(a.result() for a in accumulators)
+            yield
+        elif not self.group_fns:
+            accumulators = [_Accumulator(spec) for spec in self.specs]
+            ctx[slot] = tuple(a.result() for a in accumulators)
+            yield
+
+    def label(self) -> str:
+        parts = [f"{spec.func.value.lower()}(...)" for spec in self.specs]
+        name = ("Aggregate" if not self.group_fns
+                else "Group aggregate")
+        mode = "streaming" if self.strategy is AggregateStrategy.STREAM \
+            else "hash"
+        return f"{name} ({mode}): " + ", ".join(parts)
+
+
+class _Accumulator:
+    """Incremental computation of one aggregate."""
+
+    __slots__ = ("spec", "count", "total", "total_sq", "minimum", "maximum",
+                 "distinct_values")
+
+    def __init__(self, spec: AggSpec) -> None:
+        self.spec = spec
+        self.count = 0
+        self.total = None
+        self.total_sq = 0.0
+        self.minimum = None
+        self.maximum = None
+        self.distinct_values = set() if spec.distinct else None
+
+    def add(self, ctx) -> None:
+        spec = self.spec
+        if spec.star:
+            self.count += 1
+            return
+        value = spec.arg_fn(ctx)
+        if value is None:
+            return
+        if self.distinct_values is not None:
+            if value in self.distinct_values:
+                return
+            self.distinct_values.add(value)
+        self.count += 1
+        func = spec.func
+        if func in (ast.AggFunc.SUM, ast.AggFunc.AVG, ast.AggFunc.STDDEV):
+            self.total = value if self.total is None else self.total + value
+            if func is ast.AggFunc.STDDEV:
+                self.total_sq += float(value) * float(value)
+        elif func is ast.AggFunc.MIN:
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+        elif func is ast.AggFunc.MAX:
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+
+    def result(self):
+        func = self.spec.func
+        if func is ast.AggFunc.COUNT:
+            return self.count
+        if func is ast.AggFunc.SUM:
+            return self.total
+        if func is ast.AggFunc.AVG:
+            if self.count == 0:
+                return None
+            return self.total / self.count
+        if func is ast.AggFunc.MIN:
+            return self.minimum
+        if func is ast.AggFunc.MAX:
+            return self.maximum
+        if func is ast.AggFunc.STDDEV:
+            if self.count == 0:
+                return None
+            mean = self.total / self.count
+            variance = max(0.0, self.total_sq / self.count - mean * mean)
+            return variance ** 0.5
+        raise ExecutionError(f"unknown aggregate {func}")
+
+
+class WindowNode(PlanNode):
+    """Window-function evaluation over materialised child rows."""
+
+    def __init__(self, child: PlanNode, specs: List["CompiledWindow"],
+                 output_entry_id: int, live_entries: List[int]) -> None:
+        super().__init__()
+        self.child = child
+        self.specs = specs
+        self.output_entry_id = output_entry_id
+        self.live_entries = live_entries
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def produced_entries(self) -> List[int]:
+        produced = list(self.child.produced_entries())
+        produced.append(self.output_entry_id)
+        return produced
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        ctx = runtime.ctx
+        live = self.live_entries
+        rows: List[tuple] = []
+        for __ in self.child.run(runtime):
+            rows.append(tuple(ctx[e] for e in live))
+        outputs = [[None] * len(self.specs) for __ in rows]
+        for spec_index, spec in enumerate(self.specs):
+            spec.compute(rows, live, ctx, outputs, spec_index)
+        slot = self.output_entry_id
+        for row, out in zip(rows, outputs):
+            for entry_id, value in zip(live, row):
+                ctx[entry_id] = value
+            ctx[slot] = tuple(out)
+            yield
+
+    def label(self) -> str:
+        names = ", ".join(spec.func for spec in self.specs)
+        return f"Window: {names}"
+
+
+class CompiledWindow:
+    """One compiled window specification."""
+
+    def __init__(self, func: str, arg_fns: List[Callable],
+                 partition_fns: List[Callable],
+                 order_fns: List[Callable],
+                 order_items: List[ast.OrderItem]) -> None:
+        self.func = func
+        self.arg_fns = arg_fns
+        self.partition_fns = partition_fns
+        self.order_fns = order_fns
+        self.order_items = order_items
+
+    def compute(self, rows: List[tuple], live: List[int], ctx,
+                outputs: List[list], spec_index: int) -> None:
+        # Evaluate partition/order/arg values per row under a temporary
+        # context restore.
+        evaluated = []
+        for row_index, row in enumerate(rows):
+            for entry_id, value in zip(live, row):
+                ctx[entry_id] = value
+            partition = tuple(fn(ctx) for fn in self.partition_fns)
+            order = tuple(fn(ctx) for fn in self.order_fns)
+            arg = self.arg_fns[0](ctx) if self.arg_fns else None
+            evaluated.append((partition, order, arg, row_index))
+        # Group by partition, sort by order keys within each partition.
+        partitions: Dict[tuple, List[tuple]] = {}
+        for record in evaluated:
+            partitions.setdefault(record[0], []).append(record)
+        for members in partitions.values():
+            keyed = [((record[1]), record) for record in members]
+            sort_rows(keyed, self.order_items or
+                      [ast.OrderItem(ast.Literal(0))] * 0)
+            ordered = [record for __, record in keyed]
+            self._fill(ordered, outputs, spec_index)
+
+    def _fill(self, ordered: List[tuple], outputs: List[list],
+              spec_index: int) -> None:
+        func = self.func
+        if func == "ROW_NUMBER":
+            for seq, record in enumerate(ordered, start=1):
+                outputs[record[3]][spec_index] = seq
+            return
+        if func in ("RANK", "DENSE_RANK"):
+            rank = 0
+            dense = 0
+            previous = _NEVER
+            for seq, record in enumerate(ordered, start=1):
+                if record[1] != previous:
+                    rank = seq
+                    dense += 1
+                    previous = record[1]
+                value = rank if func == "RANK" else dense
+                outputs[record[3]][spec_index] = value
+            return
+        # Aggregates over the window.  With an ORDER BY the frame is the
+        # default RANGE UNBOUNDED PRECEDING .. CURRENT ROW (peers
+        # included); without one it is the whole partition.
+        if not self.order_items:
+            total = self._aggregate([record[2] for record in ordered])
+            for record in ordered:
+                outputs[record[3]][spec_index] = total
+            return
+        index = 0
+        length = len(ordered)
+        running: List[object] = []
+        while index < length:
+            peer_end = index
+            while peer_end + 1 < length and \
+                    ordered[peer_end + 1][1] == ordered[index][1]:
+                peer_end += 1
+            running.extend(record[2] for record in ordered[index:peer_end + 1])
+            value = self._aggregate(running)
+            for position in range(index, peer_end + 1):
+                outputs[ordered[position][3]][spec_index] = value
+            index = peer_end + 1
+
+    def _aggregate(self, values: List[object]):
+        non_null = [value for value in values if value is not None]
+        func = self.func
+        if func == "COUNT":
+            return len(non_null) if self.arg_fns else len(values)
+        if not non_null:
+            return None
+        if func == "SUM":
+            total = non_null[0]
+            for value in non_null[1:]:
+                total = total + value
+            return total
+        if func == "AVG":
+            total = non_null[0]
+            for value in non_null[1:]:
+                total = total + value
+            return total / len(non_null)
+        if func == "MIN":
+            return min(non_null)
+        if func == "MAX":
+            return max(non_null)
+        raise ExecutionError(f"unsupported window function {func}")
+
+
+class LimitNode(PlanNode):
+    """Row-limit enforcement inside a block plan."""
+
+    def __init__(self, child: PlanNode, count: int, offset: int = 0) -> None:
+        super().__init__()
+        self.child = child
+        self.count = count
+        self.offset = offset
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        produced = 0
+        skipped = 0
+        for __ in self.child.run(runtime):
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if produced >= self.count:
+                return
+            produced += 1
+            yield
+
+    def label(self) -> str:
+        return f"Limit: {self.count} row(s)"
+
+
+# ---------------------------------------------------------------------------
+# Query plan (block output)
+# ---------------------------------------------------------------------------
+
+class QueryPlan:
+    """A complete plan for one query block (plus UNION parts).
+
+    ``run`` yields projected output tuples; DISTINCT, set operations, and
+    LIMIT/OFFSET are applied here, after the plan tree has produced its
+    context states.
+    """
+
+    def __init__(self, block: QueryBlock, root: Optional[PlanNode],
+                 select_exprs: List[ast.Expr],
+                 select_fns: List[Callable]) -> None:
+        self.block = block
+        self.root = root
+        self.select_exprs = select_exprs
+        self.select_fns = select_fns
+        self.distinct = False
+        self.limit: Optional[int] = None
+        self.offset: Optional[int] = None
+        self.union_parts: List[Tuple[ast.SetOp, "QueryPlan"]] = []
+        #: Output positions to sort a set-operation result by.
+        self.union_order: List[Tuple[int, bool]] = []
+        #: EXPLAIN header tag: "" or "(ORCA)" (Listing 7's first line).
+        self.origin: str = "mysql"
+        self.total_cost: float = 0.0
+        self.total_rows: float = 0.0
+
+    def _own_rows(self, runtime: ExecutionRuntime) -> Iterator[tuple]:
+        ctx = runtime.ctx
+        fns = self.select_fns
+        if self.root is None:
+            yield tuple(fn(ctx) for fn in fns)
+            return
+        for __ in self.root.run(runtime):
+            yield tuple(fn(ctx) for fn in fns)
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[tuple]:
+        rows = self._own_rows(runtime)
+        if self.union_parts:
+            rows = self._union_rows(rows, runtime)
+        elif self.distinct:
+            rows = _dedup(rows)
+        if self.offset or self.limit is not None:
+            rows = _limited(rows, self.limit, self.offset or 0)
+        return rows
+
+    def _union_rows(self, own: Iterator[tuple],
+                    runtime: ExecutionRuntime) -> Iterator[tuple]:
+        collected = list(own)
+        dedup_needed = self.distinct
+        for op, part in self.union_parts:
+            collected.extend(part.run(runtime))
+            if op is ast.SetOp.UNION:
+                dedup_needed = True
+        if dedup_needed:
+            collected = list(_dedup(iter(collected)))
+        if self.union_order:
+            for position, descending in reversed(self.union_order):
+                def key_fn(row, p=position):
+                    value = row[p]
+                    return (0, 0) if value is None else (1, value)
+                collected.sort(key=key_fn, reverse=descending)
+        return iter(collected)
+
+
+def _dedup(rows: Iterator[tuple]) -> Iterator[tuple]:
+    seen = set()
+    for row in rows:
+        if row in seen:
+            continue
+        seen.add(row)
+        yield row
+
+
+def _limited(rows: Iterator[tuple], limit: Optional[int],
+             offset: int) -> Iterator[tuple]:
+    produced = 0
+    skipped = 0
+    for row in rows:
+        if skipped < offset:
+            skipped += 1
+            continue
+        if limit is not None and produced >= limit:
+            return
+        produced += 1
+        yield row
+
+
+# ---------------------------------------------------------------------------
+# Expression rendering for EXPLAIN labels
+# ---------------------------------------------------------------------------
+
+def _expr_text(expr: ast.Expr) -> str:
+    from repro.executor.explain import expr_text
+
+    return expr_text(expr)

@@ -1,0 +1,21 @@
+"""The MySQL-style cost-based optimizer and plan refinement."""
+
+from repro.mysql_optimizer.skeleton import (
+    AccessPlan,
+    BlockSkeleton,
+    JoinMethod,
+    PositionEntry,
+    SkeletonPlan,
+)
+from repro.mysql_optimizer.optimizer import MySQLOptimizer
+from repro.mysql_optimizer.refinement import PlanBuilder
+
+__all__ = [
+    "AccessPlan",
+    "BlockSkeleton",
+    "JoinMethod",
+    "MySQLOptimizer",
+    "PlanBuilder",
+    "PositionEntry",
+    "SkeletonPlan",
+]

@@ -1,0 +1,126 @@
+"""Skeleton plans: the interchange format between optimization and refinement.
+
+"The result of the cost-based optimization is a *skeleton plan* in which
+join orders, join methods, and the tree structure have been finalized"
+(Section 2.2).  Both optimizers produce skeletons: the MySQL optimizer
+directly, and Orca through the plan converter (Section 4.2), which fills
+MySQL's *best-position arrays*.  Plan refinement consumes skeletons without
+knowing which optimizer produced them — "oblivious of this Orca detour"
+(Section 4.3).
+
+A best-position array entry normally names a single table, its access
+method, cost, and row estimate (Fig. 7).  To execute Orca's bushy plans the
+array "was slightly extended to handle bushy trees" (Section 7, lesson 1):
+a :class:`PositionEntry` may instead hold a nested ``branch`` list that
+refinement joins as a unit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.executor.plan import AccessMethod, JoinKind
+from repro.sql import ast
+from repro.sql.blocks import QueryBlock, StatementContext
+
+
+class JoinMethod(enum.Enum):
+    NLJ = "nested_loop"
+    HASH = "hash"
+
+
+class AggStrategy(enum.Enum):
+    STREAM = "stream"
+    HASH = "hash"
+
+
+@dataclass
+class AccessPlan:
+    """The chosen access path for one table position.
+
+    ``consumed_conjuncts`` are the predicates the access path itself
+    evaluates (range bounds, lookup keys); plan refinement removes them
+    from the predicate pool so they are not re-checked.
+    """
+
+    method: AccessMethod
+    index_name: Optional[str] = None
+    # INDEX_RANGE bounds (constant key prefixes):
+    low: Optional[tuple] = None
+    high: Optional[tuple] = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+    # INDEX_LOOKUP (ref access) keys, evaluated against the outer context:
+    key_exprs: List[ast.Expr] = field(default_factory=list)
+    consumed_conjuncts: List[ast.Expr] = field(default_factory=list)
+    descending: bool = False
+    #: Estimated rows produced per probe/scan and access cost.
+    est_rows: float = 0.0
+    est_cost: float = 0.0
+
+
+@dataclass
+class PositionEntry:
+    """One slot of a best-position array.
+
+    Exactly one of ``entry_id`` / ``branch`` is set.  ``join_method`` and
+    ``join_kind`` describe how the slot joins to the plan prefix (both are
+    meaningless for the first slot).  ``fanout`` and ``cost`` are the
+    cumulative estimates after this position, copied into EXPLAIN output
+    (Section 4.2.2).
+    """
+
+    entry_id: Optional[int] = None
+    branch: Optional[List["PositionEntry"]] = None
+    access: Optional[AccessPlan] = None
+    join_method: JoinMethod = JoinMethod.NLJ
+    join_kind: JoinKind = JoinKind.INNER
+    nest_id: Optional[int] = None
+    fanout: float = 0.0
+    cost: float = 0.0
+
+    @property
+    def is_branch(self) -> bool:
+        return self.branch is not None
+
+    def all_entry_ids(self) -> List[int]:
+        if self.entry_id is not None:
+            return [self.entry_id]
+        ids: List[int] = []
+        for inner in self.branch or ():
+            ids.extend(inner.all_entry_ids())
+        return ids
+
+
+@dataclass
+class BlockSkeleton:
+    """The finalized skeleton for one query block."""
+
+    block: QueryBlock
+    positions: List[PositionEntry]
+    total_cost: float = 0.0
+    total_rows: float = 0.0
+    agg_strategy: AggStrategy = AggStrategy.STREAM
+    #: True when the chosen access order already delivers ORDER BY order,
+    #: so refinement skips the sort (Section 2.2: "a sort is avoided if an
+    #: index scan already delivers rows in the expected sorted order").
+    order_satisfied: bool = False
+
+
+@dataclass
+class SkeletonPlan:
+    """Skeletons for every block of one statement."""
+
+    context: StatementContext
+    top_block: QueryBlock
+    blocks: Dict[int, BlockSkeleton] = field(default_factory=dict)
+    #: Which optimizer produced the skeleton: "mysql" or "orca".
+    origin: str = "mysql"
+
+    def skeleton_for(self, block: QueryBlock) -> BlockSkeleton:
+        return self.blocks[block.block_id]
+
+    def add(self, skeleton: BlockSkeleton) -> None:
+        self.blocks[skeleton.block.block_id] = skeleton

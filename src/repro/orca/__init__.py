@@ -1,0 +1,30 @@
+"""The Orca-style Cascades optimizer (memo, rules, cost-based search)."""
+
+from repro.orca.operators import (
+    LogicalGbAgg,
+    LogicalGet,
+    LogicalLimit,
+    LogicalNAryJoin,
+    LogicalOuterJoinSpec,
+    LogicalSelect,
+    LogicalSemiJoinSpec,
+    OrcaLogicalBlock,
+    PhysicalOp,
+    TableDescriptor,
+)
+from repro.orca.optimizer import OrcaConfig, OrcaOptimizer
+
+__all__ = [
+    "LogicalGbAgg",
+    "LogicalGet",
+    "LogicalLimit",
+    "LogicalNAryJoin",
+    "LogicalOuterJoinSpec",
+    "LogicalSelect",
+    "LogicalSemiJoinSpec",
+    "OrcaConfig",
+    "OrcaLogicalBlock",
+    "OrcaOptimizer",
+    "PhysicalOp",
+    "TableDescriptor",
+]

@@ -1,0 +1,89 @@
+"""Orca's metadata cache (the MD accessor).
+
+"Orca maintains an internal metadata cache ... and if the required
+information pre-exists there, the metadata provider is not queried again"
+(Section 5.7).  The accessor is the only way the Orca side ever sees MySQL
+metadata: each answer arrives as a DXL document from the provider and is
+parsed and memoised here.  It also serves as the statistics source for
+Orca's selectivity estimation (it exposes the ``statistics(name)`` /
+``table(name)`` protocol the estimator expects), so every cardinality
+Orca computes has round-tripped through DXL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bridge import dxl
+from repro.bridge.metadata_provider import MySQLMetadataProvider
+from repro.catalog.schema import TableSchema
+from repro.catalog.statistics import TableStatistics
+
+
+class MDAccessor:
+    """Caching facade over the metadata provider."""
+
+    def __init__(self, provider: MySQLMetadataProvider) -> None:
+        self.provider = provider
+        self._relation_cache: Dict[int, TableSchema] = {}
+        self._statistics_cache: Dict[int, TableStatistics] = {}
+        self._type_cache: Dict[int, dict] = {}
+        self._oid_by_name: Dict[str, int] = {}
+        self.cache_hits = 0
+
+    # -- OID resolution -----------------------------------------------------------
+
+    def table_oid(self, name: str) -> int:
+        key = name.lower()
+        oid = self._oid_by_name.get(key)
+        if oid is not None:
+            self.cache_hits += 1
+            return oid
+        oid = self.provider.get_table_oid(name)
+        self._oid_by_name[key] = oid
+        return oid
+
+    def synthetic_oid(self, alias: str) -> int:
+        return self.provider.get_synthetic_oid(alias)
+
+    # -- relation metadata --------------------------------------------------------
+
+    def relation(self, name: str) -> TableSchema:
+        """Relation metadata, parsed from the provider's DXL answer."""
+        oid = self.table_oid(name)
+        cached = self._relation_cache.get(oid)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        parsed = dxl.relation_from_dxl(self.provider.get_relation_dxl(oid))
+        self._relation_cache[oid] = parsed
+        return parsed
+
+    # Alias used by the selectivity estimator protocol.
+    def table(self, name: str) -> TableSchema:
+        return self.relation(name)
+
+    # -- statistics ----------------------------------------------------------------
+
+    def statistics(self, name: str) -> TableStatistics:
+        """Table statistics, parsed from the provider's DXL answer."""
+        oid = self.table_oid(name)
+        cached = self._statistics_cache.get(oid)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        parsed = dxl.statistics_from_dxl(
+            self.provider.get_statistics_dxl(oid))
+        self._statistics_cache[oid] = parsed
+        return parsed
+
+    # -- types -----------------------------------------------------------------------
+
+    def type_info(self, type_oid: int) -> dict:
+        cached = self._type_cache.get(type_oid)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        parsed = dxl.type_from_dxl(self.provider.get_type_dxl(type_oid))
+        self._type_cache[type_oid] = parsed
+        return parsed

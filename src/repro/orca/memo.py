@@ -1,0 +1,72 @@
+"""The memo: groups of equivalent expressions with their best plans.
+
+A faithful-in-spirit Cascades memo (Section 8 traces the lineage to
+Volcano/Cascades): each group represents the set of plans producing the
+same logical result — here keyed by the set of join units covered — and
+records the cheapest physical expression found for it.  Group ids appear
+in physical operators, which is how the paper's Fig. 6 annotates Orca's
+Q17 plan ("the numbers after the physical operator names are the 'memo'
+group IDs").
+
+The join-order searches populate the memo; `stats` caches per-group
+cardinalities so exploration work is shared across alternatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.orca.operators import PhysicalOp
+
+
+@dataclass
+class Group:
+    """One memo group: the plans covering a fixed set of join units."""
+
+    group_id: int
+    key: FrozenSet[int]
+    best_cost: float = float("inf")
+    best_plan: Optional[PhysicalOp] = None
+    rows: float = 0.0
+    #: How many alternative expressions were costed for this group — a
+    #: measure of exploration effort (used by compile-time accounting).
+    alternatives: int = 0
+
+    def offer(self, plan: PhysicalOp, cost: float) -> bool:
+        """Record a candidate plan; keep it if it is the cheapest so far."""
+        self.alternatives += 1
+        if cost < self.best_cost:
+            self.best_cost = cost
+            self.best_plan = plan
+            plan.group_id = self.group_id
+            return True
+        return False
+
+
+class Memo:
+    """Group registry keyed by covered-unit sets."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[FrozenSet[int], Group] = {}
+        self._next_id = 0
+
+    def group(self, key: FrozenSet[int]) -> Group:
+        existing = self._groups.get(key)
+        if existing is not None:
+            return existing
+        group = Group(self._next_id, key)
+        self._next_id += 1
+        self._groups[key] = group
+        return group
+
+    def has_group(self, key: FrozenSet[int]) -> bool:
+        return key in self._groups
+
+    @property
+    def group_count(self) -> int:
+        return len(self._groups)
+
+    @property
+    def total_alternatives(self) -> int:
+        return sum(group.alternatives for group in self._groups.values())

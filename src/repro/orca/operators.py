@@ -1,0 +1,280 @@
+"""Orca operators: table descriptors, the logical block tree, physical ops.
+
+The parse-tree converter produces one :class:`OrcaLogicalBlock` per MySQL
+query block.  Each base-table unit is a :class:`LogicalGet` (optionally
+wrapped by a :class:`LogicalSelect` after predicate segregation —
+Section 4.1's pushdown requirement); the inner-join core is an n-ary join;
+LEFT OUTER joins and semi/anti nests attach as ordered specs around it, as
+Orca models them with join/apply operators.
+
+Every table descriptor carries a pointer to the MySQL ``TABLE_LIST`` entry
+(Section 4.1: descriptors are "enhanced by adding to them pointers to the
+TABLE_LIST data structure"), which the plan converter later uses to map
+physical leaves back to MySQL query blocks without re-searching the parse
+tree.
+
+Physical operators carry the memo group id they were extracted from, which
+is what the paper's Fig. 6 displays after each operator name.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.mysql_optimizer.skeleton import AccessPlan
+from repro.sql import ast
+from repro.sql.blocks import NestKind, QueryBlock, TableEntry
+
+
+@dataclass
+class TableDescriptor:
+    """Orca's view of one table reference.
+
+    ``mdid`` is the metadata OID obtained from the MySQL metadata provider
+    (Section 4.1: "a typical interaction ... is to send the schema-
+    qualified name of a table ... and receive that table's unique OID").
+    ``entry`` is the TABLE_LIST pointer.
+    """
+
+    mdid: int
+    name: str
+    alias: str
+    entry: TableEntry
+
+
+@dataclass
+class LogicalGet:
+    """Scan of one table reference (base, derived, or CTE consumer)."""
+
+    descriptor: TableDescriptor
+    #: Local predicates segregated onto this get (selection pushdown).
+    conjuncts: List[ast.Expr] = field(default_factory=list)
+
+
+class LogicalSelect:
+    """A residual selection (predicates not pushable to any single get)."""
+
+    def __init__(self, conjuncts: List[ast.Expr]) -> None:
+        self.conjuncts = conjuncts
+
+
+@dataclass
+class LogicalOuterJoinSpec:
+    """One LEFT OUTER JOIN layered onto the inner-join core."""
+
+    inner: LogicalGet
+    on_conjuncts: List[ast.Expr]
+
+
+@dataclass
+class LogicalSemiJoinSpec:
+    """One semi/anti-join nest layered onto the inner-join core."""
+
+    kind: NestKind
+    nest_id: int
+    inners: List[LogicalGet]
+    #: Conjuncts bridging the nest to the outer side plus nest-internal
+    #: join conjuncts (nest-local single-table conjuncts live on the gets).
+    conjuncts: List[ast.Expr]
+
+
+@dataclass
+class LogicalNAryJoin:
+    """The block's inner-join core: n units plus the cross-conjunct pool."""
+
+    units: List[LogicalGet]
+    conjuncts: List[ast.Expr]
+
+
+@dataclass
+class LogicalGbAgg:
+    """Grouping/aggregation over the join result."""
+
+    group_exprs: List[ast.Expr]
+    agg_calls: List[ast.AggCall]
+
+
+@dataclass
+class LogicalLimit:
+    """ORDER BY / LIMIT requirements at the top of a block."""
+
+    order_items: List[ast.OrderItem]
+    limit: Optional[int]
+    offset: Optional[int]
+
+
+@dataclass
+class OrcaLogicalBlock:
+    """The converted logical tree for one MySQL query block.
+
+    Clause-wise converted in the order Section 4.1 lists (FROM,
+    WHERE(1) ... LIMIT); the structure keeps the pieces separate because
+    the conservative integration never changes block structure.
+    """
+
+    block: QueryBlock
+    core: LogicalNAryJoin
+    outer_joins: List[LogicalOuterJoinSpec]
+    semi_joins: List[LogicalSemiJoinSpec]
+    residual: LogicalSelect
+    agg: Optional[LogicalGbAgg]
+    limit: LogicalLimit
+    #: Correlated derived tables (the Q17 "derived table approach" of
+    #: Section 4.2.3): they must join after their correlation sources, so
+    #: they stay out of the n-ary core and attach afterwards.
+    dependent_units: List[LogicalGet] = field(default_factory=list)
+    dependent_conjuncts: List[ast.Expr] = field(default_factory=list)
+
+    def all_units(self) -> List[LogicalGet]:
+        units = list(self.core.units)
+        for spec in self.outer_joins:
+            units.append(spec.inner)
+        for spec in self.semi_joins:
+            units.extend(spec.inners)
+        units.extend(self.dependent_units)
+        return units
+
+
+# ---------------------------------------------------------------------------
+# Physical operators
+# ---------------------------------------------------------------------------
+
+class PhysicalOp:
+    """Base class for Orca physical operators."""
+
+    def __init__(self) -> None:
+        self.cost: float = 0.0
+        self.rows: float = 0.0
+        #: Memo group this expression was extracted from (Fig. 6 ids).
+        self.group_id: Optional[int] = None
+
+    def children(self) -> Sequence["PhysicalOp"]:
+        return ()
+
+    def leaves(self):
+        if not self.children():
+            yield self
+            return
+        for child in self.children():
+            yield from child.leaves()
+
+    def name(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> str:
+        suffix = f" [{self.group_id}]" if self.group_id is not None else ""
+        return f"{self.name()}{suffix}"
+
+
+class PhysicalGet(PhysicalOp):
+    """A physical leaf: one table reference with its chosen access plan."""
+
+    def __init__(self, descriptor: TableDescriptor, access: AccessPlan,
+                 conjuncts: List[ast.Expr]) -> None:
+        super().__init__()
+        self.descriptor = descriptor
+        self.access = access
+        self.conjuncts = conjuncts
+
+    def name(self) -> str:
+        method = self.access.method.value if self.access else "scan"
+        return f"{method}:{self.descriptor.alias}"
+
+
+class JoinVariant(enum.Enum):
+    INNER = "inner"
+    LEFT = "left"
+    SEMI = "semi"
+    ANTI = "anti"
+
+
+class PhysicalNLJoin(PhysicalOp):
+    """Nested-loop join; ``index_inner`` marks an index NL join whose inner
+    get uses a lookup keyed on outer columns."""
+
+    def __init__(self, outer: PhysicalOp, inner: PhysicalOp,
+                 variant: JoinVariant, conjuncts: List[ast.Expr],
+                 index_inner: bool = False) -> None:
+        super().__init__()
+        self.outer = outer
+        self.inner = inner
+        self.variant = variant
+        self.conjuncts = conjuncts
+        self.index_inner = index_inner
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.outer, self.inner)
+
+    def name(self) -> str:
+        kind = "IndexNLJoin" if self.index_inner else "NLJoin"
+        return f"{kind}({self.variant.value})"
+
+
+class PhysicalHashJoin(PhysicalOp):
+    """Hash join with Orca's convention: probe on the left, build on the
+    right (Section 7, lesson 2 — MySQL's inner hash join reverses this,
+    and the plan converter performs the flip)."""
+
+    def __init__(self, probe: PhysicalOp, build: PhysicalOp,
+                 variant: JoinVariant, conjuncts: List[ast.Expr]) -> None:
+        super().__init__()
+        self.probe = probe
+        self.build = build
+        self.variant = variant
+        self.conjuncts = conjuncts
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.probe, self.build)
+
+    def name(self) -> str:
+        return f"HashJoin({self.variant.value})"
+
+
+class PhysicalGbAgg(PhysicalOp):
+    def __init__(self, child: PhysicalOp, group_exprs: List[ast.Expr],
+                 agg_calls: List[ast.AggCall], streaming: bool) -> None:
+        super().__init__()
+        self.child = child
+        self.group_exprs = group_exprs
+        self.agg_calls = agg_calls
+        self.streaming = streaming
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.child,)
+
+    def name(self) -> str:
+        return "StreamAgg" if self.streaming else "HashAgg"
+
+
+class PhysicalSort(PhysicalOp):
+    def __init__(self, child: PhysicalOp,
+                 order_items: List[ast.OrderItem]) -> None:
+        super().__init__()
+        self.child = child
+        self.order_items = order_items
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.child,)
+
+
+class PhysicalLimit(PhysicalOp):
+    def __init__(self, child: PhysicalOp, limit: Optional[int],
+                 offset: Optional[int]) -> None:
+        super().__init__()
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+
+    def children(self) -> Sequence[PhysicalOp]:
+        return (self.child,)
+
+
+def render_physical(op: PhysicalOp, indent: int = 0) -> str:
+    """ASCII rendering of a physical plan (used in tests and examples)."""
+    lines = ["  " * indent + op.describe()
+             + f"  (cost={op.cost:.2f} rows={op.rows:.0f})"]
+    for child in op.children():
+        lines.append(render_physical(child, indent + 1))
+    return "\n".join(lines)

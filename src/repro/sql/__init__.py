@@ -1,0 +1,7 @@
+"""SQL frontend: lexer, parser, resolver, and the MySQL prepare phase."""
+
+from repro.sql.parser import parse_select, parse_statement
+from repro.sql.resolver import Resolver
+from repro.sql.prepare import prepare
+
+__all__ = ["Resolver", "parse_select", "parse_statement", "prepare"]

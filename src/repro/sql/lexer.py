@@ -1,0 +1,149 @@
+"""A hand-written SQL lexer.
+
+Produces a flat token list the recursive-descent parser consumes.  Keywords
+are case-insensitive; identifiers keep their original case but compare
+case-insensitively downstream (MySQL's default on most platforms).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import LexerError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset("""
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET AS ON AND OR NOT
+    JOIN INNER LEFT RIGHT FULL OUTER CROSS IN EXISTS BETWEEN LIKE IS NULL
+    DISTINCT CASE WHEN THEN ELSE END UNION ALL INTERSECT EXCEPT WITH ASC
+    DESC DATE INTERVAL DAY MONTH YEAR CAST EXTRACT TRUE FALSE OVER PARTITION
+    ROWS SEMI ANTI GROUPING RECURSIVE
+""".split())
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%",
+              "||")
+_PUNCT = "(),."
+
+
+@dataclass
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into tokens, ending with a single EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = length if end == -1 else end + 1
+            continue
+        if ch == "/" and text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise LexerError("unterminated comment", i)
+            i = end + 2
+            continue
+        if ch == "'":
+            value, i = _lex_string(text, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length
+                            and text[i + 1].isdigit()):
+            start = i
+            i += 1
+            while i < length and (text[i].isdigit() or text[i] == "."):
+                i += 1
+            if i < length and text[i] in "eE":
+                i += 1
+                if i < length and text[i] in "+-":
+                    i += 1
+                while i < length and text[i].isdigit():
+                    i += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            i += 1
+            while i < length and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        if ch == "`" or ch == '"':
+            quote = ch
+            end = text.find(quote, i + 1)
+            if end == -1:
+                raise LexerError("unterminated quoted identifier", i)
+            tokens.append(Token(TokenType.IDENT, text[i + 1:end], i))
+            i = end + 1
+            continue
+        matched = _match_operator(text, i)
+        if matched is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched, i))
+            i += len(matched)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        if ch == ";":
+            i += 1
+            continue
+        raise LexerError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def _lex_string(text: str, start: int):
+    """Lex a single-quoted string with '' as the escaped quote."""
+    i = start + 1
+    parts: List[str] = []
+    while i < len(text):
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < len(text) and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise LexerError("unterminated string literal", start)
+
+
+def _match_operator(text: str, i: int) -> Optional[str]:
+    for operator in _OPERATORS:
+        if text.startswith(operator, i):
+            return operator
+    return None

@@ -1,0 +1,7 @@
+"""In-memory storage engine standing in for InnoDB/Taurus Page Stores."""
+
+from repro.storage.table import HeapTable
+from repro.storage.index import OrderedIndex
+from repro.storage.engine import AccessCounters, StorageEngine
+
+__all__ = ["AccessCounters", "HeapTable", "OrderedIndex", "StorageEngine"]

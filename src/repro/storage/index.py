@@ -1,0 +1,124 @@
+"""Ordered indexes over heap tables.
+
+An :class:`OrderedIndex` keeps ``(key, row_id)`` pairs sorted by key, which
+supports the three access patterns both optimizers care about:
+
+* point lookup (``ref`` / ``eq_ref`` access in MySQL terms),
+* range scan, and
+* full ordered scan (an index scan that supplies a row order — the Orca
+  enhancement from Section 7, lesson 4).
+
+NULL keys are excluded from the index, matching SQL lookup semantics.  Keys
+within one index are homogeneous tuples, so plain tuple comparison orders
+them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import Index
+from repro.storage.table import HeapTable
+
+
+class OrderedIndex:
+    """A sorted (key, row_id) structure for one index definition."""
+
+    def __init__(self, definition: Index, table: HeapTable) -> None:
+        self.definition = definition
+        self.table = table
+        self._positions = [table.schema.column_position(name)
+                           for name in definition.column_names]
+        self._entries: List[Tuple[Tuple, int]] = []
+        self._keys: List[Tuple] = []
+        self._built = False
+
+    def _key_of(self, row: Sequence) -> Optional[Tuple]:
+        key = tuple(row[position] for position in self._positions)
+        if any(part is None for part in key):
+            return None
+        return key
+
+    def build(self) -> None:
+        """(Re)build the index from the current heap contents."""
+        entries = []
+        for row_id, row in enumerate(self.table.rows):
+            key = self._key_of(row)
+            if key is not None:
+                entries.append((key, row_id))
+        entries.sort()
+        self._entries = entries
+        self._keys = [entry[0] for entry in entries]
+        self._built = True
+
+    def _ensure_built(self) -> None:
+        if not self._built:
+            self.build()
+
+    # -- lookups -------------------------------------------------------------
+
+    def lookup(self, key: Tuple) -> List[int]:
+        """Row ids whose full index key equals ``key``."""
+        self._ensure_built()
+        if any(part is None for part in key):
+            return []
+        left = bisect.bisect_left(self._keys, key)
+        result = []
+        for i in range(left, len(self._entries)):
+            if self._entries[i][0] != key:
+                break
+            result.append(self._entries[i][1])
+        return result
+
+    def lookup_prefix(self, prefix: Tuple) -> List[int]:
+        """Row ids whose key starts with ``prefix`` (shorter than the key)."""
+        self._ensure_built()
+        if any(part is None for part in prefix):
+            return []
+        width = len(prefix)
+        left = bisect.bisect_left(self._keys, prefix)
+        result = []
+        for i in range(left, len(self._entries)):
+            if self._entries[i][0][:width] != prefix:
+                break
+            result.append(self._entries[i][1])
+        return result
+
+    def range_scan(self, low: Optional[Tuple], high: Optional[Tuple],
+                   low_inclusive: bool = True,
+                   high_inclusive: bool = True) -> Iterator[int]:
+        """Row ids whose key prefix lies in [low, high], in key order.
+
+        ``low`` / ``high`` may be shorter than the full key (prefix bounds);
+        ``None`` means unbounded on that side.
+        """
+        self._ensure_built()
+        if low is None:
+            start = 0
+        else:
+            start = bisect.bisect_left(self._keys, low)
+            if not low_inclusive:
+                width = len(low)
+                while (start < len(self._keys)
+                       and self._keys[start][:width] == low):
+                    start += 1
+        for i in range(start, len(self._entries)):
+            key = self._entries[i][0]
+            if high is not None:
+                head = key[:len(high)]
+                if head > high or (head == high and not high_inclusive):
+                    break
+            yield self._entries[i][1]
+
+    def ordered_row_ids(self, descending: bool = False) -> Iterator[int]:
+        """All row ids in key order — the order-supplying index scan."""
+        self._ensure_built()
+        entries = reversed(self._entries) if descending else self._entries
+        for __, row_id in entries:
+            yield row_id
+
+    @property
+    def entry_count(self) -> int:
+        self._ensure_built()
+        return len(self._entries)

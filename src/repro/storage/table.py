@@ -1,0 +1,53 @@
+"""Heap storage for a single table.
+
+Rows are Python tuples whose positions match the table schema's column
+positions.  The heap stands in for InnoDB's clustered storage; sequential
+scans iterate in insertion order, which lets the paper's observation about
+"sequential prefetch" on table scans (Section 6.1) be modelled by a lower
+per-row scan cost in both cost models.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.catalog.schema import TableSchema
+from repro.errors import StorageError
+
+Row = Tuple
+
+
+class HeapTable:
+    """Row storage plus the table's schema."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.rows: List[Row] = []
+
+    def insert(self, row: Sequence) -> int:
+        """Append one row; returns its row id (heap position)."""
+        if len(row) != len(self.schema.columns):
+            raise StorageError(
+                f"row width {len(row)} != {len(self.schema.columns)} "
+                f"for table {self.schema.name!r}")
+        self.rows.append(tuple(row))
+        return len(self.rows) - 1
+
+    def insert_many(self, rows: Sequence[Sequence]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def fetch(self, row_id: int) -> Row:
+        return self.rows[row_id]
+
+    def scan(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def column_values(self, column_name: str) -> List:
+        """All values of one column, for ANALYZE."""
+        position = self.schema.column_position(column_name)
+        return [row[position] for row in self.rows]

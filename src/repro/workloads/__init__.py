@@ -1,0 +1,1 @@
+"""Benchmark workloads: TPC-H and TPC-DS style schemas, data, and queries."""

@@ -1,0 +1,13 @@
+"""A TPC-DS-style workload: snowflake schema, generator, and 99 queries."""
+
+from repro.workloads.tpcds.schema import TPCDS_TABLES, create_tpcds_tables
+from repro.workloads.tpcds.datagen import load_tpcds
+from repro.workloads.tpcds.queries import TPCDS_QUERIES, tpcds_query
+
+__all__ = [
+    "TPCDS_QUERIES",
+    "TPCDS_TABLES",
+    "create_tpcds_tables",
+    "load_tpcds",
+    "tpcds_query",
+]

@@ -1,0 +1,241 @@
+"""Synthetic TPC-DS data generator.
+
+Two calendar years (1998-1999) of dated facts across the three channels,
+plus monthly inventory snapshots.  Dimension domains follow the official
+small value sets where the query suite depends on them: ``hd_buy_potential``
+includes the '501-1000' band Q72 filters on; ``cd_marital_status`` includes
+'D'; item has ~1/3 as many distinct ``i_manufact`` values as items, which
+is the skew behind the paper's Q41 analysis ("the item table has 28000
+rows, but only 999 distinct i_manufact values").
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Dict, List
+
+_CATEGORIES = ["Books", "Electronics", "Home", "Jewelry", "Men", "Music",
+               "Shoes", "Sports", "Toys", "Women"]
+_CLASSES = ["accent", "bedding", "classical", "dresses", "fishing",
+            "mens watch", "pants", "portable", "romance", "scanners"]
+_COLORS = ["red", "blue", "green", "yellow", "white", "black", "purple",
+           "orange", "pink", "brown", "gray", "ivory"]
+_SIZES = ["small", "medium", "large", "extra large", "petite", "N/A"]
+_UNITS = ["Each", "Dozen", "Case", "Pound", "Box", "Carton"]
+_STATES = ["CA", "TX", "NY", "FL", "WA", "IL", "GA", "OH", "MI", "NC"]
+_COUNTIES = [f"County {i}" for i in range(10)]
+_BUY_POTENTIAL = ["0-500", "501-1000", "1001-5000", "5001-10000",
+                  ">10000", "Unknown"]
+_EDUCATION = ["Primary", "Secondary", "College", "2 yr Degree",
+              "4 yr Degree", "Advanced Degree", "Unknown"]
+_CREDIT = ["Low Risk", "Good", "High Risk", "Unknown"]
+_DAY_NAMES = ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+              "Saturday", "Sunday"]
+
+#: Base row counts at scale=1.0.
+BASE_ROWS = {
+    "item": 300,
+    "customer": 500,
+    "customer_address": 250,
+    "customer_demographics": 240,
+    "household_demographics": 60,
+    "income_band": 20,
+    "warehouse": 6,
+    "store": 12,
+    "promotion": 35,
+    "store_sales": 8000,
+    "catalog_sales": 6000,
+    "web_sales": 3000,
+}
+
+_FIRST_DAY = datetime.date(1998, 1, 1)
+_N_DAYS = 730
+
+
+def generate_tpcds(scale: float = 1.0, seed: int = 7
+                   ) -> Dict[str, List[tuple]]:
+    rng = random.Random(seed)
+    counts = {name: max(4, int(base * scale))
+              for name, base in BASE_ROWS.items()}
+    data: Dict[str, List[tuple]] = {}
+
+    # -- date_dim: two full years, skeys 1..730 -------------------------------
+    dates = []
+    for offset in range(_N_DAYS):
+        day = _FIRST_DAY + datetime.timedelta(days=offset)
+        dates.append((
+            offset + 1, day, day.year, day.month, day.day,
+            (day.month - 1) // 3 + 1, offset // 7 + 1,
+            _DAY_NAMES[day.weekday()]))
+    data["date_dim"] = dates
+
+    # -- dimensions ------------------------------------------------------------
+    n_item = counts["item"]
+    n_manufact = max(3, n_item // 3)  # the Q41 skew
+    items = []
+    for sk in range(1, n_item + 1):
+        manufact_id = sk % n_manufact + 1
+        items.append((
+            sk, f"ITEM{sk:012d}", f"item description {sk % 97} no {sk}",
+            round(0.5 + (sk % 100) * 0.9, 2),
+            _CATEGORIES[sk % len(_CATEGORIES)],
+            _CLASSES[sk % len(_CLASSES)],
+            f"brand{sk % 25 + 1}",
+            manufact_id, f"manufact{manufact_id}",
+            _COLORS[sk % len(_COLORS)], _SIZES[sk % len(_SIZES)],
+            _UNITS[sk % len(_UNITS)]))
+    data["item"] = items
+
+    n_addr = counts["customer_address"]
+    data["customer_address"] = [
+        (sk, _STATES[sk % len(_STATES)], f"City {sk % 40}",
+         _COUNTIES[sk % len(_COUNTIES)], f"{10000 + sk % 900:05d}",
+         "United States", -(5 + sk % 3))
+        for sk in range(1, n_addr + 1)]
+
+    n_cdemo = counts["customer_demographics"]
+    data["customer_demographics"] = [
+        (sk, "MF"[sk % 2], "MSDWU"[sk % 5],
+         _EDUCATION[sk % len(_EDUCATION)], 500 * (sk % 20 + 1),
+         _CREDIT[sk % len(_CREDIT)], sk % 7)
+        for sk in range(1, n_cdemo + 1)]
+
+    data["income_band"] = [
+        (sk, (sk - 1) * 10000, sk * 10000 - 1)
+        for sk in range(1, counts["income_band"] + 1)]
+
+    n_hdemo = counts["household_demographics"]
+    data["household_demographics"] = [
+        (sk, sk % counts["income_band"] + 1,
+         _BUY_POTENTIAL[sk % len(_BUY_POTENTIAL)], sk % 10, sk % 5)
+        for sk in range(1, n_hdemo + 1)]
+
+    n_customer = counts["customer"]
+    data["customer"] = [
+        (sk, f"CUST{sk:012d}", f"First{sk % 60}", f"Last{sk % 120}",
+         sk % n_addr + 1, sk % n_cdemo + 1, sk % n_hdemo + 1,
+         1930 + sk % 65, "YN"[sk % 2])
+        for sk in range(1, n_customer + 1)]
+
+    data["warehouse"] = [
+        (sk, f"Warehouse {sk}", _STATES[sk % len(_STATES)])
+        for sk in range(1, counts["warehouse"] + 1)]
+    data["store"] = [
+        (sk, f"Store {sk}", _STATES[sk % len(_STATES)],
+         _COUNTIES[sk % len(_COUNTIES)], 50 + sk * 13 % 250)
+        for sk in range(1, counts["store"] + 1)]
+    data["promotion"] = [
+        (sk, f"promo{sk}", "YN"[sk % 2], "NY"[sk % 3 == 0])
+        for sk in range(1, counts["promotion"] + 1)]
+
+    # -- sales facts -------------------------------------------------------------
+    def sale_amounts():
+        quantity = rng.randrange(1, 100)
+        wholesale = round(rng.uniform(1.0, 70.0), 2)
+        price = round(wholesale * rng.uniform(1.0, 2.2), 2)
+        ext = round(price * quantity, 2)
+        profit = round((price - wholesale) * quantity, 2)
+        return quantity, price, ext, profit, wholesale
+
+    n_store = counts["store_sales"]
+    store_sales = []
+    store_returns = []
+    for ticket in range(1, n_store + 1):
+        quantity, price, ext, profit, wholesale = sale_amounts()
+        item_sk = rng.randrange(1, n_item + 1)
+        row = (
+            rng.randrange(1, _N_DAYS + 1), item_sk,
+            rng.randrange(1, n_customer + 1),
+            rng.randrange(1, n_cdemo + 1), rng.randrange(1, n_hdemo + 1),
+            rng.randrange(1, n_addr + 1),
+            rng.randrange(1, counts["store"] + 1),
+            rng.randrange(1, counts["promotion"] + 1)
+            if rng.random() < 0.5 else None,
+            ticket, quantity, price, ext, profit, wholesale)
+        store_sales.append(row)
+        if rng.random() < 0.10:
+            return_qty = rng.randrange(1, quantity + 1)
+            store_returns.append((
+                min(_N_DAYS, row[0] + rng.randrange(1, 60)), item_sk,
+                row[2], row[6], ticket, return_qty,
+                round(price * return_qty, 2),
+                round(price * return_qty * 0.5, 2)))
+    data["store_sales"] = store_sales
+    data["store_returns"] = store_returns
+
+    n_catalog = counts["catalog_sales"]
+    catalog_sales = []
+    catalog_returns = []
+    for order in range(1, n_catalog + 1):
+        quantity, price, ext, profit, wholesale = sale_amounts()
+        item_sk = rng.randrange(1, n_item + 1)
+        sold = rng.randrange(1, _N_DAYS - 60)
+        row = (
+            sold, min(_N_DAYS, sold + rng.randrange(2, 60)),
+            rng.randrange(1, n_customer + 1),
+            rng.randrange(1, n_cdemo + 1), rng.randrange(1, n_hdemo + 1),
+            item_sk,
+            rng.randrange(1, counts["promotion"] + 1)
+            if rng.random() < 0.5 else None,
+            order, quantity, round(price * 1.2, 2), price, ext, profit,
+            wholesale)
+        catalog_sales.append(row)
+        if rng.random() < 0.10:
+            return_qty = rng.randrange(1, quantity + 1)
+            catalog_returns.append((
+                min(_N_DAYS, sold + rng.randrange(5, 90)), item_sk,
+                row[2], order, return_qty,
+                round(price * return_qty, 2),
+                round(price * return_qty * 0.5, 2)))
+    data["catalog_sales"] = catalog_sales
+    data["catalog_returns"] = catalog_returns
+
+    n_web = counts["web_sales"]
+    web_sales = []
+    web_returns = []
+    for order in range(1, n_web + 1):
+        quantity, price, ext, profit, wholesale = sale_amounts()
+        item_sk = rng.randrange(1, n_item + 1)
+        row = (
+            rng.randrange(1, _N_DAYS + 1), item_sk,
+            rng.randrange(1, n_customer + 1), order,
+            rng.randrange(1, counts["warehouse"] + 1),
+            quantity, price, ext, profit)
+        web_sales.append(row)
+        if rng.random() < 0.10:
+            return_qty = rng.randrange(1, quantity + 1)
+            web_returns.append((
+                min(_N_DAYS, row[0] + rng.randrange(1, 60)), item_sk,
+                row[2], order, return_qty,
+                round(price * return_qty, 2),
+                round(price * return_qty * 0.5, 2)))
+    data["web_sales"] = web_sales
+    data["web_returns"] = web_returns
+
+    # -- inventory: monthly snapshots per (item, warehouse) ---------------------
+    inventory = []
+    month_firsts = [sk for sk, __, __, __, dom, __, __, __ in dates
+                    if dom == 1]
+    warehouses = range(1, counts["warehouse"] + 1)
+    for date_sk in month_firsts:
+        for item_sk in range(1, n_item + 1):
+            for warehouse_sk in warehouses:
+                if (item_sk + warehouse_sk + date_sk) % 2 == 0:
+                    continue  # thin the snapshot for engine-friendliness
+                inventory.append((date_sk, item_sk, warehouse_sk,
+                                  rng.randrange(0, 1000)))
+    data["inventory"] = inventory
+    return data
+
+
+def load_tpcds(db, scale: float = 1.0, seed: int = 7,
+               analyze: bool = True) -> None:
+    """Create, populate, and analyze the TPC-DS tables in a Database."""
+    from repro.workloads.tpcds.schema import create_tpcds_tables
+
+    create_tpcds_tables(db)
+    for name, rows in generate_tpcds(scale, seed).items():
+        db.load(name, rows)
+    if analyze:
+        db.analyze()

@@ -1,0 +1,218 @@
+"""A 17-table TPC-DS snowflake schema.
+
+Covers the three sales channels (store / catalog / web) with their return
+tables, the inventory fact, and the dimensions the 99-query suite touches.
+Dimension tables carry primary keys; fact tables carry composite primary
+keys plus the item-key secondary indexes commonly created on MySQL — the
+index landscape that produces the paper's Fig. 4 MySQL plan (drive the
+fact, index-NLJ into dimensions) while Orca can cost bushy hash plans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.catalog.schema import Column, Index, TableSchema
+from repro.mysql_types import MySQLType as T
+
+
+def _table(name: str, columns, indexes) -> TableSchema:
+    return TableSchema(name, columns, indexes, schema="tpcds")
+
+
+def build_tpcds_schema() -> List[TableSchema]:
+    return [
+        _table("date_dim", [
+            Column.of("d_date_sk", T.LONGLONG, nullable=False),
+            Column.of("d_date", T.DATE, nullable=False),
+            Column.of("d_year", T.LONG, nullable=False),
+            Column.of("d_moy", T.LONG, nullable=False),
+            Column.of("d_dom", T.LONG, nullable=False),
+            Column.of("d_qoy", T.LONG, nullable=False),
+            Column.of("d_week_seq", T.LONG, nullable=False),
+            Column.of("d_day_name", T.STRING, 9, nullable=False),
+        ], [Index("PRIMARY", ("d_date_sk",), primary=True),
+            Index("d_date_idx", ("d_date",)),
+            Index("d_year_idx", ("d_year", "d_moy"))]),
+        _table("item", [
+            Column.of("i_item_sk", T.LONGLONG, nullable=False),
+            Column.of("i_item_id", T.STRING, 16, nullable=False),
+            Column.of("i_item_desc", T.VARCHAR, 100, nullable=False),
+            Column.of("i_current_price", T.DOUBLE, nullable=False),
+            Column.of("i_category", T.STRING, 20, nullable=False),
+            Column.of("i_class", T.STRING, 20, nullable=False),
+            Column.of("i_brand", T.STRING, 30, nullable=False),
+            Column.of("i_manufact_id", T.LONG, nullable=False),
+            Column.of("i_manufact", T.STRING, 30, nullable=False),
+            Column.of("i_color", T.STRING, 12, nullable=False),
+            Column.of("i_size", T.STRING, 10, nullable=False),
+            Column.of("i_units", T.STRING, 10, nullable=False),
+        ], [Index("PRIMARY", ("i_item_sk",), primary=True)]),
+        _table("customer", [
+            Column.of("c_customer_sk", T.LONGLONG, nullable=False),
+            Column.of("c_customer_id", T.STRING, 16, nullable=False),
+            Column.of("c_first_name", T.STRING, 20, nullable=False),
+            Column.of("c_last_name", T.STRING, 30, nullable=False),
+            Column.of("c_current_addr_sk", T.LONGLONG, nullable=False),
+            Column.of("c_current_cdemo_sk", T.LONGLONG, nullable=False),
+            Column.of("c_current_hdemo_sk", T.LONGLONG, nullable=False),
+            Column.of("c_birth_year", T.LONG, nullable=False),
+            Column.of("c_preferred_cust_flag", T.STRING, 1, nullable=False),
+        ], [Index("PRIMARY", ("c_customer_sk",), primary=True),
+            Index("c_addr_idx", ("c_current_addr_sk",))]),
+        _table("customer_address", [
+            Column.of("ca_address_sk", T.LONGLONG, nullable=False),
+            Column.of("ca_state", T.STRING, 2, nullable=False),
+            Column.of("ca_city", T.STRING, 30, nullable=False),
+            Column.of("ca_county", T.STRING, 30, nullable=False),
+            Column.of("ca_zip", T.STRING, 10, nullable=False),
+            Column.of("ca_country", T.STRING, 20, nullable=False),
+            Column.of("ca_gmt_offset", T.LONG, nullable=False),
+        ], [Index("PRIMARY", ("ca_address_sk",), primary=True)]),
+        _table("customer_demographics", [
+            Column.of("cd_demo_sk", T.LONGLONG, nullable=False),
+            Column.of("cd_gender", T.STRING, 1, nullable=False),
+            Column.of("cd_marital_status", T.STRING, 1, nullable=False),
+            Column.of("cd_education_status", T.STRING, 20, nullable=False),
+            Column.of("cd_purchase_estimate", T.LONG, nullable=False),
+            Column.of("cd_credit_rating", T.STRING, 10, nullable=False),
+            Column.of("cd_dep_count", T.LONG, nullable=False),
+        ], [Index("PRIMARY", ("cd_demo_sk",), primary=True)]),
+        _table("household_demographics", [
+            Column.of("hd_demo_sk", T.LONGLONG, nullable=False),
+            Column.of("hd_income_band_sk", T.LONGLONG, nullable=False),
+            Column.of("hd_buy_potential", T.STRING, 15, nullable=False),
+            Column.of("hd_dep_count", T.LONG, nullable=False),
+            Column.of("hd_vehicle_count", T.LONG, nullable=False),
+        ], [Index("PRIMARY", ("hd_demo_sk",), primary=True)]),
+        _table("income_band", [
+            Column.of("ib_income_band_sk", T.LONGLONG, nullable=False),
+            Column.of("ib_lower_bound", T.LONG, nullable=False),
+            Column.of("ib_upper_bound", T.LONG, nullable=False),
+        ], [Index("PRIMARY", ("ib_income_band_sk",), primary=True)]),
+        _table("warehouse", [
+            Column.of("w_warehouse_sk", T.LONGLONG, nullable=False),
+            Column.of("w_warehouse_name", T.VARCHAR, 20, nullable=False),
+            Column.of("w_state", T.STRING, 2, nullable=False),
+        ], [Index("PRIMARY", ("w_warehouse_sk",), primary=True)]),
+        _table("store", [
+            Column.of("s_store_sk", T.LONGLONG, nullable=False),
+            Column.of("s_store_name", T.VARCHAR, 20, nullable=False),
+            Column.of("s_state", T.STRING, 2, nullable=False),
+            Column.of("s_county", T.STRING, 30, nullable=False),
+            Column.of("s_number_employees", T.LONG, nullable=False),
+        ], [Index("PRIMARY", ("s_store_sk",), primary=True)]),
+        _table("promotion", [
+            Column.of("p_promo_sk", T.LONGLONG, nullable=False),
+            Column.of("p_promo_name", T.STRING, 20, nullable=False),
+            Column.of("p_channel_email", T.STRING, 1, nullable=False),
+            Column.of("p_channel_tv", T.STRING, 1, nullable=False),
+        ], [Index("PRIMARY", ("p_promo_sk",), primary=True)]),
+        _table("store_sales", [
+            Column.of("ss_sold_date_sk", T.LONGLONG, nullable=False),
+            Column.of("ss_item_sk", T.LONGLONG, nullable=False),
+            Column.of("ss_customer_sk", T.LONGLONG, nullable=False),
+            Column.of("ss_cdemo_sk", T.LONGLONG, nullable=False),
+            Column.of("ss_hdemo_sk", T.LONGLONG, nullable=False),
+            Column.of("ss_addr_sk", T.LONGLONG, nullable=False),
+            Column.of("ss_store_sk", T.LONGLONG, nullable=False),
+            Column.of("ss_promo_sk", T.LONGLONG),
+            Column.of("ss_ticket_number", T.LONGLONG, nullable=False),
+            Column.of("ss_quantity", T.LONG, nullable=False),
+            Column.of("ss_sales_price", T.DOUBLE, nullable=False),
+            Column.of("ss_ext_sales_price", T.DOUBLE, nullable=False),
+            Column.of("ss_net_profit", T.DOUBLE, nullable=False),
+            Column.of("ss_wholesale_cost", T.DOUBLE, nullable=False),
+        ], [Index("PRIMARY", ("ss_ticket_number", "ss_item_sk"),
+                  primary=True),
+            Index("ss_item_idx", ("ss_item_sk",)),
+            Index("ss_date_idx", ("ss_sold_date_sk",))]),
+        _table("store_returns", [
+            Column.of("sr_returned_date_sk", T.LONGLONG, nullable=False),
+            Column.of("sr_item_sk", T.LONGLONG, nullable=False),
+            Column.of("sr_customer_sk", T.LONGLONG, nullable=False),
+            Column.of("sr_store_sk", T.LONGLONG, nullable=False),
+            Column.of("sr_ticket_number", T.LONGLONG, nullable=False),
+            Column.of("sr_return_quantity", T.LONG, nullable=False),
+            Column.of("sr_return_amt", T.DOUBLE, nullable=False),
+            Column.of("sr_net_loss", T.DOUBLE, nullable=False),
+        ], [Index("PRIMARY", ("sr_ticket_number", "sr_item_sk"),
+                  primary=True),
+            Index("sr_item_idx", ("sr_item_sk",)),
+            Index("sr_customer_idx", ("sr_customer_sk",))]),
+        _table("catalog_sales", [
+            Column.of("cs_sold_date_sk", T.LONGLONG, nullable=False),
+            Column.of("cs_ship_date_sk", T.LONGLONG, nullable=False),
+            Column.of("cs_bill_customer_sk", T.LONGLONG, nullable=False),
+            Column.of("cs_bill_cdemo_sk", T.LONGLONG, nullable=False),
+            Column.of("cs_bill_hdemo_sk", T.LONGLONG, nullable=False),
+            Column.of("cs_item_sk", T.LONGLONG, nullable=False),
+            Column.of("cs_promo_sk", T.LONGLONG),
+            Column.of("cs_order_number", T.LONGLONG, nullable=False),
+            Column.of("cs_quantity", T.LONG, nullable=False),
+            Column.of("cs_list_price", T.DOUBLE, nullable=False),
+            Column.of("cs_sales_price", T.DOUBLE, nullable=False),
+            Column.of("cs_ext_sales_price", T.DOUBLE, nullable=False),
+            Column.of("cs_net_profit", T.DOUBLE, nullable=False),
+            Column.of("cs_wholesale_cost", T.DOUBLE, nullable=False),
+        ], [Index("PRIMARY", ("cs_order_number", "cs_item_sk"),
+                  primary=True),
+            Index("cs_item_idx", ("cs_item_sk",)),
+            Index("cs_date_idx", ("cs_sold_date_sk",))]),
+        _table("catalog_returns", [
+            Column.of("cr_returned_date_sk", T.LONGLONG, nullable=False),
+            Column.of("cr_item_sk", T.LONGLONG, nullable=False),
+            Column.of("cr_returning_customer_sk", T.LONGLONG,
+                      nullable=False),
+            Column.of("cr_order_number", T.LONGLONG, nullable=False),
+            Column.of("cr_return_quantity", T.LONG, nullable=False),
+            Column.of("cr_return_amount", T.DOUBLE, nullable=False),
+            Column.of("cr_net_loss", T.DOUBLE, nullable=False),
+        ], [Index("PRIMARY", ("cr_order_number", "cr_item_sk"),
+                  primary=True),
+            Index("cr_item_idx", ("cr_item_sk",))]),
+        _table("web_sales", [
+            Column.of("ws_sold_date_sk", T.LONGLONG, nullable=False),
+            Column.of("ws_item_sk", T.LONGLONG, nullable=False),
+            Column.of("ws_bill_customer_sk", T.LONGLONG, nullable=False),
+            Column.of("ws_order_number", T.LONGLONG, nullable=False),
+            Column.of("ws_warehouse_sk", T.LONGLONG, nullable=False),
+            Column.of("ws_quantity", T.LONG, nullable=False),
+            Column.of("ws_sales_price", T.DOUBLE, nullable=False),
+            Column.of("ws_ext_sales_price", T.DOUBLE, nullable=False),
+            Column.of("ws_net_profit", T.DOUBLE, nullable=False),
+        ], [Index("PRIMARY", ("ws_order_number", "ws_item_sk"),
+                  primary=True),
+            Index("ws_item_idx", ("ws_item_sk",)),
+            Index("ws_date_idx", ("ws_sold_date_sk",))]),
+        _table("web_returns", [
+            Column.of("wr_returned_date_sk", T.LONGLONG, nullable=False),
+            Column.of("wr_item_sk", T.LONGLONG, nullable=False),
+            Column.of("wr_refunded_customer_sk", T.LONGLONG,
+                      nullable=False),
+            Column.of("wr_order_number", T.LONGLONG, nullable=False),
+            Column.of("wr_return_quantity", T.LONG, nullable=False),
+            Column.of("wr_return_amt", T.DOUBLE, nullable=False),
+            Column.of("wr_net_loss", T.DOUBLE, nullable=False),
+        ], [Index("PRIMARY", ("wr_order_number", "wr_item_sk"),
+                  primary=True),
+            Index("wr_item_idx", ("wr_item_sk",))]),
+        _table("inventory", [
+            Column.of("inv_date_sk", T.LONGLONG, nullable=False),
+            Column.of("inv_item_sk", T.LONGLONG, nullable=False),
+            Column.of("inv_warehouse_sk", T.LONGLONG, nullable=False),
+            Column.of("inv_quantity_on_hand", T.LONG, nullable=False),
+        ], [Index("PRIMARY",
+                  ("inv_date_sk", "inv_item_sk", "inv_warehouse_sk"),
+                  primary=True),
+            Index("inv_item_idx", ("inv_item_sk",))]),
+    ]
+
+
+TPCDS_TABLES: Dict[str, TableSchema] = {
+    schema.name: schema for schema in build_tpcds_schema()}
+
+
+def create_tpcds_tables(db) -> None:
+    for schema in build_tpcds_schema():
+        db.create_table(schema)

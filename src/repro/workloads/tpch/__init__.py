@@ -1,0 +1,13 @@
+"""A TPC-H-style workload: 8-table schema, generator, and the 22 queries."""
+
+from repro.workloads.tpch.schema import TPCH_TABLES, create_tpch_tables
+from repro.workloads.tpch.datagen import load_tpch
+from repro.workloads.tpch.queries import TPCH_QUERIES, tpch_query
+
+__all__ = [
+    "TPCH_QUERIES",
+    "TPCH_TABLES",
+    "create_tpch_tables",
+    "load_tpch",
+    "tpch_query",
+]

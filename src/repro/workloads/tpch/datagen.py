@@ -1,0 +1,194 @@
+"""Synthetic TPC-H data generator.
+
+Row counts follow the official per-scale-factor ratios, scaled down so the
+pure-Python engine can execute the full 22-query suite in minutes (the
+paper used SF 20 on a 4-node cluster; we keep the join-graph and
+selectivity *structure* rather than the volume — see DESIGN.md).
+
+Value distributions mirror dbgen where a query depends on them: dates span
+1992-1998; priorities, segments, brands, containers, ship modes and
+return flags cycle through the official small domains; ~1% of supplier
+comments contain the "Customer...Complaints" pattern Q16 filters on.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Dict, List
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+             "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+               "5-LOW"]
+_SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE",
+                 "TAKE BACK RETURN"]
+_TYPES_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_TYPES_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPES_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_CONTAINERS_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+_CONTAINERS_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN",
+                 "DRUM"]
+
+_START = datetime.date(1992, 1, 1)
+_DAYS = 2400  # through late 1998, like dbgen
+
+#: Base row counts at scale=1.0 (our mini scale; official ratios kept).
+BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 40,
+    "customer": 300,
+    "part": 400,
+    "partsupp": 1600,
+    "orders": 3000,
+    "lineitem": 12000,
+}
+
+
+def generate_tpch(scale: float = 1.0, seed: int = 42
+                  ) -> Dict[str, List[tuple]]:
+    """Generate all eight tables; returns table name -> row list."""
+    rng = random.Random(seed)
+    counts = {name: max(1, int(base * scale)) if name not in
+              ("region", "nation") else base
+              for name, base in BASE_ROWS.items()}
+
+    data: Dict[str, List[tuple]] = {}
+    data["region"] = [(i, _REGIONS[i], f"region comment {i}")
+                      for i in range(5)]
+    data["nation"] = [(i, name, region, f"nation comment {i}")
+                      for i, (name, region) in enumerate(_NATIONS)]
+
+    n_supplier = counts["supplier"]
+    suppliers = []
+    for key in range(1, n_supplier + 1):
+        comment = f"supplier comment {key}"
+        # Deterministic ~3% "Customer ... Complaints" comments so TPC-H
+        # Q16's NOT IN subquery is never vacuous at any scale.
+        if key % 29 == 3:
+            comment = f"blah Customer stuff Complaints blah {key}"
+        elif key % 31 == 5:
+            comment = f"blah Customer good Recommends blah {key}"
+        suppliers.append((
+            key, f"Supplier#{key:09d}", f"addr {key}",
+            rng.randrange(25), f"{rng.randrange(10, 35)}-555-{key:04d}",
+            round(rng.uniform(-999.99, 9999.99), 2), comment))
+    data["supplier"] = suppliers
+
+    n_customer = counts["customer"]
+    customers = []
+    for key in range(1, n_customer + 1):
+        phone_country = rng.randrange(10, 35)
+        customers.append((
+            key, f"Customer#{key:09d}", f"addr {key}",
+            rng.randrange(25), f"{phone_country}-555-{key:04d}",
+            round(rng.uniform(-999.99, 9999.99), 2),
+            _SEGMENTS[key % len(_SEGMENTS)], f"customer comment {key}"))
+    data["customer"] = customers
+
+    n_part = counts["part"]
+    parts = []
+    for key in range(1, n_part + 1):
+        brand = f"Brand#{rng.randrange(1, 6)}{rng.randrange(1, 6)}"
+        type_name = " ".join((rng.choice(_TYPES_1), rng.choice(_TYPES_2),
+                              rng.choice(_TYPES_3)))
+        container = " ".join((rng.choice(_CONTAINERS_1),
+                              rng.choice(_CONTAINERS_2)))
+        parts.append((
+            key, f"part name {key % 50} {key}", f"Manufacturer#{key % 5 + 1}",
+            brand, type_name, rng.randrange(1, 51), container,
+            round(900 + (key % 200) + key / 10.0, 2),
+            f"part comment {key}"))
+    data["part"] = parts
+
+    partsupp = []
+    per_part = max(1, counts["partsupp"] // n_part)
+    for part_key in range(1, n_part + 1):
+        for i in range(per_part):
+            supp_key = (part_key + i * (n_supplier // per_part + 1)) \
+                % n_supplier + 1
+            partsupp.append((
+                part_key, supp_key, rng.randrange(1, 10000),
+                round(rng.uniform(1.0, 1000.0), 2),
+                f"partsupp comment {part_key}-{supp_key}"))
+    data["partsupp"] = partsupp
+    ps_pairs = [(row[0], row[1]) for row in partsupp]
+
+    n_orders = counts["orders"]
+    orders = []
+    order_dates: Dict[int, datetime.date] = {}
+    for key in range(1, n_orders + 1):
+        order_date = _START + datetime.timedelta(days=rng.randrange(_DAYS))
+        order_dates[key] = order_date
+        orders.append((
+            key, rng.randrange(1, n_customer + 1),
+            rng.choice("OFP"), 0.0, order_date,
+            _PRIORITIES[key % len(_PRIORITIES)],
+            f"Clerk#{key % 100:09d}", 0, f"order comment {key}"))
+    data["orders"] = orders
+
+    n_lineitem = counts["lineitem"]
+    lineitems = []
+    per_order = max(1, n_lineitem // n_orders)
+    line_counter = 0
+    order_totals: Dict[int, float] = {}
+    for order_key in range(1, n_orders + 1):
+        lines = 1 + rng.randrange(per_order * 2 - 1) \
+            if per_order > 1 else 1
+        for line_number in range(1, lines + 1):
+            line_counter += 1
+            part_key, supp_key = ps_pairs[rng.randrange(len(ps_pairs))]
+            quantity = float(rng.randrange(1, 51))
+            extended = round(quantity * (900 + part_key % 200), 2)
+            discount = round(rng.randrange(0, 11) / 100.0, 2)
+            tax = round(rng.randrange(0, 9) / 100.0, 2)
+            order_date = order_dates[order_key]
+            ship_date = order_date + datetime.timedelta(
+                days=rng.randrange(1, 122))
+            commit_date = order_date + datetime.timedelta(
+                days=rng.randrange(30, 91))
+            receipt_date = ship_date + datetime.timedelta(
+                days=rng.randrange(1, 31))
+            return_flag = "R" if receipt_date <= datetime.date(1995, 6, 17) \
+                and rng.random() < 0.5 else ("A" if rng.random() < 0.25
+                                             else "N")
+            line_status = "O" if ship_date > datetime.date(1995, 6, 17) \
+                else "F"
+            lineitems.append((
+                order_key, part_key, supp_key, line_number, quantity,
+                extended, discount, tax, return_flag, line_status,
+                ship_date, commit_date, receipt_date,
+                rng.choice(_INSTRUCTIONS), rng.choice(_SHIP_MODES),
+                f"line comment {line_counter}"))
+            order_totals[order_key] = order_totals.get(order_key, 0.0) \
+                + extended * (1 - discount) * (1 + tax)
+    data["lineitem"] = lineitems
+    data["orders"] = [
+        (row[0], row[1], row[2], round(order_totals.get(row[0], 0.0), 2),
+         row[4], row[5], row[6], row[7], row[8])
+        for row in orders]
+    return data
+
+
+def load_tpch(db, scale: float = 1.0, seed: int = 42,
+              analyze: bool = True) -> None:
+    """Create, populate, and analyze the TPC-H tables in a Database."""
+    from repro.workloads.tpch.schema import create_tpch_tables
+
+    create_tpch_tables(db)
+    for name, rows in generate_tpch(scale, seed).items():
+        db.load(name, rows)
+    if analyze:
+        db.analyze()

@@ -1,0 +1,123 @@
+"""Shared fixtures: small schemas and loaded databases."""
+
+import datetime
+import random
+
+import pytest
+
+from repro import Database, DatabaseConfig
+from repro.catalog import Catalog, Column, Index, TableSchema
+from repro.mysql_types import MySQLType
+
+
+def _orders_schema():
+    return TableSchema("orders", [
+        Column.of("o_orderkey", MySQLType.LONGLONG, nullable=False),
+        Column.of("o_custkey", MySQLType.LONGLONG, nullable=False),
+        Column.of("o_status", MySQLType.STRING, 1, nullable=False),
+        Column.of("o_totalprice", MySQLType.DOUBLE, nullable=False),
+        Column.of("o_orderdate", MySQLType.DATE, nullable=False),
+        Column.of("o_priority", MySQLType.VARCHAR, 15, nullable=False),
+        Column.of("o_comment", MySQLType.VARCHAR, 79),
+    ], [Index("PRIMARY", ("o_orderkey",), primary=True),
+        Index("orders_custkey", ("o_custkey",))])
+
+
+def _lineitem_schema():
+    return TableSchema("lineitem", [
+        Column.of("l_orderkey", MySQLType.LONGLONG, nullable=False),
+        Column.of("l_partkey", MySQLType.LONGLONG, nullable=False),
+        Column.of("l_linenumber", MySQLType.LONG, nullable=False),
+        Column.of("l_quantity", MySQLType.DOUBLE, nullable=False),
+        Column.of("l_price", MySQLType.DOUBLE, nullable=False),
+        Column.of("l_shipdate", MySQLType.DATE, nullable=False),
+        Column.of("l_commitdate", MySQLType.DATE, nullable=False),
+        Column.of("l_receiptdate", MySQLType.DATE, nullable=False),
+    ], [Index("PRIMARY", ("l_orderkey", "l_linenumber"), primary=True),
+        Index("lineitem_partkey", ("l_partkey",))])
+
+
+def _customer_schema():
+    return TableSchema("customer", [
+        Column.of("c_custkey", MySQLType.LONGLONG, nullable=False),
+        Column.of("c_name", MySQLType.VARCHAR, 25, nullable=False),
+        Column.of("c_segment", MySQLType.STRING, 10, nullable=False),
+        Column.of("c_acctbal", MySQLType.DOUBLE, nullable=False),
+        Column.of("c_comment", MySQLType.VARCHAR, 100),
+    ], [Index("PRIMARY", ("c_custkey",), primary=True)])
+
+
+def _part_schema():
+    return TableSchema("part", [
+        Column.of("p_partkey", MySQLType.LONGLONG, nullable=False),
+        Column.of("p_brand", MySQLType.VARCHAR, 10, nullable=False),
+        Column.of("p_size", MySQLType.LONG, nullable=False),
+    ], [Index("PRIMARY", ("p_partkey",), primary=True)])
+
+
+@pytest.fixture
+def mini_catalog():
+    """A catalog with orders/lineitem/customer/part schemas (no data)."""
+    catalog = Catalog()
+    for schema in (_orders_schema(), _lineitem_schema(),
+                   _customer_schema(), _part_schema()):
+        catalog.create_table(schema)
+    return catalog
+
+
+def build_mini_db(seed: int = 0, orders: int = 300,
+                  lines_per_order: int = 4) -> Database:
+    """A loaded database with deterministic synthetic data."""
+    rng = random.Random(seed)
+    db = Database(DatabaseConfig(complex_query_threshold=3))
+    for schema in (_orders_schema(), _lineitem_schema(),
+                   _customer_schema(), _part_schema()):
+        db.create_table(schema)
+
+    start = datetime.date(1995, 1, 1)
+    n_customers = max(10, orders // 5)
+    n_parts = max(10, orders // 4)
+
+    db.load("customer", [
+        (k, f"Customer#{k}", ["GOLD", "SILVER", "BRONZE"][k % 3],
+         round(rng.uniform(-500, 5000), 2), f"comment {k}")
+        for k in range(1, n_customers + 1)])
+    db.load("part", [
+        (k, f"Brand#{k % 5}", k % 50 + 1) for k in range(1, n_parts + 1)])
+    order_rows = []
+    line_rows = []
+    for key in range(1, orders + 1):
+        date = start + datetime.timedelta(days=rng.randrange(365))
+        order_rows.append((
+            key, rng.randrange(1, n_customers + 1), rng.choice("OFP"),
+            round(rng.uniform(100, 10000), 2), date,
+            f"{key % 5}-PRIO", None if key % 7 == 0 else f"note {key}"))
+        for line in range(1, rng.randrange(1, lines_per_order * 2) + 1):
+            ship = date + datetime.timedelta(days=rng.randrange(1, 60))
+            commit = date + datetime.timedelta(days=rng.randrange(10, 50))
+            receipt = ship + datetime.timedelta(days=rng.randrange(1, 20))
+            line_rows.append((
+                key, rng.randrange(1, n_parts + 1), line,
+                float(rng.randrange(1, 50)),
+                round(rng.uniform(10, 500), 2), ship, commit, receipt))
+    db.load("orders", order_rows)
+    db.load("lineitem", line_rows)
+    db.analyze()
+    return db
+
+
+@pytest.fixture(scope="module")
+def mini_db():
+    return build_mini_db()
+
+
+def brute_force(db, tables, predicate, project):
+    """Reference evaluator: cartesian product + Python predicate."""
+    import itertools
+
+    heaps = [db.storage.heap(t).rows for t in tables]
+    out = []
+    for combo in itertools.product(*heaps):
+        if predicate(*combo):
+            out.append(project(*combo))
+    return out

@@ -1,0 +1,141 @@
+"""Tests for the catalog: schemas, statistics, and the data dictionary."""
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    Column,
+    ColumnStatistics,
+    Index,
+    TableSchema,
+    TableStatistics,
+)
+from repro.errors import CatalogError
+from repro.mysql_types import MySQLType
+
+
+def make_schema(name="t"):
+    return TableSchema(name, [
+        Column.of("id", MySQLType.LONGLONG, nullable=False),
+        Column.of("name", MySQLType.VARCHAR, 30),
+        Column.of("amount", MySQLType.DOUBLE),
+    ], [Index("PRIMARY", ("id",), primary=True)])
+
+
+class TestTableSchema:
+    def test_column_positions(self):
+        schema = make_schema()
+        assert schema.column_position("id") == 0
+        assert schema.column_position("amount") == 2
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(CatalogError):
+            make_schema().column_position("missing")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("bad", [
+                Column.of("a", MySQLType.LONG),
+                Column.of("a", MySQLType.LONG),
+            ])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("bad", [])
+
+    def test_primary_key_lookup(self):
+        schema = make_schema()
+        assert schema.primary_key.name == "PRIMARY"
+        assert schema.primary_key.unique
+
+    def test_primary_implies_unique(self):
+        index = Index("PRIMARY", ("id",), primary=True)
+        assert index.unique
+
+    def test_duplicate_index_rejected(self):
+        schema = make_schema()
+        with pytest.raises(CatalogError):
+            schema.add_index(Index("PRIMARY", ("name",)))
+
+    def test_index_on_unknown_column_rejected(self):
+        schema = make_schema()
+        with pytest.raises(CatalogError):
+            schema.add_index(Index("bad", ("missing",)))
+
+    def test_indexes_on_prefix(self):
+        schema = make_schema()
+        schema.add_index(Index("name_amount", ("name", "amount")))
+        assert [i.name for i in schema.indexes_on_prefix("name")] == \
+            ["name_amount"]
+        assert schema.indexes_on_prefix("amount") == []
+
+    def test_unique_columns(self):
+        schema = make_schema()
+        assert schema.unique_columns() == frozenset({"id"})
+
+    def test_row_width_positive(self):
+        assert make_schema().row_width > 0
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema())
+        assert catalog.has_table("t")
+        assert catalog.table("T").name == "t"  # case-insensitive
+
+    def test_duplicate_create_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema())
+        with pytest.raises(CatalogError):
+            catalog.create_table(make_schema())
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("nope")
+
+    def test_drop_table(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema())
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+
+    def test_statistics_created_with_table(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema())
+        assert catalog.statistics("t").row_count == 0
+
+    def test_set_statistics(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema())
+        catalog.set_statistics("t", TableStatistics(row_count=42))
+        assert catalog.statistics("t").row_count == 42
+
+
+class TestColumnStatistics:
+    def test_from_values(self):
+        stats = ColumnStatistics.from_values([1, 2, 2, 3, None])
+        assert stats.null_count == 1
+        assert stats.distinct_count == 3
+        assert stats.min_value == 1
+        assert stats.max_value == 3
+        assert stats.histogram is not None
+
+    def test_unique_flag_carried(self):
+        stats = ColumnStatistics.from_values([1, 2, 3], unique=True)
+        assert stats.unique
+        # Histograms are built even for unique columns — the restriction
+        # MySQL normally applies was lifted for Orca (Section 5.5).
+        assert stats.histogram is not None
+
+    def test_histogram_optional(self):
+        stats = ColumnStatistics.from_values([1, 2], with_histogram=False)
+        assert stats.histogram is None
+
+    def test_null_fraction(self):
+        stats = ColumnStatistics.from_values([1, None, None, None])
+        assert stats.null_fraction(4) == pytest.approx(0.75)
+
+    def test_table_statistics_default_column(self):
+        table = TableStatistics(row_count=100)
+        assert table.ndv("never_analyzed") >= 1

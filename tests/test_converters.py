@@ -1,0 +1,215 @@
+"""Tests for the two bridge tree converters (Sections 4.1 and 4.2)."""
+
+import pytest
+
+from repro.bridge.metadata_provider import MySQLMetadataProvider
+from repro.bridge.parse_tree_converter import ParseTreeConverter
+from repro.bridge.plan_converter import OrcaPlanConverter
+from repro.errors import OrcaFallbackError
+from repro.mysql_optimizer.skeleton import JoinMethod
+from repro.orca.joinorder import JoinSearchMode, SubEstimates
+from repro.orca.mdcache import MDAccessor
+from repro.orca.optimizer import OrcaConfig, OrcaOptimizer
+from repro.selectivity import SelectivityEstimator
+from repro.sql import ast
+from repro.sql.blocks import NestKind
+from repro.sql.parser import parse_statement
+from repro.sql.prepare import prepare
+from repro.sql.resolver import Resolver
+
+from tests.conftest import build_mini_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_mini_db(seed=8, orders=200)
+
+
+def convert(db, sql):
+    stmt = parse_statement(sql)
+    block, context = Resolver(db.catalog).resolve(stmt)
+    prepare(block)
+    provider = MySQLMetadataProvider(db.catalog)
+    accessor = MDAccessor(provider)
+    converter = ParseTreeConverter(accessor)
+    return converter.convert_block(block), block, context, converter
+
+
+class TestParseTreeConverter:
+    def test_predicate_segregation_q4_style(self, db):
+        # The Listing 3 -> Listing 4 transformation: local predicates move
+        # onto the gets, the join condition stays at the (semi) join.
+        logical, block, __, __ = convert(db, """
+            SELECT o_priority, COUNT(*) FROM orders
+            WHERE o_totalprice > 100
+              AND EXISTS (SELECT * FROM lineitem
+                          WHERE l_orderkey = o_orderkey
+                            AND l_commitdate < l_receiptdate)
+            GROUP BY o_priority""")
+        orders_unit = logical.core.units[0]
+        assert len(orders_unit.conjuncts) == 1  # o_totalprice > 100
+        assert len(logical.semi_joins) == 1
+        nest = logical.semi_joins[0]
+        assert nest.kind is NestKind.SEMI
+        # The lineitem-local predicate was segregated onto its get.
+        assert len(nest.inners[0].conjuncts) == 1
+        # The join equality bridges the nest.
+        assert len(nest.conjuncts) == 1
+
+    def test_cross_conjuncts_in_core(self, db):
+        logical, __, __, __ = convert(db, """
+            SELECT 1 FROM customer, orders
+            WHERE c_custkey = o_custkey AND c_segment = 'GOLD'""")
+        assert len(logical.core.conjuncts) == 1
+        assert len(logical.core.units) == 2
+
+    def test_table_descriptors_carry_table_list_pointer(self, db):
+        logical, block, __, __ = convert(
+            db, "SELECT 1 FROM orders, customer "
+                "WHERE c_custkey = o_custkey")
+        for unit in logical.core.units:
+            assert unit.descriptor.entry in block.entries
+            assert unit.descriptor.entry.block is block
+
+    def test_descriptors_get_oids_from_provider(self, db):
+        logical, __, __, converter = convert(
+            db, "SELECT 1 FROM orders, customer "
+                "WHERE c_custkey = o_custkey")
+        mdids = {unit.descriptor.mdid for unit in logical.core.units}
+        assert len(mdids) == 2
+        assert all(mdid >= 1_000_000 for mdid in mdids)
+
+    def test_expressions_annotated_with_oids(self, db):
+        __, __, __, converter = convert(
+            db, "SELECT 1 FROM orders WHERE o_priority = 'x'")
+        assert converter.expression_oids  # comparisons got OIDs
+        for oid, commutator, inverse in converter.expression_oids.values():
+            assert oid != 0
+
+    def test_left_join_spec(self, db):
+        logical, __, __, __ = convert(db, """
+            SELECT c_custkey FROM customer
+            LEFT JOIN orders ON c_custkey = o_custkey
+            WHERE c_acctbal IS NULL""")
+        assert len(logical.outer_joins) == 1
+        assert len(logical.outer_joins[0].on_conjuncts) == 1
+        # IS NULL on the preserved side is residual-free; the residual
+        # holds nothing referencing the LEFT inner.
+        assert len(logical.core.units) == 1
+
+    def test_where_on_left_inner_goes_residual(self, db):
+        logical, __, __, __ = convert(db, """
+            SELECT c_custkey FROM customer
+            LEFT JOIN orders ON c_custkey = o_custkey
+            WHERE o_totalprice IS NULL""")
+        assert len(logical.residual.conjuncts) == 1
+
+    def test_aggregation_operator(self, db):
+        logical, __, __, __ = convert(db, """
+            SELECT o_custkey, SUM(o_totalprice) FROM orders
+            GROUP BY o_custkey""")
+        assert logical.agg is not None
+        assert len(logical.agg.group_exprs) == 1
+        assert len(logical.agg.agg_calls) == 1
+
+    def test_limit_and_order(self, db):
+        logical, __, __, __ = convert(db, """
+            SELECT o_orderkey FROM orders ORDER BY o_totalprice LIMIT 7""")
+        assert logical.limit.limit == 7
+        assert len(logical.limit.order_items) == 1
+
+
+def full_orca_plan(db, sql, mode=JoinSearchMode.EXHAUSTIVE2):
+    stmt = parse_statement(sql)
+    block, context = Resolver(db.catalog).resolve(stmt)
+    prepare(block)
+    provider = MySQLMetadataProvider(db.catalog)
+    accessor = MDAccessor(provider)
+    converter = ParseTreeConverter(accessor)
+    estimator = SelectivityEstimator(accessor, use_histograms=True)
+    optimizer = OrcaOptimizer(estimator, OrcaConfig(search=mode))
+    logical = converter.convert_block(block)
+    block_plan = optimizer.optimize_block(logical, SubEstimates())
+    return block_plan, block, context
+
+
+class TestPlanConverter:
+    def test_positions_cover_all_entries(self, db):
+        block_plan, block, context = full_orca_plan(db, """
+            SELECT COUNT(*) FROM customer, orders, lineitem
+            WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey""")
+        skeleton = OrcaPlanConverter(context).convert(
+            {block.block_id: block_plan}, block)
+        positions = skeleton.skeleton_for(block).positions
+        covered = set()
+        for position in positions:
+            covered.update(position.all_entry_ids())
+        assert covered == {e.entry_id for e in block.entries}
+
+    def test_origin_is_orca(self, db):
+        block_plan, block, context = full_orca_plan(
+            db, "SELECT COUNT(*) FROM orders, customer "
+                "WHERE o_custkey = c_custkey")
+        skeleton = OrcaPlanConverter(context).convert(
+            {block.block_id: block_plan}, block)
+        assert skeleton.origin == "orca"
+
+    def test_costs_copied_from_orca(self, db):
+        # Section 4.2.2: "cost and cardinality estimations ... are copied
+        # over to the MySQL side".
+        block_plan, block, context = full_orca_plan(
+            db, "SELECT COUNT(*) FROM orders, customer "
+                "WHERE o_custkey = c_custkey")
+        skeleton = OrcaPlanConverter(context).convert(
+            {block.block_id: block_plan}, block)
+        for position in skeleton.skeleton_for(block).positions:
+            assert position.cost > 0
+
+    def test_abort_when_block_structure_changed(self, db):
+        # Section 4.2.1: "if the first pass discovers that Orca has
+        # changed the query block structure altogether, Orca optimization
+        # is aborted".  Simulated by grafting a leaf from another block.
+        plan_a, block_a, context = full_orca_plan(
+            db, "SELECT COUNT(*) FROM orders, customer "
+                "WHERE o_custkey = c_custkey")
+        plan_b, block_b, context_b = full_orca_plan(
+            db, "SELECT COUNT(*) FROM lineitem, part "
+                "WHERE l_partkey = p_partkey")
+        # Tamper: pretend plan_b's tree belongs to block_a.
+        plan_b.block = block_a
+        with pytest.raises(OrcaFallbackError):
+            OrcaPlanConverter(context_b).convert(
+                {block_a.block_id: plan_b}, block_a)
+
+    def test_hash_join_build_side_becomes_position(self, db):
+        # The build/probe flip of Section 7, lesson 2: the best-position
+        # entry for a hash join is its build side.
+        block_plan, block, context = full_orca_plan(db, """
+            SELECT COUNT(*) FROM orders, lineitem
+            WHERE o_orderkey = l_orderkey""")
+        from repro.orca.operators import PhysicalHashJoin
+
+        root = block_plan.root
+        while root is not None and not isinstance(root, PhysicalHashJoin):
+            children = root.children()
+            root = children[0] if children else None
+        if root is None:
+            pytest.skip("optimizer did not pick a hash join here")
+        build_entry = next(iter(root.build.leaves())).descriptor.entry
+        skeleton = OrcaPlanConverter(context).convert(
+            {block.block_id: block_plan}, block)
+        positions = skeleton.skeleton_for(block).positions
+        hash_positions = [p for p in positions
+                          if p.join_method is JoinMethod.HASH]
+        assert any(build_entry.entry_id in p.all_entry_ids()
+                   for p in hash_positions)
+
+    def test_semi_positions_keep_nest_ids(self, db):
+        block_plan, block, context = full_orca_plan(db, """
+            SELECT c_custkey FROM customer
+            WHERE EXISTS (SELECT * FROM orders
+                          WHERE o_custkey = c_custkey)""")
+        skeleton = OrcaPlanConverter(context).convert(
+            {block.block_id: block_plan}, block)
+        positions = skeleton.skeleton_for(block).positions
+        assert any(p.nest_id is not None for p in positions)

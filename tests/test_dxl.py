@@ -1,0 +1,133 @@
+"""Tests for the DXL exchange format: every object must round-trip."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bridge import dxl
+from repro.catalog import Column, Index, TableSchema
+from repro.catalog.histogram import build_histogram
+from repro.catalog.statistics import ColumnStatistics, TableStatistics
+from repro.mysql_types import MySQLType
+
+
+class TestValueEncoding:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -17, 3.5, "text with spaces",
+        datetime.date(1995, 6, 17),
+        datetime.datetime(1995, 6, 17, 10, 30, 5),
+        "str:with:colons",
+    ])
+    def test_roundtrip(self, value):
+        assert dxl.decode_value(dxl.encode_value(value)) == value
+
+    def test_bool_not_confused_with_int(self):
+        assert dxl.decode_value(dxl.encode_value(True)) is True
+        assert dxl.decode_value(dxl.encode_value(1)) == 1
+        assert not isinstance(dxl.decode_value(dxl.encode_value(1)), bool)
+
+    @given(st.one_of(st.none(), st.integers(), st.floats(allow_nan=False),
+                     st.text(), st.dates()))
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, value):
+        assert dxl.decode_value(dxl.encode_value(value)) == value
+
+
+class TestRelationDxl:
+    def _schema(self):
+        return TableSchema("lineitem", [
+            Column.of("l_orderkey", MySQLType.LONGLONG, nullable=False),
+            Column.of("l_comment", MySQLType.VARCHAR, 44),
+            Column.of("l_shipdate", MySQLType.DATE, nullable=False),
+        ], [Index("PRIMARY", ("l_orderkey",), primary=True),
+            Index("ship_idx", ("l_shipdate", "l_orderkey"))],
+            schema="tpch")
+
+    def test_roundtrip(self):
+        schema = self._schema()
+        text = dxl.relation_to_dxl(schema, 1_000_000,
+                                   [1_000_001, 1_000_002, 1_000_003],
+                                   [1_000_500, 1_000_501])
+        back = dxl.relation_from_dxl(text)
+        assert back.name == "lineitem"
+        assert back.schema == "tpch"
+        assert [c.name for c in back.columns] == \
+            [c.name for c in schema.columns]
+        assert back.columns[1].type.modifier == 44
+        assert back.columns[0].type.base is MySQLType.LONGLONG
+        assert not back.columns[0].nullable
+        assert back.columns[1].nullable
+        assert back.indexes[0].primary
+        assert back.indexes[1].column_names == ("l_shipdate", "l_orderkey")
+
+    def test_is_valid_xml_with_dxl_namespace(self):
+        text = dxl.relation_to_dxl(self._schema(), 1, [2, 3, 4], [5, 6])
+        assert dxl.DXL_NS in text
+
+
+class TestStatisticsDxl:
+    def test_roundtrip_with_both_histogram_kinds(self):
+        stats = TableStatistics(row_count=500)
+        stats.columns["num"] = ColumnStatistics.from_values(
+            list(range(500)), unique=True)
+        stats.columns["flag"] = ColumnStatistics.from_values(
+            ["a", "b", "a", None] * 50)
+        text = dxl.statistics_to_dxl(stats, 1_000_900)
+        back = dxl.statistics_from_dxl(text)
+        assert back.row_count == 500
+        assert back.columns["num"].unique
+        assert back.columns["num"].distinct_count == 500
+        assert back.columns["flag"].null_count == 50
+        assert back.columns["flag"].histogram.kind == "singleton"
+        assert back.columns["num"].histogram.kind == "equi_height"
+
+    def test_histogram_selectivities_preserved(self):
+        values = [i % 97 for i in range(1000)]
+        stats = TableStatistics(row_count=1000)
+        stats.columns["v"] = ColumnStatistics.from_values(values)
+        back = dxl.statistics_from_dxl(dxl.statistics_to_dxl(stats, 9))
+        original = stats.columns["v"].histogram
+        parsed = back.columns["v"].histogram
+        for probe in (0, 13, 50, 96):
+            assert parsed.selectivity_eq(probe) == pytest.approx(
+                original.selectivity_eq(probe))
+            assert parsed.selectivity_lt(probe) == pytest.approx(
+                original.selectivity_lt(probe))
+
+    def test_date_min_max_roundtrip(self):
+        stats = TableStatistics(row_count=2)
+        stats.columns["d"] = ColumnStatistics.from_values(
+            [datetime.date(1995, 1, 1), datetime.date(1998, 12, 31)])
+        back = dxl.statistics_from_dxl(dxl.statistics_to_dxl(stats, 9))
+        assert back.columns["d"].min_value == datetime.date(1995, 1, 1)
+        assert back.columns["d"].max_value == datetime.date(1998, 12, 31)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_statistics_roundtrip_property(self, values):
+        stats = TableStatistics(row_count=len(values))
+        stats.columns["x"] = ColumnStatistics.from_values(values)
+        back = dxl.statistics_from_dxl(dxl.statistics_to_dxl(stats, 1))
+        assert back.row_count == len(values)
+        column = back.columns["x"]
+        assert column.distinct_count == len(set(values))
+        assert column.min_value == min(values)
+        assert column.max_value == max(values)
+
+
+class TestTypeDxl:
+    def test_roundtrip(self):
+        text = dxl.type_to_dxl(MySQLType.VARCHAR, 1014)
+        info = dxl.type_from_dxl(text)
+        assert info["name"] == "VARCHAR"
+        assert info["category"] == "STR"
+        assert info["text_related"]
+        assert not info["pass_by_value"]
+        assert info["length"] == "variable"
+
+    def test_fixed_length_type(self):
+        info = dxl.type_from_dxl(dxl.type_to_dxl(MySQLType.LONG, 1003))
+        assert info["length"] == "4"
+        assert info["pass_by_value"]

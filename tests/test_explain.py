@@ -1,0 +1,79 @@
+"""Tests for EXPLAIN output formatting (Listing 7's features)."""
+
+import pytest
+
+from tests.conftest import build_mini_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_mini_db(seed=17, orders=150)
+
+
+Q17_STYLE = """
+SELECT SUM(l_price) FROM lineitem, part
+WHERE p_partkey = l_partkey AND p_brand = 'Brand#1'
+  AND l_quantity < (SELECT AVG(l_quantity) FROM lineitem
+                    WHERE l_partkey = p_partkey)
+LIMIT 1
+"""
+
+
+class TestExplainShape:
+    def test_orca_header_line(self, db):
+        # Listing 7: "the first line indicates that the plan was
+        # Orca-assisted".
+        text = db.explain(Q17_STYLE, optimizer="orca")
+        assert text.splitlines()[0] == "EXPLAIN (ORCA)"
+
+    def test_limit_line(self, db):
+        text = db.explain(Q17_STYLE, optimizer="orca")
+        assert "Limit: 1 row(s)" in text
+
+    def test_costs_and_rows_on_every_operator(self, db):
+        text = db.explain(Q17_STYLE, optimizer="mysql")
+        operator_lines = [line for line in text.splitlines()
+                          if "-> " in line and "Materialize" not in line]
+        assert operator_lines
+        for line in operator_lines:
+            assert "cost=" in line and "rows=" in line
+
+    def test_correlated_materialize_invalidation_annotation(self, db):
+        # Listing 7's "Materialize (invalidate on row from part)".
+        text = db.explain(Q17_STYLE, optimizer="orca")
+        assert "invalidate on row from" in text
+
+    def test_derived_table_named_like_mysql(self, db):
+        # MySQL names the materialised temporary 'derived_<block>_<sub>'
+        # and its column Name_exp_1 (both visible in Listing 7).
+        text = db.explain(Q17_STYLE, optimizer="orca")
+        assert "derived_" in text
+        assert "Name_exp_1" in text
+
+    def test_filters_printed(self, db):
+        text = db.explain(
+            "SELECT o_orderkey FROM orders WHERE o_totalprice > 100",
+            optimizer="mysql")
+        assert "Filter:" in text
+        assert "o_totalprice" in text
+
+    def test_join_operators_named(self, db):
+        text = db.explain("""
+            SELECT COUNT(*) FROM customer, orders, lineitem
+            WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey""",
+            optimizer="orca")
+        assert "join" in text.lower()
+
+    def test_index_lookup_shows_key(self, db):
+        text = db.explain("""
+            SELECT c_name, o_totalprice FROM customer, orders
+            WHERE c_custkey = o_custkey AND c_custkey = 3""",
+            optimizer="mysql")
+        assert "Index lookup" in text or "Index range scan" in text
+
+    def test_aggregate_line_shows_strategy(self, db):
+        text = db.explain(
+            "SELECT o_status, COUNT(*) FROM orders GROUP BY o_status",
+            optimizer="mysql")
+        assert "aggregate" in text.lower()
+        assert "streaming" in text or "hash" in text

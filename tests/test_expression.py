@@ -1,0 +1,223 @@
+"""Tests for the expression compiler: SQL semantics over context rows."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.executor.expression import ExpressionCompiler, is_true
+from repro.mysql_types import Interval
+from repro.sql import ast
+
+
+def lit(value):
+    return ast.Literal(value)
+
+
+def col(entry_id, position):
+    return ast.ColumnRef(None, f"c{position}", entry_id, position)
+
+
+def evaluate(expr, ctx=None):
+    return ExpressionCompiler().compile(expr)(ctx or [])
+
+
+class TestLiteralsAndColumns:
+    def test_literal(self):
+        assert evaluate(lit(42)) == 42
+
+    def test_column_read(self):
+        ctx = [None, (10, "x")]
+        assert evaluate(col(1, 0), ctx) == 10
+
+    def test_null_extended_row_reads_null(self):
+        # A LEFT JOIN miss sets the slot to None; columns read as NULL.
+        ctx = [None]
+        assert evaluate(col(0, 0), ctx) is None
+
+    def test_unresolved_column_rejected(self):
+        with pytest.raises(ExecutionError):
+            evaluate(ast.ColumnRef(None, "x"))
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        cases = [
+            (True, True, True), (True, False, False),
+            (True, None, None), (False, None, False),
+            (None, None, None), (False, False, False),
+        ]
+        for a, b, expected in cases:
+            expr = ast.BinaryExpr(ast.BinOp.AND, lit(a), lit(b))
+            assert evaluate(expr) is expected, (a, b)
+
+    def test_or_truth_table(self):
+        cases = [
+            (True, None, True), (False, None, None),
+            (None, None, None), (False, False, False),
+            (True, False, True),
+        ]
+        for a, b, expected in cases:
+            expr = ast.BinaryExpr(ast.BinOp.OR, lit(a), lit(b))
+            assert evaluate(expr) is expected, (a, b)
+
+    def test_not_of_null(self):
+        assert evaluate(ast.NotExpr(lit(None))) is None
+
+    def test_comparison_with_null_is_unknown(self):
+        expr = ast.BinaryExpr(ast.BinOp.EQ, lit(None), lit(1))
+        assert evaluate(expr) is None
+
+    def test_is_true_only_for_true(self):
+        assert is_true(True)
+        assert not is_true(None)
+        assert not is_true(False)
+        assert not is_true(1)
+
+
+class TestPredicates:
+    def test_between(self):
+        expr = ast.BetweenExpr(lit(5), lit(1), lit(10))
+        assert evaluate(expr) is True
+
+    def test_between_null_operand(self):
+        expr = ast.BetweenExpr(lit(None), lit(1), lit(10))
+        assert evaluate(expr) is None
+
+    def test_like_percent(self):
+        expr = ast.LikeExpr(lit("hello world"), lit("%wor%"))
+        assert evaluate(expr) is True
+
+    def test_like_underscore(self):
+        assert evaluate(ast.LikeExpr(lit("cat"), lit("c_t"))) is True
+        assert evaluate(ast.LikeExpr(lit("cart"), lit("c_t"))) is False
+
+    def test_like_anchors(self):
+        assert evaluate(ast.LikeExpr(lit("abc"), lit("abc"))) is True
+        assert evaluate(ast.LikeExpr(lit("xabc"), lit("abc"))) is False
+
+    def test_not_like(self):
+        expr = ast.LikeExpr(lit("abc"), lit("%b%"), negated=True)
+        assert evaluate(expr) is False
+
+    def test_like_escapes_regex_chars(self):
+        assert evaluate(ast.LikeExpr(lit("a.c"), lit("a.c"))) is True
+        assert evaluate(ast.LikeExpr(lit("abc"), lit("a.c"))) is False
+
+    def test_in_list(self):
+        expr = ast.InListExpr(lit(2), [lit(1), lit(2)])
+        assert evaluate(expr) is True
+
+    def test_not_in_list_with_null_is_unknown(self):
+        expr = ast.InListExpr(lit(3), [lit(1), lit(None)], negated=True)
+        assert evaluate(expr) is None
+
+    def test_is_null(self):
+        assert evaluate(ast.IsNullExpr(lit(None))) is True
+        assert evaluate(ast.IsNullExpr(lit(1), negated=True)) is True
+
+    def test_case_first_match_wins(self):
+        expr = ast.CaseExpr(
+            [(lit(False), lit("a")), (lit(True), lit("b")),
+             (lit(True), lit("c"))], lit("d"))
+        assert evaluate(expr) == "b"
+
+    def test_case_else(self):
+        expr = ast.CaseExpr([(lit(False), lit("a"))], lit("fallback"))
+        assert evaluate(expr) == "fallback"
+
+    def test_case_no_else_returns_null(self):
+        expr = ast.CaseExpr([(lit(False), lit("a"))])
+        assert evaluate(expr) is None
+
+
+class TestArithmetic:
+    def test_division_by_zero_is_null(self):
+        expr = ast.BinaryExpr(ast.BinOp.DIV, lit(1), lit(0))
+        assert evaluate(expr) is None
+
+    def test_date_plus_interval(self):
+        expr = ast.BinaryExpr(
+            ast.BinOp.ADD, lit(datetime.date(1995, 1, 30)),
+            ast.IntervalLiteral(Interval(days=3)))
+        assert evaluate(expr) == datetime.date(1995, 2, 2)
+
+    def test_date_minus_date_gives_days(self):
+        expr = ast.BinaryExpr(
+            ast.BinOp.SUB, lit(datetime.date(1995, 2, 1)),
+            lit(datetime.date(1995, 1, 1)))
+        assert evaluate(expr) == 31
+
+    def test_negation(self):
+        assert evaluate(ast.NegExpr(lit(5))) == -5
+        assert evaluate(ast.NegExpr(lit(None))) is None
+
+    @given(st.one_of(st.none(), st.integers(-100, 100)),
+           st.one_of(st.none(), st.integers(-100, 100)))
+    @settings(max_examples=100)
+    def test_null_propagation(self, a, b):
+        """Property: any NULL operand makes arithmetic NULL."""
+        for op in (ast.BinOp.ADD, ast.BinOp.SUB, ast.BinOp.MUL):
+            value = evaluate(ast.BinaryExpr(op, lit(a), lit(b)))
+            if a is None or b is None:
+                assert value is None
+            else:
+                assert value is not None
+
+
+class TestFunctions:
+    def test_substring(self):
+        expr = ast.FuncCall("SUBSTRING", [lit("abcdef"), lit(2), lit(3)])
+        assert evaluate(expr) == "bcd"
+
+    def test_concat(self):
+        expr = ast.FuncCall("CONCAT", [lit("a"), lit("b"), lit(1)])
+        assert evaluate(expr) == "ab1"
+
+    def test_coalesce(self):
+        expr = ast.FuncCall("COALESCE", [lit(None), lit(None), lit(3)])
+        assert evaluate(expr) == 3
+
+    def test_extract_year(self):
+        expr = ast.FuncCall("EXTRACT_YEAR",
+                            [lit(datetime.date(1995, 6, 17))])
+        assert evaluate(expr) == 1995
+
+    def test_cast_signed(self):
+        assert evaluate(ast.FuncCall("CAST_SIGNED", [lit("42")])) == 42
+
+    def test_floor(self):
+        assert evaluate(ast.FuncCall("FLOOR", [lit(3.7)])) == 3
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError):
+            evaluate(ast.FuncCall("NO_SUCH_FUNC", []))
+
+    def test_null_guard_on_functions(self):
+        assert evaluate(ast.FuncCall("UPPER", [lit(None)])) is None
+
+
+class TestCompilerGuards:
+    def test_aggregate_rejected(self):
+        with pytest.raises(ExecutionError):
+            evaluate(ast.AggCall(ast.AggFunc.SUM, lit(1)))
+
+    def test_window_rejected(self):
+        with pytest.raises(ExecutionError):
+            evaluate(ast.WindowCall("RANK", []))
+
+    def test_subquery_needs_host(self):
+        expr = ast.ScalarSubquery(None)
+        expr.block = object()
+        with pytest.raises(ExecutionError):
+            ExpressionCompiler().compile(expr)
+
+    def test_filter_of_empty_conjuncts_is_true(self):
+        fn = ExpressionCompiler().compile_filter([])
+        assert fn([]) is True
+
+    def test_filter_combines_conjuncts(self):
+        fn = ExpressionCompiler().compile_filter([lit(True), lit(False)])
+        assert fn([]) is False

@@ -1,0 +1,166 @@
+"""Tests for singleton and equi-height histograms (Sections 5.5 and 7)."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.histogram import (
+    EquiHeightHistogram,
+    SingletonHistogram,
+    build_histogram,
+    encode_string_key,
+)
+
+
+class TestStringKeyEncoding:
+    def test_order_preserving_within_prefix(self):
+        # The paper's scheme converts string bucket boundaries to 64-bit
+        # signed integers with an order-preserving function (Section 7).
+        words = ["apple", "banana", "cherry", "damson", "elderberry"]
+        keys = [encode_string_key(w) for w in words]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+
+    def test_long_common_prefix_collides(self):
+        # "because of the fixed length, it cannot distinguish between two
+        # strings with a long common prefix" — the documented weakness.
+        a = "commonprefix_aaaa"
+        b = "commonprefix_bbbb"
+        assert encode_string_key(a) == encode_string_key(b)
+
+    def test_empty_string_is_minimal(self):
+        assert encode_string_key("") <= encode_string_key("a")
+
+    def test_non_negative(self):
+        for s in ["", "a", "\x7f" * 10, "zzzzzzzzzz"]:
+            assert encode_string_key(s) >= 0
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=200)
+    def test_weak_order_preservation(self, a, b):
+        # Keys may collide, but they must never invert the byte order of
+        # strings that differ within the 7-byte prefix.
+        ka, kb = encode_string_key(a), encode_string_key(b)
+        ba = a.encode("utf-8", errors="replace")[:7]
+        bb = b.encode("utf-8", errors="replace")[:7]
+        if ba < bb:
+            assert ka <= kb
+        elif ba > bb:
+            assert ka >= kb
+
+
+class TestSingletonHistogram:
+    def _histogram(self):
+        return SingletonHistogram({"a": 0.5, "b": 0.3, "c": 0.2})
+
+    def test_equality_exact(self):
+        h = self._histogram()
+        assert h.selectivity_eq("a") == 0.5
+        assert h.selectivity_eq("missing") == 0.0
+
+    def test_range_sums_buckets(self):
+        h = self._histogram()
+        assert h.selectivity_range("a", "b", True, True) == \
+            pytest.approx(0.8)
+
+    def test_unbounded_range_is_total(self):
+        h = self._histogram()
+        assert h.selectivity_range(None, None) == pytest.approx(1.0)
+
+    def test_distinct_values(self):
+        assert self._histogram().distinct_values == 3
+
+
+class TestEquiHeightHistogram:
+    def _uniform(self, n=1000):
+        return build_histogram(list(range(n)), buckets=10,
+                               singleton_limit=8)
+
+    def test_built_kind(self):
+        h = self._uniform()
+        assert isinstance(h, EquiHeightHistogram)
+
+    def test_range_selectivity_roughly_uniform(self):
+        h = self._uniform()
+        sel = h.selectivity_range(100, 300)
+        assert 0.15 <= sel <= 0.25
+
+    def test_lt_and_gt_are_complementary(self):
+        h = self._uniform()
+        below = h.selectivity_lt(500)
+        above = h.selectivity_gt(500, inclusive=True)
+        assert below + above == pytest.approx(1.0, abs=0.05)
+
+    def test_eq_selectivity_small_for_high_ndv(self):
+        h = self._uniform()
+        assert h.selectivity_eq(500) < 0.01
+
+    def test_out_of_range_values(self):
+        h = self._uniform()
+        assert h.selectivity_lt(-10) == 0.0
+        assert h.selectivity_gt(2000) == 0.0
+        assert h.selectivity_lt(5000) == pytest.approx(1.0)
+
+    def test_dates_are_supported(self):
+        base = datetime.date(1995, 1, 1)
+        values = [base + datetime.timedelta(days=i) for i in range(400)]
+        h = build_histogram(values, buckets=8, singleton_limit=4)
+        sel = h.selectivity_range(base + datetime.timedelta(days=100),
+                                  base + datetime.timedelta(days=200))
+        assert 0.15 <= sel <= 0.35
+
+    def test_string_equi_height_histogram(self):
+        # MySQL builds equi-height string histograms; Orca was extended to
+        # consume them via the integer encoding (Section 5.5 / 7).
+        values = [f"{chr(97 + i % 26)}value{i}" for i in range(500)]
+        h = build_histogram(values, buckets=10, singleton_limit=16)
+        assert isinstance(h, EquiHeightHistogram)
+        sel = h.selectivity_range("a", "n")
+        assert 0.3 <= sel <= 0.7
+
+
+class TestBuildHistogram:
+    def test_empty_returns_none(self):
+        assert build_histogram([]) is None
+        assert build_histogram([None, None]) is None
+
+    def test_low_ndv_gets_singleton(self):
+        h = build_histogram(["x"] * 70 + ["y"] * 30)
+        assert isinstance(h, SingletonHistogram)
+        assert h.selectivity_eq("x") == pytest.approx(0.7)
+
+    def test_nulls_excluded(self):
+        h = build_histogram(["x", None, "x", None, "y"])
+        assert h.selectivity_eq("x") == pytest.approx(2 / 3)
+
+    @given(st.lists(st.integers(min_value=-10000, max_value=10000),
+                    min_size=1, max_size=300))
+    @settings(max_examples=100)
+    def test_selectivities_always_bounded(self, values):
+        h = build_histogram(values)
+        assert h is not None
+        probe = values[len(values) // 2]
+        assert 0.0 <= h.selectivity_eq(probe) <= 1.0
+        assert 0.0 <= h.selectivity_lt(probe) <= 1.0
+        assert 0.0 <= h.selectivity_range(min(values), max(values),
+                                          True, True) <= 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=50, max_size=300))
+    @settings(max_examples=50)
+    def test_cumulative_is_monotone(self, values):
+        h = build_histogram(values, singleton_limit=4)
+        if isinstance(h, EquiHeightHistogram):
+            points = sorted(set(values))
+            sels = [h.selectivity_lt(p, inclusive=True) for p in points]
+            assert all(a <= b + 1e-9 for a, b in zip(sels, sels[1:]))
+
+    @given(st.lists(st.integers(min_value=0, max_value=100),
+                    min_size=20, max_size=200))
+    @settings(max_examples=50)
+    def test_full_range_covers_everything(self, values):
+        h = build_histogram(values)
+        sel = h.selectivity_range(min(values), max(values), True, True)
+        assert sel == pytest.approx(1.0, abs=0.1)

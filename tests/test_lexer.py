@@ -1,0 +1,76 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select FROM wHeRe")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("LineItem o_OrderKey")
+        assert [t.value for t in tokens[:-1]] == ["LineItem", "o_OrderKey"]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 0.001 1e6 3.5E-2")
+        assert [t.value for t in tokens[:-1]] == \
+            ["1", "2.5", "0.001", "1e6", "3.5E-2"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:-1])
+
+    def test_strings_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "it's"
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("<= >= <> != = < > + - * / %")
+                  [:-1]]
+        assert values == ["<=", ">=", "<>", "!=", "=", "<", ">", "+", "-",
+                          "*", "/", "%"]
+
+    def test_punctuation(self):
+        values = [t.value for t in tokenize("(a, b.c)")[:-1]]
+        assert values == ["(", "a", ",", "b", ".", "c", ")"]
+
+    def test_eof_terminates(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestCommentsAndQuoting:
+    def test_line_comment(self):
+        tokens = tokenize("SELECT -- comment here\n 1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_block_comment(self):
+        tokens = tokenize("SELECT /* stuff\nmore */ 1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT /* never closed")
+
+    def test_backtick_identifier(self):
+        tokens = tokenize("`weird name`")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "weird name"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'open")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT @")
+
+    def test_semicolons_ignored(self):
+        tokens = tokenize("SELECT 1;")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1"]

@@ -1,0 +1,149 @@
+"""Tests for the MySQL metadata provider and Orca's MD cache (Section 5)."""
+
+import pytest
+
+from repro.bridge import oid_layout
+from repro.bridge.metadata_provider import MySQLMetadataProvider
+from repro.errors import InvalidOidError, MetadataProviderError
+from repro.mysql_types import TypeCategory
+from repro.orca.mdcache import MDAccessor
+from repro.sql import ast
+
+from tests.conftest import build_mini_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_mini_db(seed=11, orders=100)
+
+
+@pytest.fixture()
+def provider(db):
+    return MySQLMetadataProvider(db.catalog)
+
+
+class TestTableOids:
+    def test_qualified_name_lookup(self, provider):
+        # The Section 5.7 interaction: schema-qualified name -> OID.
+        oid = provider.get_table_oid("tpch.orders")
+        assert oid == provider.get_table_oid("orders")
+
+    def test_oids_are_stable(self, provider):
+        assert provider.get_table_oid("orders") == \
+            provider.get_table_oid("orders")
+
+    def test_distinct_tables_distinct_oids(self, provider):
+        assert provider.get_table_oid("orders") != \
+            provider.get_table_oid("lineitem")
+
+    def test_unknown_table_raises(self, provider):
+        with pytest.raises(MetadataProviderError):
+            provider.get_table_oid("missing")
+
+    def test_column_oid_depends_on_position(self, provider):
+        first = provider.get_column_oid("orders", "o_orderkey")
+        second = provider.get_column_oid("orders", "o_custkey")
+        assert second == first + 1
+
+    def test_synthetic_oids_far_from_real(self, provider):
+        real = provider.get_table_oid("orders")
+        synthetic = provider.get_synthetic_oid("derived_1_2")
+        assert synthetic > real + 10 * oid_layout.RELATION_STRIDE
+
+
+class TestDxlAnswers:
+    def test_relation_dxl_served(self, provider):
+        oid = provider.get_table_oid("orders")
+        text = provider.get_relation_dxl(oid)
+        assert "orders" in text and "o_orderkey" in text
+
+    def test_statistics_dxl_includes_histograms(self, provider):
+        oid = provider.get_table_oid("orders")
+        text = provider.get_statistics_dxl(oid)
+        assert "Histogram" in text
+
+    def test_unique_column_histogram_included(self, provider, db):
+        # Section 5.5: the UNIQUE-column histogram restriction was lifted.
+        oid = provider.get_table_oid("orders")
+        from repro.bridge.dxl import statistics_from_dxl
+
+        stats = statistics_from_dxl(provider.get_statistics_dxl(oid))
+        assert stats.columns["o_orderkey"].unique
+        assert stats.columns["o_orderkey"].histogram is not None
+
+    def test_bad_relation_oid_rejected(self, provider):
+        with pytest.raises(InvalidOidError):
+            provider.get_relation_dxl(oid_layout.relation_oid(999))
+
+    def test_type_dxl(self, provider):
+        from repro.mysql_types import MySQLType
+
+        text = provider.get_type_dxl(oid_layout.type_oid(MySQLType.DATE))
+        assert "DATE" in text
+
+
+class TestExpressionOids:
+    def test_expression_oid_for_comparison(self, provider, db):
+        from repro.sql.parser import parse_statement
+        from repro.sql.resolver import Resolver
+
+        stmt = parse_statement(
+            "SELECT 1 FROM orders WHERE o_priority = 'x'")
+        block, __ = Resolver(db.catalog).resolve(stmt)
+        conjunct = block.where_conjuncts[0]
+        oid = provider.get_expression_oid(conjunct)
+        assert oid_layout.decode_comparison(oid) == (
+            TypeCategory.STR, TypeCategory.STR, ast.BinOp.EQ)
+
+    def test_count_star_uses_star_category(self, provider):
+        call = ast.AggCall(ast.AggFunc.COUNT, star=True)
+        oid = provider.get_expression_oid(call)
+        assert oid_layout.decode_aggregate(oid) == (
+            TypeCategory.STAR, ast.AggFunc.COUNT)
+
+    def test_count_expr_uses_any_category(self, provider):
+        call = ast.AggCall(ast.AggFunc.COUNT, ast.Literal(1))
+        oid = provider.get_expression_oid(call)
+        assert oid_layout.decode_aggregate(oid) == (
+            TypeCategory.ANY, ast.AggFunc.COUNT)
+
+    def test_function_pointer_is_stub(self, provider):
+        # Section 5: the MySQL provider returns stubs, never callbacks.
+        oid = provider.get_function_oid("SUBSTRING")
+        assert provider.get_function_pointer(oid) is None
+
+
+class TestMDAccessorCaching:
+    def test_statistics_cached(self, db):
+        provider = MySQLMetadataProvider(db.catalog)
+        accessor = MDAccessor(provider)
+        accessor.statistics("orders")
+        first = provider.request_counts.get("statistics_dxl", 0)
+        for __ in range(10):
+            accessor.statistics("orders")
+        # "if the required information pre-exists there, the metadata
+        # provider is not queried again" (Section 5.7).
+        assert provider.request_counts["statistics_dxl"] == first
+        assert accessor.cache_hits >= 10
+
+    def test_relation_cached(self, db):
+        provider = MySQLMetadataProvider(db.catalog)
+        accessor = MDAccessor(provider)
+        accessor.relation("lineitem")
+        accessor.relation("lineitem")
+        assert provider.request_counts["relation_dxl"] == 1
+
+    def test_accessor_serves_estimator_protocol(self, db):
+        provider = MySQLMetadataProvider(db.catalog)
+        accessor = MDAccessor(provider)
+        stats = accessor.statistics("orders")
+        assert stats.row_count == db.catalog.statistics("orders").row_count
+
+    def test_dxl_roundtrip_preserves_estimates(self, db):
+        provider = MySQLMetadataProvider(db.catalog)
+        accessor = MDAccessor(provider)
+        direct = db.catalog.statistics("orders")
+        via_dxl = accessor.statistics("orders")
+        for name in ("o_custkey", "o_totalprice"):
+            assert via_dxl.columns[name].distinct_count == \
+                direct.columns[name].distinct_count

@@ -1,0 +1,172 @@
+"""Tests for the MySQL-style optimizer: plan shapes and skeletons.
+
+The decisive reproduction properties (Section 1's weakness list) are
+asserted structurally: left-deep plans only, ref-access preference over
+hash joins whenever an index exists, and skeleton plans whose
+best-position arrays drive refinement.
+"""
+
+import pytest
+
+from repro.executor.plan import (
+    AccessMethod,
+    HashJoinNode,
+    IndexLookupNode,
+    IndexRangeScanNode,
+    JoinKind,
+    NestedLoopJoinNode,
+    PlanNode,
+    TableScanNode,
+)
+from repro.mysql_optimizer.optimizer import MySQLOptimizer
+from repro.mysql_optimizer.refinement import PlanBuilder
+from repro.mysql_optimizer.skeleton import JoinMethod
+from repro.sql.parser import parse_statement
+from repro.sql.prepare import prepare
+from repro.sql.resolver import Resolver
+
+from tests.conftest import build_mini_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_mini_db(seed=3)
+
+
+def skeleton_for(db, sql):
+    stmt = parse_statement(sql)
+    block, context = Resolver(db.catalog).resolve(stmt)
+    prepare(block)
+    plan = MySQLOptimizer(db.catalog).optimize(block, context)
+    return plan, block, context
+
+
+def plan_for(db, sql):
+    skeleton, block, context = skeleton_for(db, sql)
+    executor = PlanBuilder(skeleton, db.catalog, db.storage).build()
+    return executor.top_plan
+
+
+def nodes_of(plan_node, node_type):
+    found = []
+
+    def visit(node):
+        if isinstance(node, node_type):
+            found.append(node)
+        for child in node.children():
+            visit(child)
+
+    if plan_node is not None:
+        visit(plan_node)
+    return found
+
+
+class TestAccessPaths:
+    def test_index_range_for_pk_predicate(self, db):
+        plan = plan_for(db, """
+            SELECT o_totalprice FROM orders
+            WHERE o_orderkey BETWEEN 10 AND 20""")
+        ranges = nodes_of(plan.root, IndexRangeScanNode)
+        assert ranges and ranges[0].index_name == "PRIMARY"
+
+    def test_table_scan_without_usable_index(self, db):
+        plan = plan_for(db, """
+            SELECT o_orderkey FROM orders WHERE o_totalprice > 100""")
+        assert nodes_of(plan.root, TableScanNode)
+
+    def test_point_lookup_via_unique_index(self, db):
+        plan = plan_for(db,
+                        "SELECT o_totalprice FROM orders "
+                        "WHERE o_orderkey = 5")
+        ranges = nodes_of(plan.root, IndexRangeScanNode)
+        assert ranges and ranges[0].low == ranges[0].high == (5,)
+
+
+class TestJoinPlanning:
+    def test_ref_access_preferred_with_index(self, db):
+        # MySQL favors index nested-loop joins (Section 3.1).
+        plan = plan_for(db, """
+            SELECT c_name, o_totalprice FROM customer, orders
+            WHERE c_custkey = o_custkey AND c_segment = 'GOLD'""")
+        lookups = nodes_of(plan.root, IndexLookupNode)
+        assert lookups, "expected an index nested-loop join"
+        assert not nodes_of(plan.root, HashJoinNode)
+
+    def test_hash_join_only_without_index(self, db):
+        # Join on non-indexed columns: executed as hash join (MySQL 8.0
+        # behaviour) even though the search never costed it.
+        plan = plan_for(db, """
+            SELECT COUNT(*) FROM customer c1, customer c2
+            WHERE c1.c_name = c2.c_name""")
+        assert nodes_of(plan.root, HashJoinNode)
+
+    def test_plans_are_left_deep(self, db):
+        plan = plan_for(db, """
+            SELECT COUNT(*) FROM customer, orders, lineitem, part
+            WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey
+              AND l_partkey = p_partkey""")
+        for join in nodes_of(plan.root, (NestedLoopJoinNode, HashJoinNode)):
+            inner = join.inner if isinstance(join, NestedLoopJoinNode) \
+                else join.build
+            # Left-deep: the inner/build side is always a single leaf.
+            assert not nodes_of(inner, (NestedLoopJoinNode, HashJoinNode))
+
+    def test_driving_table_is_most_selective(self, db):
+        skeleton, block, __ = skeleton_for(db, """
+            SELECT COUNT(*) FROM customer, orders
+            WHERE c_custkey = o_custkey AND c_custkey = 7""")
+        first = skeleton.skeleton_for(block).positions[0]
+        entry = block.context.entry(first.entry_id)
+        assert entry.alias == "customer"
+
+    def test_semijoin_positions_are_contiguous(self, db):
+        skeleton, block, __ = skeleton_for(db, """
+            SELECT o_orderkey FROM orders
+            WHERE EXISTS (SELECT * FROM lineitem
+                          WHERE l_orderkey = o_orderkey
+                            AND l_quantity > 10)""")
+        positions = skeleton.skeleton_for(block).positions
+        nest_flags = [p.nest_id is not None for p in positions]
+        # once the nest starts it runs to a contiguous end
+        if True in nest_flags:
+            start = nest_flags.index(True)
+            assert all(nest_flags[start:]) or \
+                not any(nest_flags[start + nest_flags[start:].index(False):])
+
+    def test_left_join_never_drives(self, db):
+        skeleton, block, __ = skeleton_for(db, """
+            SELECT c_custkey FROM customer
+            LEFT JOIN orders ON c_custkey = o_custkey
+            WHERE c_acctbal IS NOT NULL""")
+        first = skeleton.skeleton_for(block).positions[0]
+        entry = block.context.entry(first.entry_id)
+        assert entry.alias == "customer"
+
+    def test_estimates_recorded_in_skeleton(self, db):
+        skeleton, block, __ = skeleton_for(db, """
+            SELECT COUNT(*) FROM customer, orders
+            WHERE c_custkey = o_custkey""")
+        for position in skeleton.skeleton_for(block).positions:
+            assert position.cost > 0
+            assert position.fanout > 0
+
+
+class TestSkeletonStructure:
+    def test_every_block_gets_a_skeleton(self, db):
+        skeleton, block, __ = skeleton_for(db, """
+            SELECT o_orderkey FROM orders
+            WHERE o_totalprice > (SELECT AVG(o_totalprice) FROM orders)""")
+        assert len(skeleton.blocks) == 2
+
+    def test_origin_is_mysql(self, db):
+        skeleton, __, __ = skeleton_for(db, "SELECT COUNT(*) FROM orders")
+        assert skeleton.origin == "mysql"
+
+    def test_no_bushy_branches_from_mysql(self, db):
+        # Weakness (1): "It generates only left-deep join plans".
+        skeleton, block, __ = skeleton_for(db, """
+            SELECT COUNT(*) FROM customer, orders, lineitem, part
+            WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey
+              AND l_partkey = p_partkey""")
+        for position in skeleton.skeleton_for(block).positions:
+            assert not position.is_branch

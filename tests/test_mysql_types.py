@@ -1,0 +1,147 @@
+"""Tests for the MySQL type system and type categories (Section 5.1)."""
+
+import datetime
+
+import pytest
+
+from repro.mysql_types import (
+    AGGREGATE_CATEGORIES,
+    SCALAR_CATEGORIES,
+    TYPE_TO_CATEGORY,
+    Interval,
+    MySQLType,
+    TypeCategory,
+    TypeInstance,
+    category_of,
+    coerce,
+    is_pass_by_value,
+    is_text_related,
+    python_type_for,
+    sql_compare,
+)
+
+
+class TestTypeCounts:
+    def test_exactly_31_mysql_types(self):
+        # "MySQL has 31 types" (Section 5.1).
+        assert len(MySQLType) == 31
+
+    def test_exactly_12_scalar_categories(self):
+        # "The 31 types are divided into 12 type categories."
+        assert len(SCALAR_CATEGORIES) == 12
+
+    def test_exactly_14_aggregate_categories(self):
+        # STAR and ANY exist only for aggregations (Section 5.2).
+        assert len(AGGREGATE_CATEGORIES) == 14
+        assert TypeCategory.STAR in AGGREGATE_CATEGORIES
+        assert TypeCategory.ANY in AGGREGATE_CATEGORIES
+        assert TypeCategory.STAR not in SCALAR_CATEGORIES
+
+    def test_every_type_has_a_category(self):
+        for mysql_type in MySQLType:
+            assert category_of(mysql_type) in SCALAR_CATEGORIES
+
+
+class TestCategoryAssignments:
+    def test_numeric_category_groups_decimals_and_floats(self):
+        # "DECIMAL, FLOAT, DOUBLE, and NEWDECIMAL are put into the 'NUM'
+        # type category" (Section 5.1).
+        for t in (MySQLType.DECIMAL, MySQLType.NEWDECIMAL,
+                  MySQLType.FLOAT, MySQLType.DOUBLE):
+            assert category_of(t) is TypeCategory.NUM
+
+    def test_blob_category_groups_four_blob_types(self):
+        blobs = [t for t, c in TYPE_TO_CATEGORY.items()
+                 if c is TypeCategory.BLB]
+        assert len(blobs) == 4
+
+    def test_integer_types_split_into_three_categories(self):
+        # The Section 7 lesson: the coarse INT category was replaced with
+        # INT2/INT4/INT8 so Orca could match indexes.
+        assert category_of(MySQLType.SHORT) is TypeCategory.INT2
+        assert category_of(MySQLType.LONG) is TypeCategory.INT4
+        assert category_of(MySQLType.LONGLONG) is TypeCategory.INT8
+        assert category_of(MySQLType.YEAR) is TypeCategory.INT2
+        assert category_of(MySQLType.ENUM) is TypeCategory.INT4
+        assert category_of(MySQLType.SET) is TypeCategory.INT8
+
+
+class TestTypeMetadata:
+    def test_pass_by_value_for_small_fixed_types(self):
+        assert is_pass_by_value(MySQLType.LONG)
+        assert is_pass_by_value(MySQLType.DOUBLE)
+        assert not is_pass_by_value(MySQLType.VARCHAR)
+        assert not is_pass_by_value(MySQLType.BLOB)
+
+    def test_text_related_flags(self):
+        assert is_text_related(MySQLType.VARCHAR)
+        assert is_text_related(MySQLType.BLOB)
+        assert not is_text_related(MySQLType.DATE)
+
+    def test_type_instance_width_uses_modifier_for_varchar(self):
+        wide = TypeInstance(MySQLType.VARCHAR, 100)
+        narrow = TypeInstance(MySQLType.VARCHAR, 10)
+        assert wide.width > narrow.width
+
+    def test_type_instance_str(self):
+        assert str(TypeInstance(MySQLType.VARCHAR, 25)) == "VARCHAR(25)"
+        assert str(TypeInstance(MySQLType.DATE)) == "DATE"
+
+
+class TestInterval:
+    def test_add_days(self):
+        start = datetime.date(1995, 1, 30)
+        assert Interval(days=5).add_to(start) == datetime.date(1995, 2, 4)
+
+    def test_add_months_clamps_day(self):
+        start = datetime.date(1995, 1, 31)
+        assert Interval(months=1).add_to(start) == datetime.date(1995, 2, 28)
+
+    def test_add_three_months(self):
+        start = datetime.date(1995, 1, 1)
+        assert Interval(months=3).add_to(start) == datetime.date(1995, 4, 1)
+
+    def test_year_wraps(self):
+        start = datetime.date(1995, 11, 15)
+        assert Interval(months=3).add_to(start) == datetime.date(1996, 2, 15)
+
+    def test_negate(self):
+        start = datetime.date(1995, 4, 1)
+        interval = Interval(months=3)
+        assert interval.negate().add_to(start) == datetime.date(1995, 1, 1)
+
+
+class TestRuntimeValues:
+    def test_sql_compare_null_returns_none(self):
+        assert sql_compare(None, 1) is None
+        assert sql_compare(1, None) is None
+
+    def test_sql_compare_orders_numbers(self):
+        assert sql_compare(1, 2) == -1
+        assert sql_compare(2.5, 2.5) == 0
+        assert sql_compare(3, 2) == 1
+
+    def test_sql_compare_mixed_int_float(self):
+        assert sql_compare(1, 1.0) == 0
+
+    def test_python_type_for_each_category(self):
+        assert python_type_for(MySQLType.LONG) is int
+        assert python_type_for(MySQLType.DOUBLE) is float
+        assert python_type_for(MySQLType.VARCHAR) is str
+        assert python_type_for(MySQLType.DATE) is datetime.date
+        assert python_type_for(MySQLType.DATETIME) is datetime.datetime
+
+    def test_coerce_null_passthrough(self):
+        assert coerce(None, MySQLType.LONG) is None
+
+    def test_coerce_string_to_date(self):
+        assert coerce("1995-06-17", MySQLType.DATE) == \
+            datetime.date(1995, 6, 17)
+
+    def test_coerce_datetime_to_date(self):
+        value = datetime.datetime(1995, 6, 17, 10, 30)
+        assert coerce(value, MySQLType.DATE) == datetime.date(1995, 6, 17)
+
+    def test_coerce_int_to_float(self):
+        assert coerce(3, MySQLType.DOUBLE) == 3.0
+        assert isinstance(coerce(3, MySQLType.DOUBLE), float)

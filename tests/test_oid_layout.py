@@ -1,0 +1,203 @@
+"""Tests for the metadata OID layout (Sections 5.2, 5.3, 5.6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bridge import oid_layout as ol
+from repro.errors import InvalidOidError
+from repro.mysql_types import (
+    AGGREGATE_CATEGORIES,
+    SCALAR_CATEGORIES,
+    MySQLType,
+    TypeCategory,
+)
+from repro.sql import ast
+
+
+class TestCubeSizes:
+    def test_720_arithmetic_expressions(self):
+        # "The total number of arithmetic expressions is therefore
+        # 12 x 12 x 5 = 720" (Section 5.2).
+        assert ol.ARITHMETIC_COUNT == 720
+
+    def test_864_comparison_expressions(self):
+        # "the cube shape is 12 x 12 x 6" (Section 5.2).
+        assert ol.COMPARISON_COUNT == 864
+
+    def test_84_aggregate_expressions(self):
+        # "the shape of the two-dimensional array is 14 x 6".
+        assert ol.AGGREGATE_COUNT == 84
+
+
+class TestEncodeDecodeBijection:
+    def test_arithmetic_roundtrip_all(self):
+        seen = set()
+        for left in SCALAR_CATEGORIES:
+            for right in SCALAR_CATEGORIES:
+                for op in ol.ARITHMETIC_OPS:
+                    oid = ol.arithmetic_oid(left, right, op)
+                    assert oid not in seen
+                    seen.add(oid)
+                    assert ol.decode_arithmetic(oid) == (left, right, op)
+        assert len(seen) == 720
+
+    def test_comparison_roundtrip_all(self):
+        seen = set()
+        for left in SCALAR_CATEGORIES:
+            for right in SCALAR_CATEGORIES:
+                for op in ol.COMPARISON_OPS:
+                    oid = ol.comparison_oid(left, right, op)
+                    seen.add(oid)
+                    assert ol.decode_comparison(oid) == (left, right, op)
+        assert len(seen) == 864
+
+    def test_aggregate_roundtrip_all(self):
+        seen = set()
+        for category in AGGREGATE_CATEGORIES:
+            for func in ol.AGGREGATE_FUNCS:
+                oid = ol.aggregate_oid(category, func)
+                seen.add(oid)
+                assert ol.decode_aggregate(oid) == (category, func)
+        assert len(seen) == 84
+
+    def test_type_oids_roundtrip(self):
+        for mysql_type in MySQLType:
+            assert ol.decode_type(ol.type_oid(mysql_type)) is mysql_type
+
+    def test_decode_out_of_range_raises(self):
+        with pytest.raises(InvalidOidError):
+            ol.decode_arithmetic(ol.ARITHMETIC_BASE + 720)
+        with pytest.raises(InvalidOidError):
+            ol.decode_comparison(ol.COMPARISON_BASE - 1)
+
+    def test_slots_do_not_overlap(self):
+        ranges = [
+            (ol.TYPE_BASE, ol.TYPE_BASE + 31),
+            (ol.ARITHMETIC_BASE, ol.ARITHMETIC_BASE + 720),
+            (ol.COMPARISON_BASE, ol.COMPARISON_BASE + 864),
+            (ol.AGGREGATE_BASE, ol.AGGREGATE_BASE + 84),
+            (ol.FUNCTION_BASE,
+             ol.FUNCTION_BASE + len(ol.REGULAR_FUNCTIONS)),
+        ]
+        for i, (lo1, hi1) in enumerate(ranges):
+            for lo2, hi2 in ranges[i + 1:]:
+                assert hi1 <= lo2 or hi2 <= lo1
+
+    def test_relations_far_above_fixed_objects(self):
+        # Fig. 9: relation objects are "placed sufficiently apart ... so
+        # that collisions are avoided".
+        assert ol.RELATION_BASE > ol.FUNCTION_BASE + 10_000
+
+
+class TestCommutators:
+    def test_comparison_commutator_follows_section_5_3(self):
+        # (a <= b) commutes to (b >= a).
+        oid = ol.comparison_oid(TypeCategory.INT8, TypeCategory.NUM,
+                                ast.BinOp.LE)
+        commuted = ol.commutator_oid(oid)
+        assert ol.decode_comparison(commuted) == (
+            TypeCategory.NUM, TypeCategory.INT8, ast.BinOp.GE)
+
+    def test_paper_example_int8_gt_num(self):
+        # Section 5.3's worked example: INT8 > NUM rewrites to NUM < INT8.
+        oid = ol.comparison_oid(TypeCategory.INT8, TypeCategory.NUM,
+                                ast.BinOp.GT)
+        assert ol.decode_comparison(ol.commutator_oid(oid)) == (
+            TypeCategory.NUM, TypeCategory.INT8, ast.BinOp.LT)
+
+    def test_addition_commutes(self):
+        oid = ol.arithmetic_oid(TypeCategory.INT4, TypeCategory.NUM,
+                                ast.BinOp.ADD)
+        assert ol.decode_arithmetic(ol.commutator_oid(oid)) == (
+            TypeCategory.NUM, TypeCategory.INT4, ast.BinOp.ADD)
+
+    def test_subtraction_division_modulo_do_not_commute(self):
+        # "The operators '-', '/', and '%' do not commute" (Section 5.3).
+        for op in (ast.BinOp.SUB, ast.BinOp.DIV, ast.BinOp.MOD):
+            oid = ol.arithmetic_oid(TypeCategory.NUM, TypeCategory.NUM, op)
+            assert ol.commutator_oid(oid) == ol.INVALID_OID
+
+    def test_commutator_is_involution_for_comparisons(self):
+        for left in SCALAR_CATEGORIES:
+            for right in SCALAR_CATEGORIES:
+                for op in ol.COMPARISON_OPS:
+                    oid = ol.comparison_oid(left, right, op)
+                    twice = ol.commutator_oid(ol.commutator_oid(oid))
+                    assert twice == oid
+
+    def test_invalid_oid_for_aggregates(self):
+        oid = ol.aggregate_oid(TypeCategory.NUM, ast.AggFunc.SUM)
+        assert ol.commutator_oid(oid) == ol.INVALID_OID
+
+
+class TestInverses:
+    def test_all_six_inverse_pairs(self):
+        # {=, <>, <, <=, >, >=} invert to {<>, =, >=, >, <=, <}.
+        pairs = [
+            (ast.BinOp.EQ, ast.BinOp.NE), (ast.BinOp.NE, ast.BinOp.EQ),
+            (ast.BinOp.LT, ast.BinOp.GE), (ast.BinOp.LE, ast.BinOp.GT),
+            (ast.BinOp.GT, ast.BinOp.LE), (ast.BinOp.GE, ast.BinOp.LT),
+        ]
+        for op, inverse_op in pairs:
+            oid = ol.comparison_oid(TypeCategory.STR, TypeCategory.STR, op)
+            assert ol.decode_comparison(ol.inverse_oid(oid)) == (
+                TypeCategory.STR, TypeCategory.STR, inverse_op)
+
+    def test_inverse_only_for_comparisons(self):
+        # "Inverse expressions exist only for comparison expressions".
+        arith = ol.arithmetic_oid(TypeCategory.NUM, TypeCategory.NUM,
+                                  ast.BinOp.ADD)
+        assert ol.inverse_oid(arith) == ol.INVALID_OID
+
+    def test_inverse_is_involution(self):
+        oid = ol.comparison_oid(TypeCategory.DAT, TypeCategory.DAT,
+                                ast.BinOp.LT)
+        assert ol.inverse_oid(ol.inverse_oid(oid)) == oid
+
+
+class TestRelationSpace:
+    def test_relation_object_roundtrips(self):
+        assert ol.decode_relation_oid(ol.relation_oid(3)) == \
+            (3, "relation", None)
+        assert ol.decode_relation_oid(ol.column_oid(3, 7)) == \
+            (3, "column", 7)
+        assert ol.decode_relation_oid(ol.index_oid(2, 1)) == \
+            (2, "index", 1)
+        assert ol.decode_relation_oid(ol.histogram_oid(2, 4)) == \
+            (2, "histogram", 4)
+        assert ol.decode_relation_oid(ol.statistics_oid(5)) == \
+            (5, "statistics", None)
+
+    def test_below_relation_base_raises(self):
+        with pytest.raises(InvalidOidError):
+            ol.decode_relation_oid(ol.TYPE_BASE)
+
+    @given(st.integers(min_value=0, max_value=5000),
+           st.integers(min_value=0, max_value=400))
+    @settings(max_examples=200)
+    def test_column_oids_never_collide_across_relations(self, rel, pos):
+        oid = ol.column_oid(rel, pos)
+        decoded_rel, kind, decoded_pos = ol.decode_relation_oid(oid)
+        assert (decoded_rel, kind, decoded_pos) == (rel, "column", pos)
+
+
+class TestFunctions:
+    def test_known_function(self):
+        oid = ol.function_oid("SUBSTRING")
+        assert oid != ol.INVALID_OID
+        assert ol.FUNCTION_BASE <= oid < ol.FUNCTION_BASE + \
+            len(ol.REGULAR_FUNCTIONS)
+
+    def test_case_insensitive(self):
+        assert ol.function_oid("substring") == ol.function_oid("SUBSTRING")
+
+    def test_unknown_function_invalid(self):
+        assert ol.function_oid("NOT_A_FUNCTION") == ol.INVALID_OID
+
+    def test_paper_listed_functions_present(self):
+        # Section 5.4 lists: EXTRACT, SUBSTRING, CAST, ROUND, UPPER,
+        # CONCAT, ABS.
+        for name in ("EXTRACT", "SUBSTRING", "CAST", "ROUND", "UPPER",
+                     "CONCAT", "ABS"):
+            assert ol.function_oid(name) != ol.INVALID_OID

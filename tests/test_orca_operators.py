@@ -1,0 +1,87 @@
+"""Tests for Orca operator structures and plan rendering."""
+
+import pytest
+
+from repro.mysql_optimizer.skeleton import AccessPlan
+from repro.executor.plan import AccessMethod
+from repro.orca.operators import (
+    JoinVariant,
+    LogicalGet,
+    PhysicalGet,
+    PhysicalHashJoin,
+    PhysicalNLJoin,
+    PhysicalSort,
+    TableDescriptor,
+    render_physical,
+)
+from repro.sql.blocks import EntryKind, StatementContext
+
+
+def make_get(alias, context, block):
+    entry = context.new_entry(EntryKind.BASE, alias, alias, block)
+    descriptor = TableDescriptor(mdid=1_000_000, name=alias, alias=alias,
+                                 entry=entry)
+    get = PhysicalGet(descriptor,
+                      AccessPlan(method=AccessMethod.TABLE_SCAN), [])
+    get.cost, get.rows = 10.0, 100.0
+    return get
+
+
+@pytest.fixture()
+def context():
+    return StatementContext()
+
+
+@pytest.fixture()
+def block(context):
+    return context.new_block()
+
+
+class TestPhysicalTree:
+    def test_leaves_enumeration(self, context, block):
+        a = make_get("a", context, block)
+        b = make_get("b", context, block)
+        c = make_get("c", context, block)
+        join = PhysicalHashJoin(PhysicalNLJoin(a, b, JoinVariant.INNER, []),
+                                c, JoinVariant.INNER, [])
+        assert [leaf.descriptor.alias for leaf in join.leaves()] == \
+            ["a", "b", "c"]
+
+    def test_names_reflect_variant(self, context, block):
+        a = make_get("a", context, block)
+        b = make_get("b", context, block)
+        assert PhysicalHashJoin(a, b, JoinVariant.SEMI, []).name() == \
+            "HashJoin(semi)"
+        assert PhysicalNLJoin(a, b, JoinVariant.LEFT, [],
+                              index_inner=True).name() == \
+            "IndexNLJoin(left)"
+
+    def test_describe_includes_memo_group(self, context, block):
+        get = make_get("a", context, block)
+        get.group_id = 46  # Fig. 6's first group id
+        assert get.describe().endswith("[46]")
+
+    def test_render_physical_indents(self, context, block):
+        a = make_get("a", context, block)
+        b = make_get("b", context, block)
+        join = PhysicalHashJoin(a, b, JoinVariant.INNER, [])
+        join.cost, join.rows = 50.0, 500.0
+        sort = PhysicalSort(join, [])
+        sort.cost, sort.rows = 60.0, 500.0
+        text = render_physical(sort)
+        lines = text.splitlines()
+        assert lines[0].startswith("PhysicalSort")
+        assert lines[1].startswith("  HashJoin(inner)")
+        assert lines[2].startswith("    table_scan:a")
+        assert "cost=" in lines[0]
+
+    def test_descriptor_keeps_table_list_pointer(self, context, block):
+        get = make_get("a", context, block)
+        assert get.descriptor.entry.block is block
+        assert get.descriptor.entry.alias == "a"
+
+    def test_logical_get_conjunct_bucket(self, context, block):
+        entry = context.new_entry(EntryKind.BASE, "t", "t", block)
+        descriptor = TableDescriptor(1, "t", "t", entry)
+        unit = LogicalGet(descriptor)
+        assert unit.conjuncts == []

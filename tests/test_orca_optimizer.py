@@ -1,0 +1,201 @@
+"""Tests for the Orca-style optimizer: memo, bushy search, costed joins."""
+
+import pytest
+
+from repro.bridge.metadata_provider import MySQLMetadataProvider
+from repro.bridge.parse_tree_converter import ParseTreeConverter
+from repro.orca.joinorder import JoinSearchMode, SubEstimates
+from repro.orca.mdcache import MDAccessor
+from repro.orca.operators import (
+    PhysicalGet,
+    PhysicalHashJoin,
+    PhysicalNLJoin,
+    PhysicalOp,
+)
+from repro.orca.optimizer import OrcaConfig, OrcaOptimizer
+from repro.selectivity import SelectivityEstimator
+from repro.sql.parser import parse_statement
+from repro.sql.prepare import prepare
+from repro.sql.resolver import Resolver
+
+from tests.conftest import build_mini_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_mini_db(seed=5, orders=400)
+
+
+def optimize(db, sql, mode=JoinSearchMode.EXHAUSTIVE2, config=None):
+    stmt = parse_statement(sql)
+    block, context = Resolver(db.catalog).resolve(stmt)
+    prepare(block)
+    provider = MySQLMetadataProvider(db.catalog)
+    accessor = MDAccessor(provider)
+    converter = ParseTreeConverter(accessor)
+    estimator = SelectivityEstimator(accessor, use_histograms=True)
+    orca_config = config or OrcaConfig(search=mode)
+    optimizer = OrcaOptimizer(estimator, orca_config)
+    logical = converter.convert_block(block)
+    return optimizer.optimize_block(logical, SubEstimates()), block
+
+
+def count_ops(root, op_type):
+    if root is None:
+        return []
+    found = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, op_type):
+            found.append(node)
+        stack.extend(node.children())
+    return found
+
+
+FOUR_WAY = """
+SELECT COUNT(*) FROM customer, orders, lineitem, part
+WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey
+  AND l_partkey = p_partkey AND c_segment = 'GOLD'
+"""
+
+#: A wider join (6 units via self-joins) where the search-space gap
+#: between the three modes is unambiguous.
+SIX_WAY = """
+SELECT COUNT(*) FROM customer, orders o1, orders o2, lineitem l1,
+       lineitem l2, part
+WHERE c_custkey = o1.o_custkey AND c_custkey = o2.o_custkey
+  AND o1.o_orderkey = l1.l_orderkey AND o2.o_orderkey = l2.l_orderkey
+  AND l1.l_partkey = p_partkey AND l2.l_partkey = p_partkey
+  AND c_segment = 'GOLD'
+"""
+
+
+class TestSearchModes:
+    def test_exhaustive2_explores_more_than_exhaustive(self, db):
+        # EXHAUSTIVE2 enumerates all connected partitions (full bushy);
+        # EXHAUSTIVE only zig-zag shapes — strictly fewer alternatives.
+        plan2, __ = optimize(db, SIX_WAY, JoinSearchMode.EXHAUSTIVE2)
+        plan1, __ = optimize(db, SIX_WAY, JoinSearchMode.EXHAUSTIVE)
+        assert plan2.memo.total_alternatives > \
+            plan1.memo.total_alternatives
+
+    def test_greedy_creates_fewest_groups(self, db):
+        # Greedy only materialises chain-prefix groups; the DP modes
+        # materialise every connected subset.
+        plan_greedy, __ = optimize(db, SIX_WAY, JoinSearchMode.GREEDY)
+        plan_full, __ = optimize(db, SIX_WAY, JoinSearchMode.EXHAUSTIVE2)
+        assert plan_greedy.memo.group_count < plan_full.memo.group_count
+
+    def test_exhaustive2_cost_never_worse(self, db):
+        plan2, __ = optimize(db, FOUR_WAY, JoinSearchMode.EXHAUSTIVE2)
+        plan_greedy, __ = optimize(db, FOUR_WAY, JoinSearchMode.GREEDY)
+        assert plan2.cost <= plan_greedy.cost + 1e-6
+
+    def test_memo_groups_created(self, db):
+        plan, __ = optimize(db, FOUR_WAY)
+        assert plan.memo.group_count >= 4
+
+    def test_physical_ops_carry_group_ids(self, db):
+        # Fig. 6 shows memo group ids after operator names.
+        plan, __ = optimize(db, FOUR_WAY)
+        gets = count_ops(plan.root, PhysicalGet)
+        assert any(get.group_id is not None for get in gets)
+
+
+class TestJoinCosting:
+    def test_hash_join_chosen_for_large_unfiltered_join(self, db):
+        # Orca costs hash joins; a full join of two large tables should
+        # not be an index NLJ.
+        plan, __ = optimize(db, """
+            SELECT COUNT(*) FROM orders, lineitem
+            WHERE o_orderkey = l_orderkey""")
+        assert count_ops(plan.root, PhysicalHashJoin)
+
+    def test_index_nlj_chosen_for_selective_outer(self, db):
+        plan, __ = optimize(db, """
+            SELECT COUNT(*) FROM orders, lineitem
+            WHERE o_orderkey = l_orderkey AND o_orderkey = 5""")
+        nl_joins = count_ops(plan.root, PhysicalNLJoin)
+        assert any(join.index_inner for join in nl_joins)
+
+    def test_bushy_plans_possible(self, db):
+        # A join graph with two independent selective pairs invites a
+        # bushy shape; at minimum EXHAUSTIVE2 must consider > left-deep
+        # alternatives (memo groups beyond singletons and prefixes).
+        plan, __ = optimize(db, FOUR_WAY, JoinSearchMode.EXHAUSTIVE2)
+        n_units = 4
+        # left-deep-only exploration creates at most n + (n-1) + ...
+        # chain groups; full bushy DP creates every connected subset.
+        assert plan.memo.group_count > 2 * n_units
+
+    def test_left_deep_only_flag(self, db):
+        config = OrcaConfig(search=JoinSearchMode.EXHAUSTIVE2,
+                            left_deep_only=True)
+        plan, __ = optimize(db, FOUR_WAY, config=config)
+        for join in count_ops(plan.root, PhysicalHashJoin):
+            build_joins = count_ops(join.build,
+                                    (PhysicalHashJoin, PhysicalNLJoin))
+            probe_gets = count_ops(join.probe, PhysicalGet)
+            # left-deep: at least one side is a single leaf
+            assert not build_joins or len(probe_gets) == 1
+
+
+class TestBlockLevelDecisions:
+    def test_agg_strategy_chosen(self, db):
+        plan, __ = optimize(db, """
+            SELECT o_custkey, COUNT(*) FROM orders GROUP BY o_custkey""")
+        assert plan.root.name() in ("StreamAgg", "HashAgg")
+
+    def test_order_by_adds_sort_or_index(self, db):
+        plan, __ = optimize(db, """
+            SELECT o_orderkey FROM orders, customer
+            WHERE o_custkey = c_custkey
+            ORDER BY o_totalprice DESC""")
+        from repro.orca.operators import PhysicalSort
+
+        assert count_ops(plan.root, PhysicalSort) or plan.order_satisfied
+
+    def test_order_supplying_index_scan(self, db):
+        # Section 7, Orca change 4: an index scan can supply the order.
+        plan, __ = optimize(db, """
+            SELECT o_orderkey, o_custkey FROM orders
+            ORDER BY o_orderkey""")
+        from repro.executor.plan import AccessMethod
+        from repro.orca.operators import PhysicalSort
+
+        if plan.order_satisfied:
+            gets = count_ops(plan.root, PhysicalGet)
+            assert gets[0].access.method is AccessMethod.INDEX_SCAN
+        else:
+            assert count_ops(plan.root, PhysicalSort)
+
+    def test_semi_join_variants_costed(self, db):
+        plan, __ = optimize(db, """
+            SELECT c_custkey FROM customer
+            WHERE EXISTS (SELECT * FROM orders
+                          WHERE o_custkey = c_custkey)""")
+        joins = count_ops(plan.root, (PhysicalHashJoin, PhysicalNLJoin))
+        from repro.orca.operators import JoinVariant
+
+        assert any(j.variant is JoinVariant.SEMI for j in joins)
+
+    def test_multi_table_semi_build_disabled(self, db):
+        # Section 7, lesson 6: semi hash joins with multi-table build
+        # sides are never generated for the MySQL target.
+        plan, __ = optimize(db, """
+            SELECT c_custkey FROM customer
+            WHERE EXISTS (SELECT * FROM orders, lineitem
+                          WHERE o_custkey = c_custkey
+                            AND l_orderkey = o_orderkey
+                            AND l_quantity > 10)""")
+        from repro.orca.operators import JoinVariant
+
+        for join in count_ops(plan.root, PhysicalHashJoin):
+            if join.variant is JoinVariant.SEMI:
+                assert len(count_ops(join.build, PhysicalGet)) == 1
+
+    def test_estimates_positive(self, db):
+        plan, __ = optimize(db, FOUR_WAY)
+        assert plan.cost > 0
+        assert plan.rows >= 1

@@ -1,0 +1,207 @@
+"""Node-level tests for executor plan operators."""
+
+import pytest
+
+from repro.sql import ast
+from repro.executor.plan import (
+    AggregateNode,
+    AggregateStrategy,
+    AggSpec,
+    ExecutionRuntime,
+    HashJoinNode,
+    JoinKind,
+    LimitNode,
+    NestedLoopJoinNode,
+    PlanNode,
+    sort_rows,
+)
+
+
+class _RowsNode(PlanNode):
+    """Test helper: emit fixed rows into one context slot."""
+
+    def __init__(self, entry_id, rows):
+        super().__init__()
+        self.entry_id = entry_id
+        self.rows_data = rows
+
+    def produced_entries(self):
+        return [self.entry_id]
+
+    def run(self, runtime):
+        for row in self.rows_data:
+            runtime.ctx[self.entry_id] = row
+            yield
+
+    def label(self):
+        return "rows"
+
+
+def read(entry_id, position):
+    def fn(ctx):
+        row = ctx[entry_id]
+        return row[position] if row is not None else None
+    return fn
+
+
+def run_collect(node, slots, n_ctx=4):
+    runtime = ExecutionRuntime(storage=None, context_size=n_ctx)
+    out = []
+    for __ in node.run(runtime):
+        out.append(tuple(runtime.ctx[s][0] if runtime.ctx[s] is not None
+                         else None for s in slots))
+    return out
+
+
+class TestSortRows:
+    def test_nulls_first_ascending(self):
+        captured = [((3,), ("a",)), ((None,), ("b",)), ((1,), ("c",))]
+        sort_rows(captured, [ast.OrderItem(ast.Literal(0), False)])
+        assert [c[1][0] for c in captured] == ["b", "c", "a"]
+
+    def test_nulls_last_descending(self):
+        captured = [((3,), ("a",)), ((None,), ("b",)), ((1,), ("c",))]
+        sort_rows(captured, [ast.OrderItem(ast.Literal(0), True)])
+        assert [c[1][0] for c in captured] == ["a", "c", "b"]
+
+    def test_multi_key_mixed_directions(self):
+        captured = [((1, "x"), ("r1",)), ((1, "a"), ("r2",)),
+                    ((2, "a"), ("r3",))]
+        sort_rows(captured, [ast.OrderItem(ast.Literal(0), True),
+                             ast.OrderItem(ast.Literal(0), False)])
+        assert [c[1][0] for c in captured] == ["r3", "r2", "r1"]
+
+    def test_stable_for_ties(self):
+        captured = [((1,), ("first",)), ((1,), ("second",))]
+        sort_rows(captured, [ast.OrderItem(ast.Literal(0), False)])
+        assert [c[1][0] for c in captured] == ["first", "second"]
+
+
+class TestHashJoinNode:
+    def _join(self, kind, probe_rows, build_rows):
+        probe = _RowsNode(0, probe_rows)
+        build = _RowsNode(1, build_rows)
+        return HashJoinNode(
+            probe, build, kind,
+            [ast.ColumnRef(None, "k", 0, 0)], [read(0, 0)],
+            [ast.ColumnRef(None, "k", 1, 0)], [read(1, 0)],
+            [], lambda ctx: True)
+
+    def test_inner_join(self):
+        node = self._join(JoinKind.INNER,
+                          [(1,), (2,), (3,)], [(2,), (2,), (4,)])
+        assert run_collect(node, [0, 1]) == [(2, 2), (2, 2)]
+
+    def test_left_join_null_fills(self):
+        node = self._join(JoinKind.LEFT, [(1,), (2,)], [(2,)])
+        assert run_collect(node, [0, 1]) == [(1, None), (2, 2)]
+
+    def test_semi_join_emits_once(self):
+        node = self._join(JoinKind.SEMI, [(2,), (5,)], [(2,), (2,), (2,)])
+        assert run_collect(node, [0]) == [(2,)]
+
+    def test_anti_join(self):
+        node = self._join(JoinKind.ANTI, [(1,), (2,)], [(2,)])
+        assert run_collect(node, [0]) == [(1,)]
+
+    def test_null_keys_never_match(self):
+        node = self._join(JoinKind.INNER, [(None,), (1,)],
+                          [(None,), (1,)])
+        assert run_collect(node, [0, 1]) == [(1, 1)]
+
+    def test_null_probe_key_still_left_joins(self):
+        node = self._join(JoinKind.LEFT, [(None,)], [(None,)])
+        assert run_collect(node, [0, 1]) == [(None, None)]
+
+
+class TestNestedLoopJoinNode:
+    def _join(self, kind, outer_rows, inner_rows, condition=None):
+        outer = _RowsNode(0, outer_rows)
+        inner = _RowsNode(1, inner_rows)
+        fn = condition or (lambda ctx: ctx[0][0] == ctx[1][0])
+        return NestedLoopJoinNode(outer, inner, kind, [], fn)
+
+    def test_inner(self):
+        node = self._join(JoinKind.INNER, [(1,), (2,)], [(2,), (3,)])
+        assert run_collect(node, [0, 1]) == [(2, 2)]
+
+    def test_left(self):
+        node = self._join(JoinKind.LEFT, [(1,), (2,)], [(2,)])
+        assert run_collect(node, [0, 1]) == [(1, None), (2, 2)]
+
+    def test_semi_stops_at_first_match(self):
+        node = self._join(JoinKind.SEMI, [(1,)], [(1,), (1,), (1,)])
+        assert run_collect(node, [0]) == [(1,)]
+
+    def test_anti(self):
+        node = self._join(JoinKind.ANTI, [(1,), (9,)], [(1,)])
+        assert run_collect(node, [0]) == [(9,)]
+
+    def test_unknown_condition_is_no_match(self):
+        node = self._join(JoinKind.INNER, [(1,)], [(1,)],
+                          condition=lambda ctx: None)
+        assert run_collect(node, [0]) == []
+
+
+class TestAggregateNode:
+    def _agg(self, strategy, rows):
+        child = _RowsNode(0, rows)
+        spec = AggSpec(ast.AggFunc.SUM, read(0, 1), False, False)
+        count = AggSpec(ast.AggFunc.COUNT, None, False, True)
+        return AggregateNode(child, [read(0, 0)], [], [spec, count],
+                             strategy, output_entry_id=1)
+
+    def _collect(self, node):
+        runtime = ExecutionRuntime(storage=None, context_size=2)
+        out = []
+        for __ in node.run(runtime):
+            out.append(runtime.ctx[1])
+        return out
+
+    def test_hash_groups(self):
+        node = self._agg(AggregateStrategy.HASH,
+                         [("a", 1), ("b", 2), ("a", 3)])
+        assert sorted(self._collect(node)) == \
+            [("a", 4, 2), ("b", 2, 1)]
+
+    def test_stream_requires_grouped_input(self):
+        node = self._agg(AggregateStrategy.STREAM,
+                         [("a", 1), ("a", 3), ("b", 2)])
+        assert self._collect(node) == [("a", 4, 2), ("b", 2, 1)]
+
+    def test_sum_skips_nulls(self):
+        node = self._agg(AggregateStrategy.HASH,
+                         [("a", None), ("a", 5)])
+        assert self._collect(node) == [("a", 5, 2)]
+
+    def test_scalar_agg_on_empty_input(self):
+        child = _RowsNode(0, [])
+        spec = AggSpec(ast.AggFunc.SUM, read(0, 0), False, False)
+        node = AggregateNode(child, [], [], [spec],
+                             AggregateStrategy.HASH, output_entry_id=1)
+        assert self._collect(node) == [(None,)]
+
+
+class TestLimitNode:
+    def test_limit(self):
+        node = LimitNode(_RowsNode(0, [(i,) for i in range(10)]), 3)
+        assert run_collect(node, [0]) == [(0,), (1,), (2,)]
+
+    def test_offset(self):
+        node = LimitNode(_RowsNode(0, [(i,) for i in range(10)]), 2,
+                         offset=4)
+        assert run_collect(node, [0]) == [(4,), (5,)]
+
+    def test_limit_stops_pulling(self):
+        pulled = []
+
+        class Counting(_RowsNode):
+            def run(self, runtime):
+                for row in self.rows_data:
+                    pulled.append(row)
+                    runtime.ctx[self.entry_id] = row
+                    yield
+
+        node = LimitNode(Counting(0, [(i,) for i in range(100)]), 2)
+        run_collect(node, [0])
+        assert len(pulled) <= 3

@@ -1,0 +1,165 @@
+"""Tests for the MySQL prepare-phase rewrites."""
+
+import datetime
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.blocks import EntryKind, NestKind
+from repro.sql.parser import parse_statement
+from repro.sql.prepare import prepare
+from repro.sql.resolver import Resolver
+
+
+def prepared(catalog, sql):
+    stmt = parse_statement(sql)
+    block, context = Resolver(catalog).resolve(stmt)
+    return prepare(block)
+
+
+class TestConstantFolding:
+    def test_date_plus_interval_folds(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT 1 FROM orders
+            WHERE o_orderdate < DATE '1995-01-01' + INTERVAL '3' MONTH""")
+        literal = block.where_conjuncts[0].right
+        assert isinstance(literal, ast.Literal)
+        assert literal.value == datetime.date(1995, 4, 1)
+
+    def test_arithmetic_folds(self, mini_catalog):
+        block = prepared(mini_catalog,
+                         "SELECT 1 FROM orders WHERE o_totalprice > 2 * 50")
+        assert block.where_conjuncts[0].right.value == 100
+
+    def test_cast_of_literal_folds(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT 1 FROM orders
+            WHERE o_orderdate = CAST('1995-06-17' AS DATE)""")
+        assert block.where_conjuncts[0].right.value == \
+            datetime.date(1995, 6, 17)
+
+
+class TestSemiJoinConversion:
+    def test_exists_becomes_semijoin(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT o_orderkey FROM orders
+            WHERE EXISTS (SELECT * FROM lineitem
+                          WHERE l_orderkey = o_orderkey)""")
+        assert len(block.semijoin_nests) == 1
+        assert block.semijoin_nests[0].kind is NestKind.SEMI
+        assert len(block.entries) == 2
+        # All conditions pooled in WHERE, as the paper's Listing 3 shows.
+        assert len(block.where_conjuncts) == 1
+
+    def test_in_subquery_becomes_semijoin_with_equality(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT o_orderkey FROM orders
+            WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem
+                                 WHERE l_quantity > 10)""")
+        assert block.semijoin_nests[0].kind is NestKind.SEMI
+        # local filter + added equality conjunct
+        assert len(block.where_conjuncts) == 2
+
+    def test_not_exists_becomes_antijoin(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT o_orderkey FROM orders
+            WHERE NOT EXISTS (SELECT * FROM lineitem
+                              WHERE l_orderkey = o_orderkey)""")
+        assert block.semijoin_nests[0].kind is NestKind.ANTI
+
+    def test_not_in_on_non_nullable_becomes_antijoin(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT o_orderkey FROM orders
+            WHERE o_orderkey NOT IN (SELECT l_orderkey FROM lineitem)""")
+        assert block.semijoin_nests
+        assert block.semijoin_nests[0].kind is NestKind.ANTI
+
+    def test_not_in_on_nullable_stays_subquery(self, mini_catalog):
+        # "depending on column nullability" (Section 4.1): o_comment is
+        # nullable, so NOT IN keeps NULL-aware expression semantics.
+        block = prepared(mini_catalog, """
+            SELECT o_orderkey FROM orders
+            WHERE o_comment NOT IN (SELECT c_comment FROM customer)""")
+        assert not block.semijoin_nests
+
+    def test_aggregated_subquery_not_converted(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT o_orderkey FROM orders
+            WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem
+                                 GROUP BY l_orderkey
+                                 HAVING SUM(l_quantity) > 100)""")
+        assert not block.semijoin_nests
+
+    def test_converted_entries_point_to_outer_block(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT o_orderkey FROM orders
+            WHERE EXISTS (SELECT * FROM lineitem
+                          WHERE l_orderkey = o_orderkey)""")
+        for entry in block.entries:
+            assert entry.block is block
+
+
+class TestDerivedMerge:
+    def test_simple_derived_is_merged(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT big.k FROM
+            (SELECT o_orderkey AS k FROM orders
+             WHERE o_totalprice > 100) AS big""")
+        assert len(block.entries) == 1
+        assert block.entries[0].kind is EntryKind.BASE
+        assert len(block.where_conjuncts) == 1
+
+    def test_aggregated_derived_not_merged(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT t.total FROM
+            (SELECT SUM(o_totalprice) AS total FROM orders) AS t""")
+        assert block.entries[0].kind is EntryKind.DERIVED
+
+    def test_merged_refs_rewritten(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT d.k + 1 FROM
+            (SELECT o_orderkey AS k FROM orders) AS d
+            WHERE d.k > 5""")
+        conjunct = block.where_conjuncts[0]
+        assert isinstance(conjunct.left, ast.ColumnRef)
+        assert conjunct.left.column == "o_orderkey"
+
+
+class TestOuterJoinSimplification:
+    def test_null_rejecting_where_converts_to_inner(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT o_orderkey FROM orders
+            LEFT JOIN lineitem ON o_orderkey = l_orderkey
+            WHERE l_quantity > 5""")
+        assert not block.entries[1].is_outer_joined
+        # The ON condition moved into the pool.
+        assert len(block.where_conjuncts) == 2
+
+    def test_is_null_where_keeps_outer_join(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT o_orderkey FROM orders
+            LEFT JOIN lineitem ON o_orderkey = l_orderkey
+            WHERE l_partkey IS NULL""")
+        assert block.entries[1].is_outer_joined
+
+
+class TestDerivedPushdown:
+    def test_pushdown_below_group_by_on_group_column(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT agg.ck, agg.total FROM
+            (SELECT o_custkey AS ck, SUM(o_totalprice) AS total
+             FROM orders GROUP BY o_custkey) AS agg
+            WHERE agg.ck = 7""")
+        entry = block.entries[0]
+        assert entry.kind is EntryKind.DERIVED
+        assert not block.where_conjuncts
+        assert len(entry.sub_block.where_conjuncts) == 1
+
+    def test_no_pushdown_on_aggregate_column(self, mini_catalog):
+        block = prepared(mini_catalog, """
+            SELECT agg.ck FROM
+            (SELECT o_custkey AS ck, SUM(o_totalprice) AS total
+             FROM orders GROUP BY o_custkey) AS agg
+            WHERE agg.total > 100""")
+        assert len(block.where_conjuncts) == 1
+        assert not block.entries[0].sub_block.where_conjuncts

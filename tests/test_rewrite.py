@@ -1,0 +1,128 @@
+"""Tests for expression rewriting utilities (map_expr, expr_key)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import ast
+from repro.sql.rewrite import (
+    expr_key,
+    map_expr,
+    substitute_entry_columns,
+)
+
+
+def lit(value):
+    return ast.Literal(value)
+
+
+def col(entry_id, position):
+    return ast.ColumnRef(None, f"c{position}", entry_id, position)
+
+
+class TestMapExpr:
+    def test_identity_returns_same_object(self):
+        expr = ast.BinaryExpr(ast.BinOp.ADD, lit(1), lit(2))
+        assert map_expr(expr, lambda node: None) is expr
+
+    def test_leaf_replacement_rebuilds_spine(self):
+        expr = ast.BinaryExpr(ast.BinOp.ADD, col(0, 0), lit(2))
+        replaced = map_expr(
+            expr,
+            lambda node: lit(9) if isinstance(node, ast.ColumnRef)
+            else None)
+        assert replaced is not expr
+        assert replaced.left.value == 9
+        # The untouched literal node is shared, not copied.
+        assert replaced.right is expr.right
+
+    def test_original_never_mutated(self):
+        expr = ast.NotExpr(ast.IsNullExpr(col(0, 0)))
+        map_expr(expr, lambda node: lit(True)
+                 if isinstance(node, ast.ColumnRef) else None)
+        assert isinstance(expr.operand.operand, ast.ColumnRef)
+
+    def test_nested_case(self):
+        expr = ast.CaseExpr([(col(0, 0), lit("a"))], lit("b"))
+        replaced = map_expr(
+            expr, lambda node: lit(False)
+            if isinstance(node, ast.ColumnRef) else None)
+        assert replaced.whens[0][0].value is False
+
+    def test_in_list_items_mapped(self):
+        expr = ast.InListExpr(col(0, 0), [col(0, 1), lit(3)])
+        replaced = map_expr(
+            expr, lambda node: lit(0)
+            if isinstance(node, ast.ColumnRef) else None)
+        assert replaced.operand.value == 0
+        assert replaced.items[0].value == 0
+        assert replaced.items[1] is expr.items[1]
+
+    def test_subquery_not_entered(self):
+        marker = ast.ScalarSubquery(None)
+        marker.block = "sentinel"
+        expr = ast.BinaryExpr(ast.BinOp.GT, col(0, 0), marker)
+        replaced = map_expr(
+            expr, lambda node: lit(1)
+            if isinstance(node, ast.ColumnRef) else None)
+        assert replaced.right is marker
+
+
+class TestSubstituteEntryColumns:
+    def test_substitutes_only_target_entry(self):
+        expr = ast.BinaryExpr(ast.BinOp.EQ, col(5, 0), col(6, 0))
+        out = substitute_entry_columns(expr, 5, [lit("X")])
+        assert out.left.value == "X"
+        assert isinstance(out.right, ast.ColumnRef)
+
+    def test_position_indexes_replacements(self):
+        expr = ast.BinaryExpr(ast.BinOp.ADD, col(5, 1), col(5, 0))
+        out = substitute_entry_columns(expr, 5, [lit("zero"), lit("one")])
+        assert out.left.value == "one"
+        assert out.right.value == "zero"
+
+
+class TestExprKey:
+    def test_structural_equality(self):
+        a = ast.BinaryExpr(ast.BinOp.EQ, col(1, 2), lit(5))
+        b = ast.BinaryExpr(ast.BinOp.EQ, col(1, 2), lit(5))
+        assert a is not b
+        assert expr_key(a) == expr_key(b)
+
+    def test_different_ops_differ(self):
+        a = ast.BinaryExpr(ast.BinOp.LT, col(1, 2), lit(5))
+        b = ast.BinaryExpr(ast.BinOp.LE, col(1, 2), lit(5))
+        assert expr_key(a) != expr_key(b)
+
+    def test_different_bindings_differ(self):
+        assert expr_key(col(1, 2)) != expr_key(col(1, 3))
+        assert expr_key(col(1, 2)) != expr_key(col(2, 2))
+
+    def test_aggregate_distinct_flag_matters(self):
+        a = ast.AggCall(ast.AggFunc.COUNT, col(0, 0), distinct=True)
+        b = ast.AggCall(ast.AggFunc.COUNT, col(0, 0), distinct=False)
+        assert expr_key(a) != expr_key(b)
+
+    def test_count_star_vs_count_column(self):
+        star = ast.AggCall(ast.AggFunc.COUNT, star=True)
+        column = ast.AggCall(ast.AggFunc.COUNT, col(0, 0))
+        assert expr_key(star) != expr_key(column)
+
+    def test_keys_are_hashable(self):
+        exprs = [
+            lit(None), col(0, 1),
+            ast.BetweenExpr(col(0, 0), lit(1), lit(2)),
+            ast.LikeExpr(col(0, 0), lit("%x%")),
+            ast.CaseExpr([(lit(True), lit(1))], None),
+            ast.FuncCall("UPPER", [col(0, 0)]),
+            ast.WindowCall("RANK", [], [col(0, 0)],
+                           [ast.OrderItem(col(0, 1), True)]),
+        ]
+        assert len({expr_key(e) for e in exprs}) == len(exprs)
+
+    @given(st.integers(0, 5), st.integers(0, 5),
+           st.sampled_from(list(ast.BinOp)))
+    @settings(max_examples=100)
+    def test_key_is_deterministic(self, entry, position, op):
+        expr = ast.BinaryExpr(op, col(entry, position), lit(entry))
+        assert expr_key(expr) == expr_key(expr)

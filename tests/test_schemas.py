@@ -1,0 +1,71 @@
+"""Schema-level invariants both workloads and paper artifacts rely on."""
+
+import pytest
+
+from repro.workloads.tpch.schema import TPCH_TABLES
+from repro.workloads.tpcds.schema import TPCDS_TABLES
+
+
+class TestTpchSchema:
+    def test_eight_tables(self):
+        assert len(TPCH_TABLES) == 8
+
+    def test_lineitem_fk2_exists(self):
+        # Listing 7's plan probes lineitem_fk2 (l_partkey); the Q17
+        # reproduction depends on it.
+        lineitem = TPCH_TABLES["lineitem"]
+        index = next(i for i in lineitem.indexes
+                     if i.name == "lineitem_fk2")
+        assert index.column_names == ("l_partkey",)
+
+    def test_every_table_has_primary_key(self):
+        for table in TPCH_TABLES.values():
+            assert table.primary_key is not None, table.name
+
+    def test_fact_fk_indexes(self):
+        orders = TPCH_TABLES["orders"]
+        assert any(i.column_names == ("o_custkey",)
+                   for i in orders.indexes)
+
+    def test_composite_primary_keys(self):
+        assert TPCH_TABLES["lineitem"].primary_key.column_names == \
+            ("l_orderkey", "l_linenumber")
+        assert TPCH_TABLES["partsupp"].primary_key.column_names == \
+            ("ps_partkey", "ps_suppkey")
+
+
+class TestTpcdsSchema:
+    def test_seventeen_tables(self):
+        assert len(TPCDS_TABLES) == 17
+
+    def test_three_sales_channels_with_returns(self):
+        for fact in ("store_sales", "catalog_sales", "web_sales"):
+            assert fact in TPCDS_TABLES
+        for returns in ("store_returns", "catalog_returns",
+                        "web_returns"):
+            assert returns in TPCDS_TABLES
+
+    def test_q72_tables_present(self):
+        # Listing 1's eleven table references resolve against this schema.
+        for name in ("catalog_sales", "inventory", "warehouse", "item",
+                     "customer_demographics", "household_demographics",
+                     "date_dim", "promotion", "catalog_returns"):
+            assert name in TPCDS_TABLES
+
+    def test_dimensions_have_primary_keys(self):
+        for name in ("date_dim", "item", "customer", "store",
+                     "warehouse", "promotion"):
+            assert TPCDS_TABLES[name].primary_key is not None
+
+    def test_catalog_returns_pk_supports_q72_left_join(self):
+        # Q72's LEFT JOIN probes (cr_order_number, cr_item_sk).
+        pk = TPCDS_TABLES["catalog_returns"].primary_key
+        assert pk.column_names == ("cr_order_number", "cr_item_sk")
+
+    def test_fact_item_indexes_exist(self):
+        for fact, index_name in (("store_sales", "ss_item_idx"),
+                                 ("catalog_sales", "cs_item_idx"),
+                                 ("web_sales", "ws_item_idx"),
+                                 ("inventory", "inv_item_idx")):
+            names = {i.name for i in TPCDS_TABLES[fact].indexes}
+            assert index_name in names

@@ -1,0 +1,164 @@
+"""Tests for the storage engine: heaps, ordered indexes, access paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Column, Index, TableSchema
+from repro.errors import StorageError
+from repro.mysql_types import MySQLType
+from repro.storage import StorageEngine
+
+
+def make_engine():
+    catalog = Catalog()
+    engine = StorageEngine(catalog)
+    engine.create_table(TableSchema("t", [
+        Column.of("k", MySQLType.LONGLONG, nullable=False),
+        Column.of("grp", MySQLType.LONG),
+        Column.of("val", MySQLType.DOUBLE),
+    ], [Index("PRIMARY", ("k",), primary=True),
+        Index("grp_idx", ("grp",)),
+        Index("grp_val", ("grp", "val"))]))
+    return engine
+
+
+class TestHeap:
+    def test_insert_and_scan(self):
+        engine = make_engine()
+        engine.load_rows("t", [(1, 10, 1.0), (2, 20, 2.0)])
+        assert list(engine.table_scan("t")) == [(1, 10, 1.0), (2, 20, 2.0)]
+
+    def test_scan_counts_rows(self):
+        engine = make_engine()
+        engine.load_rows("t", [(i, i % 3, float(i)) for i in range(10)])
+        engine.counters.reset()
+        list(engine.table_scan("t"))
+        assert engine.counters.rows_scanned == 10
+
+    def test_wrong_row_width_rejected(self):
+        engine = make_engine()
+        with pytest.raises(StorageError):
+            engine.load_rows("t", [(1, 2)])
+
+    def test_unknown_table(self):
+        engine = make_engine()
+        with pytest.raises(StorageError):
+            engine.heap("nope")
+
+
+class TestIndexLookup:
+    def test_point_lookup(self):
+        engine = make_engine()
+        engine.load_rows("t", [(i, i % 3, float(i)) for i in range(30)])
+        rows = engine.index_lookup_rows("t", "PRIMARY", (7,))
+        assert rows == [(7, 1, 7.0)]
+
+    def test_lookup_counts_access(self):
+        engine = make_engine()
+        engine.load_rows("t", [(i, i % 3, float(i)) for i in range(30)])
+        engine.counters.reset()
+        engine.index_lookup_rows("t", "grp_idx", (1,))
+        assert engine.counters.index_lookups == 1
+        assert engine.counters.index_rows_read == 10
+
+    def test_lookup_with_null_key_is_empty(self):
+        engine = make_engine()
+        engine.load_rows("t", [(1, None, 1.0), (2, 5, 2.0)])
+        assert engine.index_lookup_rows("t", "grp_idx", (None,)) == []
+
+    def test_null_keys_not_indexed(self):
+        engine = make_engine()
+        engine.load_rows("t", [(1, None, 1.0), (2, 5, 2.0)])
+        index = engine.index("t", "grp_idx")
+        assert index.entry_count == 1
+
+    def test_prefix_lookup_on_composite(self):
+        engine = make_engine()
+        engine.load_rows("t", [(i, i % 3, float(i)) for i in range(9)])
+        rows = engine.index_lookup_rows("t", "grp_val", (0,))
+        assert sorted(r[0] for r in rows) == [0, 3, 6]
+
+    def test_missing_index(self):
+        engine = make_engine()
+        with pytest.raises(StorageError):
+            engine.index("t", "nope")
+
+
+class TestRangeScan:
+    def test_inclusive_range(self):
+        engine = make_engine()
+        engine.load_rows("t", [(i, i, float(i)) for i in range(20)])
+        rows = list(engine.index_range_rows("t", "PRIMARY", (5,), (8,)))
+        assert [r[0] for r in rows] == [5, 6, 7, 8]
+
+    def test_exclusive_bounds(self):
+        engine = make_engine()
+        engine.load_rows("t", [(i, i, float(i)) for i in range(20)])
+        rows = list(engine.index_range_rows("t", "PRIMARY", (5,), (8,),
+                                            low_inclusive=False,
+                                            high_inclusive=False))
+        assert [r[0] for r in rows] == [6, 7]
+
+    def test_unbounded_low(self):
+        engine = make_engine()
+        engine.load_rows("t", [(i, i, float(i)) for i in range(10)])
+        rows = list(engine.index_range_rows("t", "PRIMARY", None, (2,)))
+        assert [r[0] for r in rows] == [0, 1, 2]
+
+    def test_ordered_scan(self):
+        engine = make_engine()
+        engine.load_rows("t", [(3, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)])
+        rows = list(engine.index_ordered_rows("t", "PRIMARY"))
+        assert [r[0] for r in rows] == [1, 2, 3]
+
+    def test_ordered_scan_descending(self):
+        engine = make_engine()
+        engine.load_rows("t", [(3, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)])
+        rows = list(engine.index_ordered_rows("t", "PRIMARY",
+                                              descending=True))
+        assert [r[0] for r in rows] == [3, 2, 1]
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=0,
+                    max_size=60),
+           st.integers(min_value=0, max_value=50),
+           st.integers(min_value=0, max_value=50))
+    @settings(max_examples=100)
+    def test_range_scan_matches_filter(self, keys, low, high):
+        """Property: index range scans agree with a filtered full scan."""
+        if low > high:
+            low, high = high, low
+        catalog = Catalog()
+        engine = StorageEngine(catalog)
+        engine.create_table(TableSchema("p", [
+            Column.of("a", MySQLType.LONG, nullable=False),
+            Column.of("b", MySQLType.LONG, nullable=False),
+        ], [Index("a_idx", ("a",))]))
+        engine.load_rows("p", [(k, i) for i, k in enumerate(keys)])
+        via_index = sorted(
+            engine.index_range_rows("p", "a_idx", (low,), (high,)))
+        via_scan = sorted(row for row in engine.table_scan("p")
+                          if low <= row[0] <= high)
+        assert via_index == via_scan
+
+
+class TestAnalyze:
+    def test_analyze_builds_statistics(self):
+        engine = make_engine()
+        engine.load_rows("t", [(i, i % 5, float(i % 7)) for i in range(100)])
+        stats = engine.analyze_table("t")
+        assert stats.row_count == 100
+        assert stats.column("grp").distinct_count == 5
+        assert stats.column("k").unique
+        assert stats.column("k").histogram is not None
+
+    def test_analyze_all(self):
+        engine = make_engine()
+        engine.load_rows("t", [(1, 1, 1.0)])
+        engine.analyze_all()
+        assert engine.catalog.statistics("t").row_count == 1
+
+    def test_page_count(self):
+        engine = make_engine()
+        engine.load_rows("t", [(i, 0, 0.0) for i in range(200)])
+        assert engine.page_count("t") >= 3
