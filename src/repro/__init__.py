@@ -15,6 +15,9 @@ optimizers and the bridge the paper describes between them:
 * :mod:`repro.bridge` — the paper's three integration components: parse
   tree converter, metadata provider (OID layout + DXL), and plan
   converter (best-position arrays);
+* :mod:`repro.resilience` — fault containment for the detour: fallback
+  reason taxonomy, compile budgets, per-statement circuit breaker,
+  fallback telemetry, and seedable fault injection;
 * :mod:`repro.workloads` — TPC-H (22 queries) and TPC-DS-style (99
   queries) schemas, data generators, and query suites;
 * :mod:`repro.bench` — the harness regenerating the paper's Fig. 10-12
@@ -33,13 +36,27 @@ Quickstart::
 
 from repro.database import Database, DatabaseConfig, StatementResult
 from repro.errors import ReproError
+from repro.resilience import (
+    CircuitBreaker,
+    CompileBudget,
+    FallbackLog,
+    FallbackReason,
+    FaultInjector,
+    statement_fingerprint,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CircuitBreaker",
+    "CompileBudget",
     "Database",
     "DatabaseConfig",
+    "FallbackLog",
+    "FallbackReason",
+    "FaultInjector",
     "ReproError",
     "StatementResult",
+    "statement_fingerprint",
     "__version__",
 ]

@@ -29,6 +29,9 @@ class QueryTiming:
     results_match: bool = True
     mysql_timed_out: bool = False
     orca_timed_out: bool = False
+    #: Why the Orca run fell back to the MySQL optimizer (a
+    #: ``FallbackReason.value`` string), or None when Orca compiled.
+    orca_fallback_reason: Optional[str] = None
 
     @property
     def ratio(self) -> float:
@@ -75,6 +78,16 @@ class BenchmarkResult:
     def losses(self, factor: float = 1.0) -> List[QueryTiming]:
         return [t for t in self.timings if t.ratio > factor]
 
+    @property
+    def fallback_counts(self) -> Dict[str, int]:
+        """How many Orca runs fell back, keyed by reason."""
+        counts: Dict[str, int] = {}
+        for timing in self.timings:
+            if timing.orca_fallback_reason is not None:
+                counts[timing.orca_fallback_reason] = counts.get(
+                    timing.orca_fallback_reason, 0) + 1
+        return counts
+
 
 def results_match(rows_a: List[tuple], rows_b: List[tuple]) -> bool:
     """Order-insensitive result comparison with float tolerance.
@@ -120,9 +133,9 @@ def run_suite(db: Database, queries: Dict[int, str], name: str,
     result = BenchmarkResult(name)
     for number in sorted(queries):
         sql = queries[number]
-        mysql_time, mysql_rows, mysql_to = _timed_run(
+        mysql_time, mysql_rows, mysql_to, __ = _timed_run(
             db, sql, "mysql", timeout_seconds)
-        orca_time, orca_rows, orca_to = _timed_run(
+        orca_time, orca_rows, orca_to, orca_fallback = _timed_run(
             db, sql, "orca", timeout_seconds)
         match = True
         if verify_results and not mysql_to and not orca_to:
@@ -136,11 +149,14 @@ def run_suite(db: Database, queries: Dict[int, str], name: str,
             results_match=match,
             mysql_timed_out=mysql_to,
             orca_timed_out=orca_to,
+            orca_fallback_reason=orca_fallback,
         )
         result.timings.append(timing)
         if progress is not None:
+            note = f" (orca fell back: {orca_fallback})" \
+                if orca_fallback else ""
             progress(f"{name} Q{number}: mysql {mysql_time:.2f}s "
-                     f"orca {orca_time:.2f}s")
+                     f"orca {orca_time:.2f}s{note}")
     return result
 
 
@@ -151,6 +167,7 @@ def _timed_run(db: Database, sql: str, optimizer: str,
 
     timed_out = False
     rows: List[tuple] = []
+    fallback_reason: Optional[str] = None
     start = time.perf_counter()
 
     def _raise_timeout(signum, frame):
@@ -163,6 +180,8 @@ def _timed_run(db: Database, sql: str, optimizer: str,
     try:
         result = db.run(sql, optimizer=optimizer)
         rows = result.rows
+        if result.fallback_reason is not None:
+            fallback_reason = result.fallback_reason.value
     except _SoftTimeout:
         timed_out = True
     finally:
@@ -172,7 +191,7 @@ def _timed_run(db: Database, sql: str, optimizer: str,
     elapsed = time.perf_counter() - start
     if timed_out:
         elapsed = timeout_seconds
-    return elapsed, rows, timed_out
+    return elapsed, rows, timed_out, fallback_reason
 
 
 class _SoftTimeout(Exception):

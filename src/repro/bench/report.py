@@ -34,6 +34,8 @@ def _per_query_chart(result: BenchmarkResult, title: str) -> str:
             mark = " (mysql cancelled)"
         if timing.orca_timed_out:
             mark += " (orca cancelled)"
+        if timing.orca_fallback_reason is not None:
+            mark += f" (orca fell back: {timing.orca_fallback_reason})"
         lines.append(
             f"Q{timing.number:>5} | {timing.mysql_seconds:>9.3f} | "
             f"{timing.orca_seconds:>9.3f} | {timing.speedup:>7.1f}X |"
@@ -46,6 +48,12 @@ def _per_query_chart(result: BenchmarkResult, title: str) -> str:
     hundred_x = sorted(t.number for t in result.wins(100.0))
     lines.append(f">=10X faster with Orca: {ten_x}")
     lines.append(f">=100X faster with Orca: {hundred_x}")
+    fallbacks = result.fallback_counts
+    if fallbacks:
+        detail = ", ".join(f"{reason}: {count}"
+                           for reason, count in sorted(fallbacks.items()))
+        lines.append(f"orca fallbacks: {sum(fallbacks.values())} "
+                     f"({detail})")
     return "\n".join(lines)
 
 
@@ -110,4 +118,5 @@ def summarize(result: BenchmarkResult) -> Dict[str, object]:
         "hundred_x_wins": sorted(t.number for t in result.wins(100.0)),
         "mismatches": sorted(t.number for t in result.timings
                              if not t.results_match),
+        "orca_fallbacks": result.fallback_counts,
     }

@@ -31,8 +31,9 @@ from repro.sql import ast
 class MySQLMetadataProvider:
     """Serves MySQL dictionary objects to Orca over DXL."""
 
-    def __init__(self, catalog: Catalog) -> None:
+    def __init__(self, catalog: Catalog, fault_injector=None) -> None:
         self.catalog = catalog
+        self.fault_injector = fault_injector
         self._relation_index: Dict[str, int] = {}
         self._relation_names: List[str] = []
         #: Synthetic relation indexes for derived tables / CTEs (they have
@@ -63,6 +64,8 @@ class MySQLMetadataProvider:
         send 'tpch.lineitem', receive the table's unique OID.
         """
         self._count("table_oid")
+        if self.fault_injector is not None:
+            self.fault_injector.fire("metadata_provider")
         name = qualified_name.rsplit(".", 1)[-1]
         return oid_layout.relation_oid(self._relation_index_for(name))
 

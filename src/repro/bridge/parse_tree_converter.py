@@ -57,13 +57,16 @@ from repro.sql.rewrite import expr_key
 class ParseTreeConverter:
     """Converts prepared MySQL query blocks to Orca logical blocks."""
 
-    def __init__(self, accessor: MDAccessor) -> None:
+    def __init__(self, accessor: MDAccessor, fault_injector=None) -> None:
         self.accessor = accessor
+        self.fault_injector = fault_injector
         #: Expression OIDs assigned during conversion, keyed by structural
         #: expression key: (oid, commutator oid, inverse oid).
         self.expression_oids: Dict[tuple, Tuple[int, int, int]] = {}
 
     def convert_block(self, block: QueryBlock) -> OrcaLogicalBlock:
+        if self.fault_injector is not None:
+            self.fault_injector.fire("parse_tree_converter")
         corr = frozenset(correlation_sources(block))
 
         # --- FROM: build units and classify entries --------------------------

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.errors import OrcaFallbackError
+from repro.errors import OrcaFallbackError, SkeletonInvalidError
 from repro.executor.plan import JoinKind
 from repro.mysql_optimizer.skeleton import (
     AggStrategy,
@@ -68,11 +68,15 @@ _VARIANT_TO_KIND = {
 class OrcaPlanConverter:
     """Converts per-block Orca physical plans into one skeleton plan."""
 
-    def __init__(self, context: StatementContext) -> None:
+    def __init__(self, context: StatementContext,
+                 fault_injector=None) -> None:
         self.context = context
+        self.fault_injector = fault_injector
 
     def convert(self, block_plans: Dict[int, OrcaBlockPlan],
                 top_block: QueryBlock) -> SkeletonPlan:
+        if self.fault_injector is not None:
+            self.fault_injector.fire("plan_converter")
         plan = SkeletonPlan(self.context, top_block, origin="orca")
         for block_plan in block_plans.values():
             plan.add(self._convert_block(block_plan))
@@ -114,7 +118,7 @@ class OrcaPlanConverter:
             if entry.block is not block:
                 # Orca changed the query block structure: abort and let
                 # the router fall back to the MySQL optimizer.
-                raise OrcaFallbackError(
+                raise SkeletonInvalidError(
                     f"leaf {leaf.descriptor.alias!r} belongs to block "
                     f"#{entry.block.block_id}, expected "
                     f"#{block.block_id}")
@@ -195,6 +199,6 @@ class OrcaPlanConverter:
         if covered != expected:
             missing = expected - covered
             extra = covered - expected
-            raise OrcaFallbackError(
+            raise SkeletonInvalidError(
                 f"best-position arrays do not cover the block: "
                 f"missing={sorted(missing)} extra={sorted(extra)}")

@@ -9,9 +9,12 @@ The router implements the paper's conservative policy:
   facade for ``optimizer="auto"``);
 * recursive CTEs and multi-column GROUPING are rejected before Orca
   (the SQL frontend already refuses them, mirroring Section 4.1);
-* any :class:`OrcaFallbackError` during conversion or optimization makes
-  the router return ``None``, and the caller "resorts to the usual MySQL
-  query optimization".
+* the whole detour runs under a :class:`repro.resilience.DetourGuard`:
+  typed aborts (:class:`OrcaFallbackError`), compile-budget overruns,
+  and *any* unexpected exception make the router fall back, and the
+  caller "resorts to the usual MySQL query optimization" — the outcome
+  (reason + error details) is reported so the facade can log it and
+  feed the circuit breaker.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Set
 
 from repro.catalog.catalog import Catalog
-from repro.errors import OrcaError, OrcaFallbackError
+from repro.errors import OrcaFallbackError, ReproError
 from repro.bridge.metadata_provider import MySQLMetadataProvider
 from repro.bridge.parse_tree_converter import ParseTreeConverter
 from repro.bridge.plan_converter import OrcaPlanConverter
@@ -28,9 +31,22 @@ from repro.orca.joinorder import JoinSearchMode, SubEstimates
 from repro.orca.mdcache import MDAccessor
 from repro.orca.optimizer import OrcaBlockPlan, OrcaConfig, OrcaOptimizer
 from repro.orca.preprocess import preprocess_block, push_cte_predicates
+from repro.resilience import CompileBudget, DetourGuard, DetourOutcome
 from repro.selectivity import SelectivityEstimator
 from repro.sql import ast
 from repro.sql.blocks import EntryKind, QueryBlock, StatementContext
+
+
+def _search_mode(config) -> JoinSearchMode:
+    """Validate ``config.orca_search`` instead of dying on a raw KeyError."""
+    name = config.orca_search
+    try:
+        return JoinSearchMode[name]
+    except KeyError:
+        valid = ", ".join(mode.name for mode in JoinSearchMode)
+        raise ReproError(
+            f"unknown orca_search {name!r}; valid choices: {valid}"
+        ) from None
 
 
 class OrcaRouter:
@@ -43,30 +59,48 @@ class OrcaRouter:
         if orca_config is not None:
             self.orca_config = orca_config
         else:
-            self.orca_config = OrcaConfig(
-                search=JoinSearchMode[config.orca_search])
+            self.orca_config = OrcaConfig(search=_search_mode(config))
         #: Populated on every successful optimization, for observability.
         self.last_provider: Optional[MySQLMetadataProvider] = None
         self.last_accessor: Optional[MDAccessor] = None
         self.last_converter: Optional[ParseTreeConverter] = None
+        #: The guarded result of the most recent :meth:`optimize` call.
+        self.last_outcome: Optional[DetourOutcome] = None
 
     def optimize(self, stmt: ast.SelectStmt, block: QueryBlock,
                  context: StatementContext) -> Optional[SkeletonPlan]:
         """Optimize with Orca; None means fall back to MySQL."""
-        try:
-            return self._optimize(block, context)
-        except (OrcaFallbackError, OrcaError):
-            return None
+        return self.optimize_guarded(stmt, block, context).skeleton
+
+    def optimize_guarded(self, stmt: ast.SelectStmt, block: QueryBlock,
+                         context: StatementContext) -> DetourOutcome:
+        """Run the detour under full containment.
+
+        Every exception the detour raises — not just the typed Orca
+        aborts — becomes a :class:`DetourOutcome` carrying the fallback
+        reason and error details.  With
+        ``config.contain_unexpected_errors`` false (a debugging aid),
+        non-Orca exceptions surface to the caller instead.
+        """
+        guard = DetourGuard(contain_unexpected=getattr(
+            self.config, "contain_unexpected_errors", True))
+        outcome = guard.run(lambda: self._optimize(block, context))
+        self.last_outcome = outcome
+        return outcome
 
     # -- the detour -----------------------------------------------------------------
 
     def _optimize(self, block: QueryBlock,
                   context: StatementContext) -> SkeletonPlan:
-        provider = MySQLMetadataProvider(self.catalog)
+        budget = CompileBudget.from_config(self.config)
+        injector = getattr(self.config, "fault_injector", None)
+        provider = MySQLMetadataProvider(self.catalog,
+                                         fault_injector=injector)
         accessor = MDAccessor(provider)
-        converter = ParseTreeConverter(accessor)
+        converter = ParseTreeConverter(accessor, fault_injector=injector)
         estimator = SelectivityEstimator(accessor, use_histograms=True)
-        optimizer = OrcaOptimizer(estimator, self.orca_config)
+        optimizer = OrcaOptimizer(estimator, self.orca_config,
+                                  budget=budget, fault_injector=injector)
         self.last_provider = provider
         self.last_accessor = accessor
         self.last_converter = converter
@@ -89,7 +123,13 @@ class OrcaRouter:
         estimates = SubEstimates()
         self._optimize_block(block, converter, optimizer, block_plans,
                              estimates, set())
-        return OrcaPlanConverter(context).convert(block_plans, block)
+        budget.check()
+        skeleton = OrcaPlanConverter(context, fault_injector=injector) \
+            .convert(block_plans, block)
+        # A final check so compile work done during conversion (or a
+        # sleep injected there) still honours the budget.
+        budget.check()
+        return skeleton
 
     def _optimize_block(self, block: QueryBlock,
                         converter: ParseTreeConverter,

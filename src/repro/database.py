@@ -14,6 +14,12 @@ Routing follows the paper: only SELECT statements whose table-reference
 count reaches ``complex_query_threshold`` take the Orca detour
 (Section 4.1); everything else — and any query on which the bridge aborts —
 uses the MySQL optimizer.
+
+The detour is *fault contained*: every abort (typed or not) is recorded
+in a :class:`repro.resilience.FallbackLog` with a
+:class:`repro.resilience.FallbackReason`, compile budgets cap how long
+one detour may run, and a per-fingerprint circuit breaker routes
+statements that keep crashing the optimizer straight to MySQL.
 """
 
 from __future__ import annotations
@@ -30,11 +36,23 @@ from repro.executor.explain import explain_plan
 from repro.mysql_optimizer.optimizer import MySQLOptimizer
 from repro.mysql_optimizer.refinement import PlanBuilder
 from repro.mysql_optimizer.skeleton import SkeletonPlan
+from repro.orca.joinorder import JoinSearchMode
+from repro.resilience import (
+    CircuitBreaker,
+    FallbackEvent,
+    FallbackLog,
+    FallbackReason,
+    FaultInjector,
+    statement_fingerprint,
+)
 from repro.sql import ast as sql_ast
 from repro.sql.parser import parse_statement
 from repro.sql.prepare import prepare
 from repro.sql.resolver import Resolver
 from repro.storage.engine import StorageEngine
+
+#: Valid values for ``DatabaseConfig.routing``.
+ROUTING_POLICIES = ("threshold", "cost_based")
 
 
 @dataclass
@@ -58,6 +76,36 @@ class DatabaseConfig:
     routing: str = "threshold"
     #: Estimated-cost trigger for cost-based routing.
     mysql_cost_threshold: float = 500.0
+    #: Wall-clock budget for one Orca compilation; ``None`` = unlimited.
+    #: A detour that overruns aborts with ``BUDGET_EXCEEDED`` and MySQL's
+    #: fast greedy optimizer takes over.
+    orca_compile_budget_seconds: Optional[float] = None
+    #: Memo group-count cap for the Cascades search; ``None`` = unlimited.
+    orca_memo_group_budget: Optional[int] = None
+    #: Contain non-Orca exceptions escaping the detour (fall back to
+    #: MySQL and record the error) instead of crashing the query.  Turn
+    #: off only to debug the bridge itself.
+    contain_unexpected_errors: bool = True
+    #: Unexpected-exception fallbacks for one statement fingerprint
+    #: before the circuit breaker quarantines it.
+    circuit_breaker_threshold: int = 3
+    #: Seconds after the last failure before a quarantined fingerprint
+    #: is granted one trial detour again (half-open).
+    circuit_breaker_reset_seconds: float = 60.0
+    #: Optional :class:`repro.resilience.FaultInjector` — the only way
+    #: faults are ever injected; ``None`` costs nothing.
+    fault_injector: Optional[FaultInjector] = None
+
+    def __post_init__(self) -> None:
+        if self.routing not in ROUTING_POLICIES:
+            raise ReproError(
+                f"unknown routing {self.routing!r}; valid choices: "
+                f"{', '.join(ROUTING_POLICIES)}")
+        if self.orca_search not in JoinSearchMode.__members__:
+            valid = ", ".join(JoinSearchMode.__members__)
+            raise ReproError(
+                f"unknown orca_search {self.orca_search!r}; "
+                f"valid choices: {valid}")
 
 
 @dataclass
@@ -69,6 +117,9 @@ class StatementResult:
     compile_seconds: float
     execute_seconds: float
     explain: Optional[str] = None
+    #: Why the Orca detour was abandoned (or skipped) for this
+    #: statement; ``None`` when Orca succeeded or was never attempted.
+    fallback_reason: Optional[FallbackReason] = None
 
 
 class Database:
@@ -78,6 +129,12 @@ class Database:
         self.config = config or DatabaseConfig()
         self.catalog = Catalog()
         self.storage = StorageEngine(self.catalog)
+        #: Fallback telemetry: counters by reason, per-statement history.
+        self.fallback_log = FallbackLog()
+        #: Quarantine for statements that keep crashing the detour.
+        self.circuit_breaker = CircuitBreaker(
+            threshold=self.config.circuit_breaker_threshold,
+            reset_seconds=self.config.circuit_breaker_reset_seconds)
 
     # -- DDL / DML ---------------------------------------------------------------
 
@@ -94,20 +151,25 @@ class Database:
     # -- compilation -------------------------------------------------------------
 
     def _compile(self, sql: str, optimizer: str
-                 ) -> Tuple[Executor, str]:
-        """Parse, prepare, optimize, and refine; returns (executor, used)."""
+                 ) -> Tuple[Executor, str, Optional[FallbackReason]]:
+        """Parse, prepare, optimize, and refine.
+
+        Returns ``(executor, optimizer_used, fallback_reason)``.
+        """
         stmt = parse_statement(sql)
         if not isinstance(stmt, sql_ast.SelectStmt):
             raise ReproError("only SELECT statements can be compiled; "
                              "DML executes directly")
-        return self._compile_select(stmt, optimizer)
+        return self._compile_select(stmt, optimizer, sql)
 
-    def _compile_select(self, stmt, optimizer: str) -> Tuple[Executor, str]:
+    def _compile_select(self, stmt, optimizer: str, sql: str
+                        ) -> Tuple[Executor, str, Optional[FallbackReason]]:
         block, context = Resolver(self.catalog).resolve(stmt)
         prepare(block)
 
         route = self._route(stmt, optimizer)
         used = "mysql"
+        fallback_reason: Optional[FallbackReason] = None
         skeleton: Optional[SkeletonPlan] = None
         if route == "cost":
             # Future-work routing (Section 9): greedy-optimize first, and
@@ -115,24 +177,56 @@ class Database:
             skeleton = MySQLOptimizer(self.catalog).optimize(block, context)
             top_cost = skeleton.skeleton_for(block).total_cost
             if top_cost >= self.config.mysql_cost_threshold:
-                orca_skeleton = self._orca_optimize(stmt, block, context)
+                orca_skeleton, fallback_reason = self._guarded_detour(
+                    stmt, block, context, sql)
                 if orca_skeleton is not None:
+                    # On fallback the greedy skeleton computed above is
+                    # reused as-is — no recompute.
                     skeleton = orca_skeleton
                     used = "orca"
         elif route == "orca":
-            skeleton = self._orca_optimize(stmt, block, context)
+            skeleton, fallback_reason = self._guarded_detour(
+                stmt, block, context, sql)
             used = "orca" if skeleton is not None else "mysql"
         if skeleton is None:
             skeleton = MySQLOptimizer(self.catalog).optimize(block, context)
         executor = PlanBuilder(skeleton, self.catalog, self.storage).build()
-        return executor, used
+        return executor, used, fallback_reason
 
-    def _orca_optimize(self, stmt, block, context
-                       ) -> Optional[SkeletonPlan]:
+    def _guarded_detour(self, stmt, block, context, sql: str
+                        ) -> Tuple[Optional[SkeletonPlan],
+                                   Optional[FallbackReason]]:
+        """Enter the Orca detour under containment.
+
+        Checks the circuit breaker first, records the outcome in the
+        fallback log, and feeds unexpected-exception fallbacks back into
+        the breaker.  Never raises (unless containment is disabled).
+        """
         from repro.bridge.router import OrcaRouter
 
+        fingerprint = statement_fingerprint(sql)
+        if not self.circuit_breaker.allow(fingerprint):
+            self.fallback_log.record_fallback(FallbackEvent(
+                fingerprint=fingerprint,
+                reason=FallbackReason.CIRCUIT_OPEN,
+                sql=sql))
+            return None, FallbackReason.CIRCUIT_OPEN
         router = OrcaRouter(self.catalog, self.config)
-        return router.optimize(stmt, block, context)
+        self.fallback_log.record_detour_entry()
+        outcome = router.optimize_guarded(stmt, block, context)
+        if outcome.ok:
+            self.fallback_log.record_detour_success()
+            self.circuit_breaker.record_success(fingerprint)
+            return outcome.skeleton, None
+        self.fallback_log.record_fallback(FallbackEvent(
+            fingerprint=fingerprint,
+            reason=outcome.reason,
+            error_type=outcome.error_type,
+            error_message=outcome.error_message,
+            sql=sql))
+        if outcome.reason is FallbackReason.UNEXPECTED_EXCEPTION:
+            self.circuit_breaker.record_failure(fingerprint)
+        return None, outcome.reason
 
     def _route(self, stmt, optimizer: str) -> str:
         if optimizer == "mysql":
@@ -143,6 +237,12 @@ class Database:
             raise ReproError(f"unknown optimizer {optimizer!r}")
         if not self.config.orca_enabled:
             return "mysql"
+        if self.config.routing not in ROUTING_POLICIES:
+            # The config object is mutable, so a typo like "cost-based"
+            # can arrive after construction; refuse to guess.
+            raise ReproError(
+                f"unknown routing {self.config.routing!r}; valid "
+                f"choices: {', '.join(ROUTING_POLICIES)}")
         if self.config.routing == "cost_based":
             return "cost"
         refs = stmt.table_reference_count()
@@ -176,17 +276,22 @@ class Database:
     def execute(self, sql: str, optimizer: str = "auto") -> List[tuple]:
         return self.run(sql, optimizer).rows
 
-    def run(self, sql: str, optimizer: str = "auto") -> StatementResult:
+    def run(self, sql: str, optimizer: str = "auto",
+            explain: bool = False) -> StatementResult:
         """Execute with timing breakdown (used by the benchmark harness).
 
         DML statements return a single row holding the affected-row
-        count; they never take the Orca detour (Section 4.1).
+        count; they never take the Orca detour (Section 4.1).  With
+        ``explain=True`` the result also carries the plan's EXPLAIN
+        text (rendered before execution, so estimates are unperturbed).
         """
         start = time.perf_counter()
         stmt = parse_statement(sql)
         if not isinstance(stmt, sql_ast.SelectStmt):
             return self._execute_dml(stmt, start)
-        executor, used = self._compile_select(stmt, optimizer)
+        executor, used, fallback_reason = self._compile_select(
+            stmt, optimizer, sql)
+        explain_text = explain_plan(executor.top_plan) if explain else None
         compiled = time.perf_counter()
         rows = executor.execute()
         done = time.perf_counter()
@@ -195,10 +300,12 @@ class Database:
             optimizer_used=used,
             compile_seconds=compiled - start,
             execute_seconds=done - compiled,
+            explain=explain_text,
+            fallback_reason=fallback_reason,
         )
 
     def explain(self, sql: str, optimizer: str = "auto") -> str:
-        executor, __ = self._compile(sql, optimizer)
+        executor, __, __ = self._compile(sql, optimizer)
         return explain_plan(executor.top_plan)
 
     def explain_analyze(self, sql: str, optimizer: str = "auto") -> str:
@@ -212,7 +319,7 @@ class Database:
         from repro.executor.explain import instrument_plan
         from repro.executor.plan import DerivedMaterializeNode
 
-        executor, __ = self._compile(sql, optimizer)
+        executor, __, __ = self._compile(sql, optimizer)
         instrument_plan(executor.top_plan)
         executor.execute()
         # Copy rebind counts (Section 7, Orca change 3) onto the
@@ -241,7 +348,7 @@ class Database:
                      ) -> StatementResult:
         """Compile (EXPLAIN) without executing — for Table 1 experiments."""
         start = time.perf_counter()
-        executor, used = self._compile(sql, optimizer)
+        executor, used, fallback_reason = self._compile(sql, optimizer)
         compiled = time.perf_counter()
         return StatementResult(
             rows=[],
@@ -249,4 +356,19 @@ class Database:
             compile_seconds=compiled - start,
             execute_seconds=0.0,
             explain=explain_plan(executor.top_plan),
+            fallback_reason=fallback_reason,
         )
+
+    # -- resilience observability ------------------------------------------------------
+
+    def resilience_report(self) -> str:
+        """Text summary: detour entries, fallbacks by reason, open circuits."""
+        lines = [self.fallback_log.report()]
+        open_fps = self.circuit_breaker.open_fingerprints
+        lines.append(f"open circuits:     {len(open_fps)}")
+        for fingerprint in open_fps:
+            lines.append(
+                f"  {fingerprint}: "
+                f"{self.circuit_breaker.failures(fingerprint)} "
+                f"consecutive failures")
+        return "\n".join(lines)

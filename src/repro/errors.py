@@ -70,6 +70,25 @@ class OrcaFallbackError(OrcaError):
     """
 
 
+class BudgetExceededError(OrcaError):
+    """Raised when a compile budget (wall clock / memo size) is exhausted.
+
+    The containment guard maps it to ``FallbackReason.BUDGET_EXCEEDED``:
+    a pathological query aborts the detour instead of hanging
+    compilation, and MySQL's fast greedy optimizer takes over.
+    """
+
+
+class SkeletonInvalidError(OrcaFallbackError):
+    """Raised when the converted skeleton does not describe the block.
+
+    The plan converter's two safety nets raise this: a leaf that belongs
+    to a different query block (Orca changed the structure, Section
+    4.2.1) or best-position arrays whose coverage does not match the
+    block's entries.
+    """
+
+
 class BridgeError(ReproError):
     """Raised by the MySQL<->Orca bridge components."""
 

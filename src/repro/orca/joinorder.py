@@ -121,7 +121,7 @@ class OrcaJoinSearch:
                  block: QueryBlock, estimator: SelectivityEstimator,
                  cost_model: OrcaCostModel, sub_estimates: SubEstimates,
                  corr: FrozenSet[int], mode: JoinSearchMode,
-                 memo: Memo) -> None:
+                 memo: Memo, budget=None) -> None:
         self.units = units
         self.conjuncts = conjuncts
         self.block = block
@@ -131,6 +131,10 @@ class OrcaJoinSearch:
         self.corr = corr
         self.mode = mode
         self.memo = memo
+        #: Optional :class:`repro.resilience.CompileBudget`; checked as
+        #: the search expands, so runaway compilations abort the detour
+        #: (``BudgetExceededError``) instead of hanging.
+        self.budget = budget
         self._entry_sets = [frozenset({unit.descriptor.entry.entry_id})
                             for unit in units]
         self._local: List[Tuple[AccessPlan, float, float, PhysicalGet]] = []
@@ -139,6 +143,10 @@ class OrcaJoinSearch:
         self._edges = self._build_edges()
         self._rows_cache: Dict[FrozenSet[int], float] = {}
         self._conn_cache: Dict[FrozenSet[int], bool] = {}
+
+    def _check_budget(self) -> None:
+        if self.budget is not None:
+            self.budget.check(self.memo.group_count)
 
     # -- unit-level planning ----------------------------------------------------
 
@@ -324,6 +332,7 @@ class OrcaJoinSearch:
 
     def _expand_subset(self, subset: FrozenSet[int],
                        full_bushy: bool) -> None:
+        self._check_budget()
         group = self.memo.group(subset)
         group.rows = self.subset_rows(subset)
         members = sorted(subset)
@@ -480,6 +489,7 @@ class OrcaJoinSearch:
     def _cost_chain(self, order: List[int]
                     ) -> Tuple[PhysicalOp, float, float]:
         """Cost a left-deep chain, choosing the best method per step."""
+        self._check_budget()
         first = order[0]
         key = frozenset({first})
         group = self.memo.group(key)

@@ -93,15 +93,24 @@ class OrcaOptimizer:
     """Optimizes converted logical blocks bottom-up."""
 
     def __init__(self, estimator: SelectivityEstimator,
-                 config: Optional[OrcaConfig] = None) -> None:
+                 config: Optional[OrcaConfig] = None,
+                 budget=None, fault_injector=None) -> None:
         self.estimator = estimator
         self.config = config or OrcaConfig()
         self.cost_model = OrcaCostModel()
+        #: Optional :class:`repro.resilience.CompileBudget` checked inside
+        #: the join search so pathological queries abort, not hang.
+        self.budget = budget
+        self.fault_injector = fault_injector
 
     # -- public API ------------------------------------------------------------------
 
     def optimize_block(self, logical: OrcaLogicalBlock,
                        sub_estimates: SubEstimates) -> OrcaBlockPlan:
+        if self.fault_injector is not None:
+            self.fault_injector.fire("optimizer")
+        if self.budget is not None:
+            self.budget.check()
         block = logical.block
         memo = Memo()
         corr = frozenset(correlation_sources(block))
@@ -117,7 +126,7 @@ class OrcaOptimizer:
             search = OrcaJoinSearch(
                 logical.core.units, logical.core.conjuncts, block,
                 self.estimator, self.cost_model, sub_estimates, corr,
-                mode, memo)
+                mode, memo, budget=self.budget)
             plan, cost, rows = search.search()
             placed_entries = frozenset(
                 unit.descriptor.entry.entry_id
@@ -312,7 +321,8 @@ class OrcaOptimizer:
         search = OrcaJoinSearch(spec.inners, internal, block,
                                 self.estimator, self.cost_model,
                                 sub_estimates, corr,
-                                JoinSearchMode.GREEDY, memo)
+                                JoinSearchMode.GREEDY, memo,
+                                budget=self.budget)
         return search.search()
 
     def _equi_bridge(self, conjuncts: List[ast.Expr], outer: frozenset,

@@ -1,0 +1,410 @@
+"""Fault containment for the Orca detour.
+
+The paper's core operational promise is that the detour is *optional*:
+on any bridge abort the system "resorts to the usual MySQL query
+optimization" (Section 4.2.1).  This module makes that promise hold for
+*every* failure mode, not just the typed aborts the bridge raises on
+purpose:
+
+* :class:`FallbackReason` — the taxonomy of why a query ended up on the
+  MySQL optimizer after the detour was attempted (or skipped);
+* :class:`DetourGuard` — the containment wrapper the router runs the
+  detour under: typed aborts, budget overruns, and *unexpected*
+  exceptions (``KeyError``, ``RecursionError``, ...) all become a clean
+  fallback with the reason and error details captured;
+* :class:`CompileBudget` — wall-clock and memo-group caps checked inside
+  the Cascades search, so a pathological query aborts the detour instead
+  of hanging compilation;
+* :class:`CircuitBreaker` — per-statement-fingerprint quarantine: after
+  N unexpected-exception fallbacks the fingerprint routes straight to
+  MySQL until the breaker decays, mirroring how a production frontend
+  isolates optimizer-crashing queries;
+* :class:`FallbackLog` — counters by reason, per-statement history, and
+  a text report, surfaced through ``Database.resilience_report()`` and
+  the benchmark harness;
+* :class:`FaultInjector` — deterministic, seedable fault injection at
+  named points in the metadata provider, parse-tree converter,
+  optimizer, and plan converter, so every fallback path can be tested
+  deliberately.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import re
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    BudgetExceededError,
+    OrcaError,
+    ReproError,
+    SkeletonInvalidError,
+)
+
+
+class FallbackReason(enum.Enum):
+    """Why a query fell back to (or stayed on) the MySQL optimizer."""
+
+    #: The bridge aborted on purpose with an ``OrcaError`` /
+    #: ``OrcaFallbackError`` (unsupported construct, changed block
+    #: structure, ...) — the paper's Section 4.2.1 path.
+    TYPED_ABORT = "typed_abort"
+    #: A non-Orca exception escaped the detour (a genuine bug); it was
+    #: contained instead of crashing the query.
+    UNEXPECTED_EXCEPTION = "unexpected_exception"
+    #: The compile budget (wall clock or memo group cap) was exhausted.
+    BUDGET_EXCEEDED = "budget_exceeded"
+    #: The circuit breaker is open for this statement fingerprint; the
+    #: detour was never entered.
+    CIRCUIT_OPEN = "circuit_open"
+    #: The plan converter produced best-position arrays that do not
+    #: describe the query block (structure changed / coverage broken).
+    SKELETON_INVALID = "skeleton_invalid"
+
+
+# -- statement fingerprinting ------------------------------------------------------
+
+_STRING_LITERAL = re.compile(r"'(?:[^']|'')*'")
+_NUMBER_LITERAL = re.compile(r"\b\d+(?:\.\d+)?\b")
+_WHITESPACE = re.compile(r"\s+")
+
+
+def statement_fingerprint(sql: str) -> str:
+    """A stable digest of a statement with literals normalised away.
+
+    ``WHERE o_totalprice > 100`` and ``WHERE o_totalprice > 250`` share a
+    fingerprint, so the circuit breaker quarantines the statement *shape*
+    that crashes the optimizer, not one literal binding of it.
+    """
+    text = _STRING_LITERAL.sub("?", sql)
+    text = _NUMBER_LITERAL.sub("?", text)
+    text = _WHITESPACE.sub(" ", text).strip().lower()
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()[:12]
+
+
+# -- compile budgets ---------------------------------------------------------------
+
+
+class CompileBudget:
+    """Wall-clock and memo-size caps for one Orca compilation.
+
+    The Cascades search calls :meth:`check` as it expands memo groups;
+    once either cap is hit a :class:`BudgetExceededError` aborts the
+    detour (a typed error, so containment maps it to
+    ``FallbackReason.BUDGET_EXCEEDED``).
+    """
+
+    def __init__(self, seconds: Optional[float] = None,
+                 max_memo_groups: Optional[int] = None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.seconds = seconds
+        self.max_memo_groups = max_memo_groups
+        self._clock = clock
+        self.started_at = clock()
+
+    @classmethod
+    def from_config(cls, config) -> "CompileBudget":
+        return cls(
+            seconds=getattr(config, "orca_compile_budget_seconds", None),
+            max_memo_groups=getattr(config, "orca_memo_group_budget", None),
+        )
+
+    @property
+    def unlimited(self) -> bool:
+        return self.seconds is None and self.max_memo_groups is None
+
+    def elapsed(self) -> float:
+        return self._clock() - self.started_at
+
+    def check(self, memo_groups: int = 0) -> None:
+        """Raise :class:`BudgetExceededError` when a cap is exhausted."""
+        if self.seconds is not None:
+            elapsed = self.elapsed()
+            if elapsed > self.seconds:
+                raise BudgetExceededError(
+                    f"compile budget exceeded: {elapsed:.3f}s elapsed "
+                    f"(budget {self.seconds:.3f}s)")
+        if self.max_memo_groups is not None \
+                and memo_groups > self.max_memo_groups:
+            raise BudgetExceededError(
+                f"compile budget exceeded: {memo_groups} memo groups "
+                f"(budget {self.max_memo_groups})")
+
+
+# -- the containment guard ----------------------------------------------------------
+
+
+@dataclass
+class DetourOutcome:
+    """What one guarded detour attempt produced."""
+
+    skeleton: Optional[object] = None
+    reason: Optional[FallbackReason] = None
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.skeleton is not None
+
+
+def classify_exception(exc: BaseException) -> FallbackReason:
+    """Map an exception that escaped the detour onto the taxonomy."""
+    if isinstance(exc, BudgetExceededError):
+        return FallbackReason.BUDGET_EXCEEDED
+    if isinstance(exc, SkeletonInvalidError):
+        return FallbackReason.SKELETON_INVALID
+    if isinstance(exc, OrcaError):
+        return FallbackReason.TYPED_ABORT
+    return FallbackReason.UNEXPECTED_EXCEPTION
+
+
+class DetourGuard:
+    """Runs the detour and contains everything it throws.
+
+    With ``contain_unexpected=False`` (a debugging aid) only the typed
+    aborts fall back and genuine bugs surface to the caller — the
+    pre-containment behaviour.
+    """
+
+    def __init__(self, contain_unexpected: bool = True) -> None:
+        self.contain_unexpected = contain_unexpected
+
+    def run(self, detour: Callable[[], object]) -> DetourOutcome:
+        try:
+            return DetourOutcome(skeleton=detour())
+        except Exception as exc:  # noqa: BLE001 — containment is the point
+            reason = classify_exception(exc)
+            if reason is FallbackReason.UNEXPECTED_EXCEPTION \
+                    and not self.contain_unexpected:
+                raise
+            return DetourOutcome(
+                skeleton=None,
+                reason=reason,
+                error_type=type(exc).__name__,
+                error_message=str(exc),
+            )
+
+
+# -- circuit breaker -----------------------------------------------------------------
+
+
+class CircuitBreaker:
+    """Per-fingerprint quarantine for optimizer-crashing statements.
+
+    After ``threshold`` *unexpected-exception* fallbacks for one
+    fingerprint, :meth:`allow` answers False and the facade routes the
+    statement straight to MySQL without re-entering the detour.  Once
+    ``reset_seconds`` pass since the last failure the breaker half-opens:
+    one trial detour is allowed, and a success closes it again.
+    """
+
+    def __init__(self, threshold: int = 3, reset_seconds: float = 60.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ReproError("circuit breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        #: fingerprint -> (consecutive failures, last failure time)
+        self._failures: Dict[str, Tuple[int, float]] = {}
+
+    def record_failure(self, fingerprint: str) -> None:
+        count, __ = self._failures.get(fingerprint, (0, 0.0))
+        self._failures[fingerprint] = (count + 1, self._clock())
+
+    def record_success(self, fingerprint: str) -> None:
+        self._failures.pop(fingerprint, None)
+
+    def failures(self, fingerprint: str) -> int:
+        return self._failures.get(fingerprint, (0, 0.0))[0]
+
+    def is_open(self, fingerprint: str) -> bool:
+        return not self.allow(fingerprint, probe=True)
+
+    def allow(self, fingerprint: str, probe: bool = False) -> bool:
+        """Whether the detour may be entered for this fingerprint.
+
+        With ``probe=True`` the breaker is only inspected: a decayed
+        entry is not half-opened (no state change).
+        """
+        entry = self._failures.get(fingerprint)
+        if entry is None:
+            return True
+        count, last_failure = entry
+        if count < self.threshold:
+            return True
+        if self._clock() - last_failure >= self.reset_seconds:
+            if not probe:
+                # Half-open: allow one trial; a success closes the
+                # breaker, another failure re-opens it immediately.
+                self._failures[fingerprint] = (self.threshold - 1,
+                                               last_failure)
+            return True
+        return False
+
+    @property
+    def open_fingerprints(self) -> List[str]:
+        return sorted(fp for fp in self._failures
+                      if not self.allow(fp, probe=True))
+
+
+# -- fallback telemetry ---------------------------------------------------------------
+
+
+@dataclass
+class FallbackEvent:
+    """One recorded fallback, with enough detail to debug it later."""
+
+    fingerprint: str
+    reason: FallbackReason
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    sql: Optional[str] = None
+
+
+class FallbackLog:
+    """Counters by reason plus a bounded per-statement history."""
+
+    def __init__(self, max_events: int = 256) -> None:
+        self.counters: Dict[FallbackReason, int] = {
+            reason: 0 for reason in FallbackReason}
+        self.events: Deque[FallbackEvent] = deque(maxlen=max_events)
+        self.per_statement: Dict[str, List[FallbackEvent]] = {}
+        self.detours_entered = 0
+        self.detours_succeeded = 0
+        self.last_event: Optional[FallbackEvent] = None
+
+    def record_detour_entry(self) -> None:
+        self.detours_entered += 1
+
+    def record_detour_success(self) -> None:
+        self.detours_succeeded += 1
+
+    def record_fallback(self, event: FallbackEvent) -> None:
+        self.counters[event.reason] += 1
+        self.events.append(event)
+        self.per_statement.setdefault(event.fingerprint, []).append(event)
+        self.last_event = event
+
+    def count(self, reason: FallbackReason) -> int:
+        return self.counters[reason]
+
+    @property
+    def total_fallbacks(self) -> int:
+        return sum(self.counters.values())
+
+    def history(self, fingerprint: str) -> List[FallbackEvent]:
+        return list(self.per_statement.get(fingerprint, []))
+
+    def report(self) -> str:
+        lines = ["Resilience report", "=" * 17,
+                 f"detours entered:   {self.detours_entered}",
+                 f"detours succeeded: {self.detours_succeeded}",
+                 f"fallbacks:         {self.total_fallbacks}"]
+        for reason in FallbackReason:
+            count = self.counters[reason]
+            if count:
+                lines.append(f"  {reason.value + ':':<22} {count}")
+        if self.last_event is not None:
+            event = self.last_event
+            detail = event.reason.value
+            if event.error_type:
+                detail = (f"{event.error_type}: {event.error_message} "
+                          f"({detail})")
+            lines.append(f"last fallback:     {detail} "
+                         f"[fingerprint {event.fingerprint}]")
+        return "\n".join(lines)
+
+
+# -- fault injection -------------------------------------------------------------------
+
+#: The named injection points wired into the bridge components.
+INJECTION_SITES = (
+    "metadata_provider",
+    "parse_tree_converter",
+    "optimizer",
+    "plan_converter",
+)
+
+#: Supported fault actions at each site.
+INJECTION_ACTIONS = ("typed", "crash", "sleep")
+
+
+@dataclass
+class _ArmedFault:
+    action: str
+    times: int
+    sleep_seconds: float
+    probability: float
+
+
+class FaultInjector:
+    """Deterministic, seedable fault injection for the detour.
+
+    Arm a site with an action; when the component reaches its injection
+    point it calls :meth:`fire`, and the armed fault happens:
+
+    * ``"typed"`` — raise :class:`OrcaError` (the paper's deliberate
+      abort path);
+    * ``"crash"`` — raise ``KeyError`` (an unexpected, non-Orca bug);
+    * ``"sleep"`` — sleep ``sleep_seconds`` so a compile budget trips.
+
+    ``times`` bounds how often the fault fires (-1 = every time) and
+    ``probability`` (checked against a seeded PRNG) makes chaos runs
+    reproducible.  Only installed via ``DatabaseConfig.fault_injector``;
+    a ``None`` injector costs nothing.
+    """
+
+    SITES = INJECTION_SITES
+
+    def __init__(self, seed: int = 0) -> None:
+        import random
+
+        self._rng = random.Random(seed)
+        self._armed: Dict[str, _ArmedFault] = {}
+        self.fired: Dict[str, int] = {site: 0 for site in INJECTION_SITES}
+        self.reached: Dict[str, int] = {site: 0 for site in INJECTION_SITES}
+
+    def arm(self, site: str, action: str = "typed", times: int = -1,
+            sleep_seconds: float = 0.05,
+            probability: float = 1.0) -> "FaultInjector":
+        if site not in INJECTION_SITES:
+            raise ReproError(
+                f"unknown injection site {site!r}; valid sites: "
+                f"{', '.join(INJECTION_SITES)}")
+        if action not in INJECTION_ACTIONS:
+            raise ReproError(
+                f"unknown injection action {action!r}; valid actions: "
+                f"{', '.join(INJECTION_ACTIONS)}")
+        self._armed[site] = _ArmedFault(action, times, sleep_seconds,
+                                        probability)
+        return self
+
+    def disarm(self, site: Optional[str] = None) -> None:
+        if site is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(site, None)
+
+    def fire(self, site: str) -> None:
+        """Called by a component at its injection point."""
+        self.reached[site] = self.reached.get(site, 0) + 1
+        fault = self._armed.get(site)
+        if fault is None or fault.times == 0:
+            return
+        if fault.probability < 1.0 \
+                and self._rng.random() >= fault.probability:
+            return
+        if fault.times > 0:
+            fault.times -= 1
+        self.fired[site] = self.fired.get(site, 0) + 1
+        if fault.action == "typed":
+            raise OrcaError(f"injected typed abort at {site}")
+        if fault.action == "crash":
+            raise KeyError(f"injected crash at {site}")
+        time.sleep(fault.sleep_seconds)

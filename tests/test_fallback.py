@@ -7,6 +7,7 @@ stages of the detour and verify queries still execute — on MySQL plans.
 
 import pytest
 
+from repro import FallbackReason
 from repro.bridge.router import OrcaRouter
 from repro.errors import OrcaError, OrcaFallbackError
 
@@ -57,9 +58,10 @@ class TestRouterFallback:
         result = db.run(SQL, optimizer="orca")
         assert result.optimizer_used == "mysql"
 
-    def test_unexpected_exception_not_swallowed(self, db, monkeypatch):
-        # Only OrcaError/OrcaFallbackError trigger the fallback; genuine
-        # bugs must surface, not silently degrade.
+    def test_unexpected_exception_contained_by_default(self, db,
+                                                       monkeypatch):
+        # The containment guard catches genuine bugs too: the query
+        # falls back to MySQL and the reason records the real error.
         from repro.orca import optimizer as orca_optimizer
 
         def explode(self, logical, estimates):
@@ -67,6 +69,24 @@ class TestRouterFallback:
 
         monkeypatch.setattr(orca_optimizer.OrcaOptimizer,
                             "optimize_block", explode)
+        result = db.run(SQL, optimizer="orca")
+        assert result.optimizer_used == "mysql"
+        assert result.fallback_reason is \
+            FallbackReason.UNEXPECTED_EXCEPTION
+        assert db.fallback_log.last_event.error_type == "ValueError"
+
+    def test_unexpected_exception_surfaces_in_strict_mode(self, db,
+                                                          monkeypatch):
+        # With containment off (a debugging aid) genuine bugs surface
+        # instead of silently degrading — the pre-containment behaviour.
+        from repro.orca import optimizer as orca_optimizer
+
+        def explode(self, logical, estimates):
+            raise ValueError("a real bug")
+
+        monkeypatch.setattr(orca_optimizer.OrcaOptimizer,
+                            "optimize_block", explode)
+        db.config.contain_unexpected_errors = False
         with pytest.raises(ValueError):
             db.run(SQL, optimizer="orca")
 
