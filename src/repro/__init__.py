@@ -18,6 +18,9 @@ optimizers and the bridge the paper describes between them:
 * :mod:`repro.resilience` — fault containment for the detour: fallback
   reason taxonomy, compile budgets, per-statement circuit breaker,
   fallback telemetry, and seedable fault injection;
+* :mod:`repro.observability` — per-statement span tracing
+  (``db.run(sql, trace=True)``), the process-wide metrics registry
+  (``db.metrics_report()``), and EXPLAIN ANALYZE stage breakdowns;
 * :mod:`repro.workloads` — TPC-H (22 queries) and TPC-DS-style (99
   queries) schemas, data generators, and query suites;
 * :mod:`repro.bench` — the harness regenerating the paper's Fig. 10-12
@@ -36,6 +39,7 @@ Quickstart::
 
 from repro.database import Database, DatabaseConfig, StatementResult
 from repro.errors import ReproError
+from repro.observability import MetricsRegistry, Span, Tracer
 from repro.resilience import (
     CircuitBreaker,
     CompileBudget,
@@ -55,8 +59,11 @@ __all__ = [
     "FallbackLog",
     "FallbackReason",
     "FaultInjector",
+    "MetricsRegistry",
     "ReproError",
+    "Span",
     "StatementResult",
+    "Tracer",
     "statement_fingerprint",
     "__version__",
 ]

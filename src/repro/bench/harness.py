@@ -32,6 +32,16 @@ class QueryTiming:
     #: Why the Orca run fell back to the MySQL optimizer (a
     #: ``FallbackReason.value`` string), or None when Orca compiled.
     orca_fallback_reason: Optional[str] = None
+    #: Optimize-vs-execute split of each aggregate number above (the
+    #: aggregate still matches Fig. 11's "run times include optimization
+    #: time").  Zero when the run timed out before compiling.
+    mysql_optimize_seconds: float = 0.0
+    mysql_execute_seconds: float = 0.0
+    orca_optimize_seconds: float = 0.0
+    orca_execute_seconds: float = 0.0
+    #: Per-pipeline-stage seconds of the Orca run (span name -> seconds),
+    #: populated only when the suite ran with ``collect_stages=True``.
+    orca_stages: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ratio(self) -> float:
@@ -122,52 +132,82 @@ def results_match(rows_a: List[tuple], rows_b: List[tuple]) -> bool:
 def run_suite(db: Database, queries: Dict[int, str], name: str,
               timeout_seconds: float = 60.0,
               verify_results: bool = True,
-              progress: Optional[Callable[[str], None]] = None
-              ) -> BenchmarkResult:
+              progress: Optional[Callable[[str], None]] = None,
+              collect_stages: bool = False) -> BenchmarkResult:
     """Run every query under both optimizers; returns all timings.
 
     Timings include optimization time (compile + execute), matching the
     paper's Fig. 11 methodology.  A query that exceeds the timeout on one
     optimizer is recorded at the cap with ``*_timed_out`` set.
+
+    With ``collect_stages=True`` the Orca run is traced and each
+    timing's ``orca_stages`` records per-pipeline-stage seconds (for
+    :func:`repro.bench.report.format_stage_breakdown`); tracing adds a
+    little overhead, so leave it off for headline timings.
     """
     result = BenchmarkResult(name)
     for number in sorted(queries):
         sql = queries[number]
-        mysql_time, mysql_rows, mysql_to, __ = _timed_run(
-            db, sql, "mysql", timeout_seconds)
-        orca_time, orca_rows, orca_to, orca_fallback = _timed_run(
-            db, sql, "orca", timeout_seconds)
+        mysql = _timed_run(db, sql, "mysql", timeout_seconds)
+        orca = _timed_run(db, sql, "orca", timeout_seconds,
+                          trace=collect_stages)
         match = True
-        if verify_results and not mysql_to and not orca_to:
-            match = results_match(mysql_rows, orca_rows)
+        if verify_results and not mysql.timed_out and not orca.timed_out:
+            match = results_match(mysql.rows, orca.rows)
         timing = QueryTiming(
             number=number,
-            mysql_seconds=mysql_time,
-            orca_seconds=orca_time,
-            mysql_rows=len(mysql_rows),
-            orca_rows=len(orca_rows),
+            mysql_seconds=mysql.elapsed,
+            orca_seconds=orca.elapsed,
+            mysql_rows=len(mysql.rows),
+            orca_rows=len(orca.rows),
             results_match=match,
-            mysql_timed_out=mysql_to,
-            orca_timed_out=orca_to,
-            orca_fallback_reason=orca_fallback,
+            mysql_timed_out=mysql.timed_out,
+            orca_timed_out=orca.timed_out,
+            orca_fallback_reason=orca.fallback_reason,
+            mysql_optimize_seconds=mysql.optimize_seconds,
+            mysql_execute_seconds=mysql.execute_seconds,
+            orca_optimize_seconds=orca.optimize_seconds,
+            orca_execute_seconds=orca.execute_seconds,
+            orca_stages=orca.stages,
         )
         result.timings.append(timing)
         if progress is not None:
-            note = f" (orca fell back: {orca_fallback})" \
-                if orca_fallback else ""
-            progress(f"{name} Q{number}: mysql {mysql_time:.2f}s "
-                     f"orca {orca_time:.2f}s{note}")
+            note = f" (orca fell back: {orca.fallback_reason})" \
+                if orca.fallback_reason else ""
+            progress(f"{name} Q{number}: mysql {mysql.elapsed:.2f}s "
+                     f"orca {orca.elapsed:.2f}s{note}")
     return result
 
 
+@dataclass
+class _RunOutcome:
+    """What one timed run produced (internal to the harness)."""
+
+    elapsed: float
+    rows: List[tuple]
+    timed_out: bool
+    fallback_reason: Optional[str]
+    optimize_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    stages: Dict[str, float] = field(default_factory=dict)
+
+
 def _timed_run(db: Database, sql: str, optimizer: str,
-               timeout_seconds: float):
-    """Run one query with a soft timeout (SIGALRM where available)."""
+               timeout_seconds: float, trace: bool = False) -> _RunOutcome:
+    """Run one query with a soft timeout (SIGALRM where available).
+
+    All wall-clock numbers come from ``time.perf_counter()`` — the
+    monotonic clock — never the wall-clock ``time.time`` API, which can
+    jump under NTP adjustments mid-benchmark.
+    """
     import signal
 
     timed_out = False
     rows: List[tuple] = []
     fallback_reason: Optional[str] = None
+    optimize_seconds = 0.0
+    execute_seconds = 0.0
+    stages: Dict[str, float] = {}
     start = time.perf_counter()
 
     def _raise_timeout(signum, frame):
@@ -178,8 +218,12 @@ def _timed_run(db: Database, sql: str, optimizer: str,
         previous = signal.signal(signal.SIGALRM, _raise_timeout)
         signal.setitimer(signal.ITIMER_REAL, timeout_seconds)
     try:
-        result = db.run(sql, optimizer=optimizer)
+        result = db.run(sql, optimizer=optimizer, trace=trace)
         rows = result.rows
+        optimize_seconds = result.compile_seconds
+        execute_seconds = result.execute_seconds
+        if trace:
+            stages = result.stage_seconds()
         if result.fallback_reason is not None:
             fallback_reason = result.fallback_reason.value
     except _SoftTimeout:
@@ -191,7 +235,10 @@ def _timed_run(db: Database, sql: str, optimizer: str,
     elapsed = time.perf_counter() - start
     if timed_out:
         elapsed = timeout_seconds
-    return elapsed, rows, timed_out, fallback_reason
+    return _RunOutcome(elapsed=elapsed, rows=rows, timed_out=timed_out,
+                       fallback_reason=fallback_reason,
+                       optimize_seconds=optimize_seconds,
+                       execute_seconds=execute_seconds, stages=stages)
 
 
 class _SoftTimeout(Exception):

@@ -107,6 +107,55 @@ def format_table1(totals_tpch: Dict[str, float],
     return "\n".join(lines)
 
 
+#: Optimizer-pipeline stages shown per query in the stage-breakdown
+#: table, in pipeline order (``execute`` rides along for contrast).
+_BREAKDOWN_STAGES = ("parse_tree_convert", "memo_search", "plan_convert",
+                     "refine", "execute")
+
+_BREAKDOWN_HEADERS = ("convert", "search", "plan-conv", "refine",
+                      "execute")
+
+
+def format_stage_breakdown(result: BenchmarkResult) -> str:
+    """Per-query optimizer-stage table plus the suite's slowest stages.
+
+    Requires the suite to have run with ``collect_stages=True`` (each
+    timing's ``orca_stages`` holds per-span seconds); queries without
+    stage data (timed out, or an untraced run) are listed with dashes.
+    The trailing "top-3" list ranks *optimizer* stages — ``execute`` is
+    excluded — by total seconds across the whole suite.
+    """
+    title = f"{result.name} - optimizer stage breakdown (ms per query)"
+    header = f"{'query':>6} |" + "".join(
+        f" {label:>9} |" for label in _BREAKDOWN_HEADERS)
+    lines = [title, "=" * len(title), header]
+    totals: Dict[str, float] = {}
+    for timing in result.timings:
+        cells = []
+        for stage in _BREAKDOWN_STAGES:
+            seconds = timing.orca_stages.get(stage)
+            if seconds is None:
+                cells.append(f" {'-':>9} |")
+            else:
+                cells.append(f" {seconds * 1000.0:>9.3f} |")
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        lines.append(f"Q{timing.number:>5} |" + "".join(cells))
+    optimizer_totals = sorted(
+        ((stage, seconds) for stage, seconds in totals.items()
+         if stage != "execute"),
+        key=lambda item: item[1], reverse=True)
+    lines.append("")
+    if optimizer_totals:
+        lines.append("top-3 slowest optimizer stages across the suite:")
+        for rank, (stage, seconds) in enumerate(optimizer_totals[:3], 1):
+            lines.append(f"  {rank}. {stage:<20} "
+                         f"{seconds * 1000.0:9.3f} ms total")
+    else:
+        lines.append("no stage data recorded "
+                     "(run the suite with collect_stages=True)")
+    return "\n".join(lines)
+
+
 def summarize(result: BenchmarkResult) -> Dict[str, object]:
     """Headline numbers used by assertions in the benches and tests."""
     return {

@@ -31,9 +31,15 @@ from repro.sql import ast
 class MySQLMetadataProvider:
     """Serves MySQL dictionary objects to Orca over DXL."""
 
-    def __init__(self, catalog: Catalog, fault_injector=None) -> None:
+    def __init__(self, catalog: Catalog, fault_injector=None,
+                 metrics=None) -> None:
         self.catalog = catalog
         self.fault_injector = fault_injector
+        #: Optional :class:`repro.observability.MetricsRegistry`; every
+        #: provider request is counted as ``metadata.requests`` so the
+        #: per-statement report shows how often Orca's cache missed all
+        #: the way through to the provider.
+        self.metrics = metrics
         self._relation_index: Dict[str, int] = {}
         self._relation_names: List[str] = []
         #: Synthetic relation indexes for derived tables / CTEs (they have
@@ -43,6 +49,9 @@ class MySQLMetadataProvider:
 
     def _count(self, api: str) -> None:
         self.request_counts[api] = self.request_counts.get(api, 0) + 1
+        if self.metrics is not None:
+            self.metrics.inc("metadata.requests")
+            self.metrics.inc(f"metadata.requests.{api}")
 
     # -- relation OIDs -------------------------------------------------------------
 

@@ -57,14 +57,26 @@ from repro.sql.rewrite import expr_key
 class ParseTreeConverter:
     """Converts prepared MySQL query blocks to Orca logical blocks."""
 
-    def __init__(self, accessor: MDAccessor, fault_injector=None) -> None:
+    def __init__(self, accessor: MDAccessor, fault_injector=None,
+                 tracer=None) -> None:
         self.accessor = accessor
         self.fault_injector = fault_injector
+        if tracer is None:
+            from repro.observability import NOOP_TRACER
+            tracer = NOOP_TRACER
+        self.tracer = tracer
         #: Expression OIDs assigned during conversion, keyed by structural
         #: expression key: (oid, commutator oid, inverse oid).
         self.expression_oids: Dict[tuple, Tuple[int, int, int]] = {}
 
     def convert_block(self, block: QueryBlock) -> OrcaLogicalBlock:
+        with self.tracer.span("parse_tree_convert",
+                              block_id=block.block_id) as span:
+            logical = self._convert_block(block)
+            span.set(units=len(logical.core.units))
+            return logical
+
+    def _convert_block(self, block: QueryBlock) -> OrcaLogicalBlock:
         if self.fault_injector is not None:
             self.fault_injector.fire("parse_tree_converter")
         corr = frozenset(correlation_sources(block))

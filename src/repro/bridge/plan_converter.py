@@ -69,18 +69,28 @@ class OrcaPlanConverter:
     """Converts per-block Orca physical plans into one skeleton plan."""
 
     def __init__(self, context: StatementContext,
-                 fault_injector=None) -> None:
+                 fault_injector=None, tracer=None) -> None:
         self.context = context
         self.fault_injector = fault_injector
+        if tracer is None:
+            from repro.observability import NOOP_TRACER
+            tracer = NOOP_TRACER
+        self.tracer = tracer
 
     def convert(self, block_plans: Dict[int, OrcaBlockPlan],
                 top_block: QueryBlock) -> SkeletonPlan:
-        if self.fault_injector is not None:
-            self.fault_injector.fire("plan_converter")
-        plan = SkeletonPlan(self.context, top_block, origin="orca")
-        for block_plan in block_plans.values():
-            plan.add(self._convert_block(block_plan))
-        return plan
+        with self.tracer.span("plan_convert",
+                              blocks=len(block_plans)) as span:
+            if self.fault_injector is not None:
+                self.fault_injector.fire("plan_converter")
+            plan = SkeletonPlan(self.context, top_block, origin="orca")
+            positions = 0
+            for block_plan in block_plans.values():
+                skeleton = self._convert_block(block_plan)
+                positions += len(skeleton.positions)
+                plan.add(skeleton)
+            span.set(positions=positions)
+            return plan
 
     # -- per-block conversion -----------------------------------------------------
 

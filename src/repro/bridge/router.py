@@ -53,13 +53,22 @@ class OrcaRouter:
     """Drives the full Orca detour for one statement."""
 
     def __init__(self, catalog: Catalog, config,
-                 orca_config: Optional[OrcaConfig] = None) -> None:
+                 orca_config: Optional[OrcaConfig] = None,
+                 tracer=None, metrics=None) -> None:
         self.catalog = catalog
         self.config = config
         if orca_config is not None:
             self.orca_config = orca_config
         else:
             self.orca_config = OrcaConfig(search=_search_mode(config))
+        if tracer is None:
+            from repro.observability import NOOP_TRACER
+            tracer = NOOP_TRACER
+        #: Tracer and metrics sink shared by every bridge component the
+        #: detour constructs (spans: preprocess, parse_tree_convert,
+        #: memo_search, plan_convert, metadata_lookup).
+        self.tracer = tracer
+        self.metrics = metrics
         #: Populated on every successful optimization, for observability.
         self.last_provider: Optional[MySQLMetadataProvider] = None
         self.last_accessor: Optional[MDAccessor] = None
@@ -95,12 +104,16 @@ class OrcaRouter:
         budget = CompileBudget.from_config(self.config)
         injector = getattr(self.config, "fault_injector", None)
         provider = MySQLMetadataProvider(self.catalog,
-                                         fault_injector=injector)
-        accessor = MDAccessor(provider)
-        converter = ParseTreeConverter(accessor, fault_injector=injector)
+                                         fault_injector=injector,
+                                         metrics=self.metrics)
+        accessor = MDAccessor(provider, tracer=self.tracer,
+                              metrics=self.metrics)
+        converter = ParseTreeConverter(accessor, fault_injector=injector,
+                                       tracer=self.tracer)
         estimator = SelectivityEstimator(accessor, use_histograms=True)
         optimizer = OrcaOptimizer(estimator, self.orca_config,
-                                  budget=budget, fault_injector=injector)
+                                  budget=budget, fault_injector=injector,
+                                  tracer=self.tracer, metrics=self.metrics)
         self.last_provider = provider
         self.last_accessor = accessor
         self.last_converter = converter
@@ -110,21 +123,23 @@ class OrcaRouter:
         # plan refinement that later consumes the skeleton sees the
         # rewritten predicates, as the real integration's broadened MySQL
         # did (Section 7, lessons 3-4).
-        preprocess_block(
-            block,
-            enable_or_factorization=self.orca_config
-            .enable_or_factorization,
-            enable_derived_subqueries=self.orca_config
-            .enable_derived_subqueries)
-        if self.orca_config.enable_cte_pushdown:
-            push_cte_predicates(block)
+        with self.tracer.span("preprocess"):
+            preprocess_block(
+                block,
+                enable_or_factorization=self.orca_config
+                .enable_or_factorization,
+                enable_derived_subqueries=self.orca_config
+                .enable_derived_subqueries)
+            if self.orca_config.enable_cte_pushdown:
+                push_cte_predicates(block)
 
         block_plans: Dict[int, OrcaBlockPlan] = {}
         estimates = SubEstimates()
         self._optimize_block(block, converter, optimizer, block_plans,
                              estimates, set())
         budget.check()
-        skeleton = OrcaPlanConverter(context, fault_injector=injector) \
+        skeleton = OrcaPlanConverter(context, fault_injector=injector,
+                                     tracer=self.tracer) \
             .convert(block_plans, block)
         # A final check so compile work done during conversion (or a
         # sleep injected there) still honours the budget.

@@ -36,6 +36,14 @@ from repro.executor.explain import explain_plan
 from repro.mysql_optimizer.optimizer import MySQLOptimizer
 from repro.mysql_optimizer.refinement import PlanBuilder
 from repro.mysql_optimizer.skeleton import SkeletonPlan
+from repro.observability import (
+    NOOP_TRACER,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    find_spans,
+    stage_durations,
+)
 from repro.orca.joinorder import JoinSearchMode
 from repro.resilience import (
     CircuitBreaker,
@@ -120,6 +128,20 @@ class StatementResult:
     #: Why the Orca detour was abandoned (or skipped) for this
     #: statement; ``None`` when Orca succeeded or was never attempted.
     fallback_reason: Optional[FallbackReason] = None
+    #: Root of the statement's span tree when the statement ran with
+    #: tracing (``run(sql, trace=True)`` or an enabled ``db.tracer``);
+    #: ``None`` otherwise.
+    trace: Optional[Span] = None
+
+    def trace_export(self) -> List[dict]:
+        """Flat JSON trace: one dict per span (name, start, duration,
+        depth, parent, attributes).  Empty when the statement was not
+        traced."""
+        return [] if self.trace is None else self.trace.to_dicts()
+
+    def stage_seconds(self) -> dict:
+        """Total seconds per pipeline stage, aggregated over the trace."""
+        return {} if self.trace is None else stage_durations(self.trace)
 
 
 class Database:
@@ -129,12 +151,25 @@ class Database:
         self.config = config or DatabaseConfig()
         self.catalog = Catalog()
         self.storage = StorageEngine(self.catalog)
+        #: Process-wide counters / gauges / histograms; always on (a
+        #: counter bump per statement costs nothing measurable).
+        self.metrics = MetricsRegistry()
+        #: Statement tracer.  The no-op default makes every span hook
+        #: free; ``run(sql, trace=True)`` installs a real tracer for one
+        #: statement, or assign ``db.tracer = Tracer()`` to trace all.
+        self.tracer = NOOP_TRACER
         #: Fallback telemetry: counters by reason, per-statement history.
-        self.fallback_log = FallbackLog()
+        #: Events are mirrored into :attr:`metrics` so one report covers
+        #: routing, resilience, and cache behaviour together.
+        self.fallback_log = FallbackLog(metrics=self.metrics)
         #: Quarantine for statements that keep crashing the detour.
         self.circuit_breaker = CircuitBreaker(
             threshold=self.config.circuit_breaker_threshold,
             reset_seconds=self.config.circuit_breaker_reset_seconds)
+        #: The router of the most recent Orca detour, kept so callers can
+        #: inspect its bridge components (e.g. ``last_accessor.stats()``
+        #: for the metadata-cache hit ratio of one statement).
+        self.last_router = None
 
     # -- DDL / DML ---------------------------------------------------------------
 
@@ -156,7 +191,8 @@ class Database:
 
         Returns ``(executor, optimizer_used, fallback_reason)``.
         """
-        stmt = parse_statement(sql)
+        with self.tracer.span("parse"):
+            stmt = parse_statement(sql)
         if not isinstance(stmt, sql_ast.SelectStmt):
             raise ReproError("only SELECT statements can be compiled; "
                              "DML executes directly")
@@ -164,17 +200,24 @@ class Database:
 
     def _compile_select(self, stmt, optimizer: str, sql: str
                         ) -> Tuple[Executor, str, Optional[FallbackReason]]:
-        block, context = Resolver(self.catalog).resolve(stmt)
-        prepare(block)
+        tracer = self.tracer
+        with tracer.span("prepare"):
+            block, context = Resolver(self.catalog).resolve(stmt)
+            prepare(block)
 
-        route = self._route(stmt, optimizer)
+        with tracer.span("route") as route_span:
+            route = self._route(stmt, optimizer)
+            route_span.set(route=route, policy=self.config.routing,
+                           table_references=stmt.table_reference_count())
         used = "mysql"
         fallback_reason: Optional[FallbackReason] = None
         skeleton: Optional[SkeletonPlan] = None
         if route == "cost":
             # Future-work routing (Section 9): greedy-optimize first, and
             # only detour to Orca when the MySQL plan looks expensive.
-            skeleton = MySQLOptimizer(self.catalog).optimize(block, context)
+            with tracer.span("mysql_optimize"):
+                skeleton = MySQLOptimizer(self.catalog).optimize(
+                    block, context)
             top_cost = skeleton.skeleton_for(block).total_cost
             if top_cost >= self.config.mysql_cost_threshold:
                 orca_skeleton, fallback_reason = self._guarded_detour(
@@ -189,8 +232,12 @@ class Database:
                 stmt, block, context, sql)
             used = "orca" if skeleton is not None else "mysql"
         if skeleton is None:
-            skeleton = MySQLOptimizer(self.catalog).optimize(block, context)
-        executor = PlanBuilder(skeleton, self.catalog, self.storage).build()
+            with tracer.span("mysql_optimize"):
+                skeleton = MySQLOptimizer(self.catalog).optimize(
+                    block, context)
+        with tracer.span("refine"):
+            executor = PlanBuilder(skeleton, self.catalog,
+                                   self.storage).build()
         return executor, used, fallback_reason
 
     def _guarded_detour(self, stmt, block, context, sql: str
@@ -205,28 +252,38 @@ class Database:
         from repro.bridge.router import OrcaRouter
 
         fingerprint = statement_fingerprint(sql)
-        if not self.circuit_breaker.allow(fingerprint):
+        with self.tracer.span("orca_detour",
+                              fingerprint=fingerprint) as span:
+            if not self.circuit_breaker.allow(fingerprint):
+                self.fallback_log.record_fallback(FallbackEvent(
+                    fingerprint=fingerprint,
+                    reason=FallbackReason.CIRCUIT_OPEN,
+                    sql=sql))
+                span.set(outcome="fallback",
+                         fallback_reason=FallbackReason.CIRCUIT_OPEN.value)
+                return None, FallbackReason.CIRCUIT_OPEN
+            router = OrcaRouter(self.catalog, self.config,
+                                tracer=self.tracer, metrics=self.metrics)
+            self.last_router = router
+            self.fallback_log.record_detour_entry()
+            outcome = router.optimize_guarded(stmt, block, context)
+            if outcome.ok:
+                self.fallback_log.record_detour_success()
+                self.circuit_breaker.record_success(fingerprint)
+                span.set(outcome="ok")
+                return outcome.skeleton, None
             self.fallback_log.record_fallback(FallbackEvent(
                 fingerprint=fingerprint,
-                reason=FallbackReason.CIRCUIT_OPEN,
+                reason=outcome.reason,
+                error_type=outcome.error_type,
+                error_message=outcome.error_message,
                 sql=sql))
-            return None, FallbackReason.CIRCUIT_OPEN
-        router = OrcaRouter(self.catalog, self.config)
-        self.fallback_log.record_detour_entry()
-        outcome = router.optimize_guarded(stmt, block, context)
-        if outcome.ok:
-            self.fallback_log.record_detour_success()
-            self.circuit_breaker.record_success(fingerprint)
-            return outcome.skeleton, None
-        self.fallback_log.record_fallback(FallbackEvent(
-            fingerprint=fingerprint,
-            reason=outcome.reason,
-            error_type=outcome.error_type,
-            error_message=outcome.error_message,
-            sql=sql))
-        if outcome.reason is FallbackReason.UNEXPECTED_EXCEPTION:
-            self.circuit_breaker.record_failure(fingerprint)
-        return None, outcome.reason
+            span.set(outcome="fallback",
+                     fallback_reason=outcome.reason.value,
+                     error_type=outcome.error_type)
+            if outcome.reason is FallbackReason.UNEXPECTED_EXCEPTION:
+                self.circuit_breaker.record_failure(fingerprint)
+            return None, outcome.reason
 
     def _route(self, stmt, optimizer: str) -> str:
         if optimizer == "mysql":
@@ -257,13 +314,15 @@ class Database:
         from repro import dml
 
         compiled = time.perf_counter()
-        if isinstance(stmt, sql_ast.InsertStmt):
-            affected = dml.execute_insert(self.storage, stmt)
-        elif isinstance(stmt, sql_ast.DeleteStmt):
-            affected = dml.execute_delete(self.storage, stmt)
-        else:
-            affected = dml.execute_update(self.storage, stmt)
+        with self.tracer.span("execute"):
+            if isinstance(stmt, sql_ast.InsertStmt):
+                affected = dml.execute_insert(self.storage, stmt)
+            elif isinstance(stmt, sql_ast.DeleteStmt):
+                affected = dml.execute_delete(self.storage, stmt)
+            else:
+                affected = dml.execute_update(self.storage, stmt)
         done = time.perf_counter()
+        self.metrics.inc("statements.dml")
         return StatementResult(
             rows=[(affected,)],
             optimizer_used="mysql",
@@ -277,34 +336,72 @@ class Database:
         return self.run(sql, optimizer).rows
 
     def run(self, sql: str, optimizer: str = "auto",
-            explain: bool = False) -> StatementResult:
+            explain: bool = False, trace: bool = False) -> StatementResult:
         """Execute with timing breakdown (used by the benchmark harness).
 
         DML statements return a single row holding the affected-row
         count; they never take the Orca detour (Section 4.1).  With
         ``explain=True`` the result also carries the plan's EXPLAIN
         text (rendered before execution, so estimates are unperturbed).
+        With ``trace=True`` the statement runs under a fresh
+        :class:`repro.observability.Tracer` and the result carries the
+        span tree (``result.trace``); without it, tracing costs nothing.
         """
-        start = time.perf_counter()
-        stmt = parse_statement(sql)
-        if not isinstance(stmt, sql_ast.SelectStmt):
-            return self._execute_dml(stmt, start)
-        executor, used, fallback_reason = self._compile_select(
-            stmt, optimizer, sql)
-        explain_text = explain_plan(executor.top_plan) if explain else None
-        compiled = time.perf_counter()
-        rows = executor.execute()
-        done = time.perf_counter()
-        return StatementResult(
-            rows=rows,
-            optimizer_used=used,
-            compile_seconds=compiled - start,
-            execute_seconds=done - compiled,
-            explain=explain_text,
-            fallback_reason=fallback_reason,
-        )
+        previous = self.tracer
+        if trace and not previous.enabled:
+            self.tracer = Tracer()
+        try:
+            result = self._run(sql, optimizer, explain)
+            if self.tracer.enabled:
+                result.trace = self.tracer.last_root
+            return result
+        finally:
+            self.tracer = previous
 
-    def explain(self, sql: str, optimizer: str = "auto") -> str:
+    def _run(self, sql: str, optimizer: str,
+             explain: bool) -> StatementResult:
+        tracer = self.tracer
+        self.metrics.inc("statements.total")
+        start = time.perf_counter()
+        with tracer.span("statement", sql=sql,
+                         optimizer=optimizer) as stmt_span:
+            with tracer.span("parse"):
+                stmt = parse_statement(sql)
+            if not isinstance(stmt, sql_ast.SelectStmt):
+                result = self._execute_dml(stmt, start)
+                stmt_span.set(optimizer_used=result.optimizer_used)
+                return result
+            self.metrics.inc("statements.select")
+            executor, used, fallback_reason = self._compile_select(
+                stmt, optimizer, sql)
+            explain_text = explain_plan(executor.top_plan) \
+                if explain else None
+            compiled = time.perf_counter()
+            with tracer.span("execute"):
+                rows = executor.execute()
+            done = time.perf_counter()
+            self.metrics.inc(f"statements.{used}")
+            self.metrics.observe("statement.compile_seconds",
+                                 compiled - start)
+            self.metrics.observe("statement.execute_seconds",
+                                 done - compiled)
+            stmt_span.set(optimizer_used=used, rows=len(rows))
+            return StatementResult(
+                rows=rows,
+                optimizer_used=used,
+                compile_seconds=compiled - start,
+                execute_seconds=done - compiled,
+                explain=explain_text,
+                fallback_reason=fallback_reason,
+            )
+
+    def explain(self, sql: str, optimizer: str = "auto",
+                analyze: bool = False) -> str:
+        """EXPLAIN text; with ``analyze=True``, EXPLAIN ANALYZE plus the
+        per-stage breakdown footer (optimize-vs-execute split and Orca
+        memo statistics)."""
+        if analyze:
+            return self.explain_analyze(sql, optimizer)
         executor, __, __ = self._compile(sql, optimizer)
         return explain_plan(executor.top_plan)
 
@@ -314,14 +411,44 @@ class Database:
         The plan is instrumented, executed once, and rendered with
         ``(actual rows=N)`` next to the optimizer's estimates — making
         estimation errors (the histogram story of Section 5.5) visible
-        per operator.
+        per operator.  A "stage breakdown" footer shows where the
+        statement spent its time (mirroring the paper's EXPLAIN cost
+        copy-over, Section 6) and, for Orca plans, the memo statistics.
         """
-        from repro.executor.explain import instrument_plan
+        from repro.executor.explain import (
+            format_stage_footer,
+            instrument_plan,
+        )
         from repro.executor.plan import DerivedMaterializeNode
 
-        executor, __, __ = self._compile(sql, optimizer)
-        instrument_plan(executor.top_plan)
-        executor.execute()
+        previous = self.tracer
+        if not previous.enabled:
+            self.tracer = Tracer()
+        try:
+            with self.tracer.span("statement", sql=sql) as root:
+                start = time.perf_counter()
+                executor, used, __ = self._compile(sql, optimizer)
+                instrument_plan(executor.top_plan)
+                compiled = time.perf_counter()
+                with self.tracer.span("execute"):
+                    executor.execute()
+                done = time.perf_counter()
+        finally:
+            self.tracer = previous
+        stages = stage_durations(root)
+        memo_groups = memo_alternatives = 0
+        for span in find_spans(root, "memo_search"):
+            memo_groups += span.attributes.get("memo_groups", 0)
+            memo_alternatives += span.attributes.get(
+                "memo_alternatives", 0)
+        footer = format_stage_footer(
+            optimizer_used=used,
+            optimize_seconds=compiled - start,
+            execute_seconds=done - compiled,
+            stages=stages,
+            memo_groups=memo_groups,
+            memo_alternatives=memo_alternatives,
+        )
         # Copy rebind counts (Section 7, Orca change 3) onto the
         # materialise nodes so the rendering can show them.
         runtime = executor.last_runtime
@@ -342,7 +469,8 @@ class Database:
                 subplan = getattr(node, "subplan", None)
                 if subplan is not None:
                     stack.append(subplan)
-        return explain_plan(executor.top_plan, analyze=True)
+        return explain_plan(executor.top_plan, analyze=True,
+                            footer=footer)
 
     def compile_only(self, sql: str, optimizer: str = "auto"
                      ) -> StatementResult:
@@ -358,6 +486,39 @@ class Database:
             explain=explain_plan(executor.top_plan),
             fallback_reason=fallback_reason,
         )
+
+    # -- observability -----------------------------------------------------------------
+
+    def metrics_report(self) -> str:
+        """One text report answering "what happened and why": routing
+        (detour rate), resilience (fallbacks by reason), metadata-cache
+        effectiveness, and the raw counter/gauge/histogram dump."""
+        m = self.metrics
+        selects = m.count("statements.select")
+        entered = m.count("detour.entered")
+        rate = entered / selects if selects else 0.0
+        lines = ["Optimizer metrics", "=" * 17,
+                 f"statements:        "
+                 f"{int(m.count('statements.total'))} total, "
+                 f"{int(selects)} SELECT",
+                 f"detour rate:       {100.0 * rate:.1f}% "
+                 f"({int(entered)}/{int(selects)} SELECTs entered the "
+                 f"Orca detour)",
+                 f"detours succeeded: {int(m.count('detour.succeeded'))}"]
+        fallbacks = m.counters_with_prefix("fallback.")
+        lines.append("fallbacks by reason:"
+                     if fallbacks else "fallbacks by reason: (none)")
+        for name, value in fallbacks.items():
+            lines.append(f"  {name[len('fallback.'):]}: {int(value)}")
+        hits = m.count("mdcache.hits")
+        misses = m.count("mdcache.misses")
+        requests = hits + misses
+        ratio = hits / requests if requests else 0.0
+        lines.append(f"mdcache hit ratio: {100.0 * ratio:.1f}% "
+                     f"({int(hits)} hits / {int(misses)} misses)")
+        lines.append("")
+        lines.append(m.report())
+        return "\n".join(lines)
 
     # -- resilience observability ------------------------------------------------------
 

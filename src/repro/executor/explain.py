@@ -8,7 +8,7 @@ materialisations carry the "(invalidate on row from ...)" annotation.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.sql import ast
 from repro.executor import plan as p
@@ -77,12 +77,14 @@ def expr_text(expr: ast.Expr) -> str:
     return type(expr).__name__
 
 
-def explain_plan(query_plan: p.QueryPlan, analyze: bool = False) -> str:
+def explain_plan(query_plan: p.QueryPlan, analyze: bool = False,
+                 footer: str = "") -> str:
     """Produce the EXPLAIN FORMAT=TREE-style text for a query plan.
 
     With ``analyze=True``, per-operator *actual* row counts recorded by a
     prior instrumented execution (see :func:`instrument_plan`) are shown
-    next to the estimates — EXPLAIN ANALYZE style.
+    next to the estimates — EXPLAIN ANALYZE style.  A non-empty
+    ``footer`` (see :func:`format_stage_footer`) is appended verbatim.
     """
     header = "EXPLAIN (ORCA)" if query_plan.origin == "orca" \
         else "EXPLAIN"
@@ -99,6 +101,46 @@ def explain_plan(query_plan: p.QueryPlan, analyze: bool = False) -> str:
         lines.append(f" -> {op.value}")
         if part.root is not None:
             _render(part.root, lines, depth=2, analyze=analyze)
+    if footer:
+        lines.append(footer)
+    return "\n".join(lines)
+
+
+#: Pipeline-order stage names shown in the stage-breakdown footer (only
+#: stages that actually ran appear; ``statement``/``execute`` durations
+#: are carried by the optimize/execute split line).
+_FOOTER_STAGES = ("parse", "prepare", "route", "preprocess",
+                  "metadata_lookup", "parse_tree_convert", "memo_search",
+                  "plan_convert", "mysql_optimize", "refine")
+
+
+def format_stage_footer(optimizer_used: str, optimize_seconds: float,
+                        execute_seconds: float,
+                        stages: Optional[dict] = None,
+                        memo_groups: int = 0,
+                        memo_alternatives: int = 0) -> str:
+    """The EXPLAIN ANALYZE "stage breakdown" footer.
+
+    Shows the optimize-vs-execute wall-clock split, the per-stage trace
+    durations (when the statement ran traced), and — for Orca plans —
+    the memo statistics, mirroring the paper's copy-over of Orca's
+    numbers into MySQL's EXPLAIN (Section 6 / Listing 7).
+    """
+    total = optimize_seconds + execute_seconds
+    share = 100.0 * optimize_seconds / total if total > 0 else 0.0
+    lines = ["", "Stage breakdown", "-" * 15,
+             f"optimizer: {optimizer_used}",
+             f"optimize:  {optimize_seconds * 1000.0:.3f} ms  "
+             f"execute: {execute_seconds * 1000.0:.3f} ms  "
+             f"(optimize share {share:.1f}%)"]
+    stages = stages or {}
+    shown = [(name, stages[name]) for name in _FOOTER_STAGES
+             if name in stages]
+    for name, seconds in shown:
+        lines.append(f"  {name + ':':<20} {seconds * 1000.0:9.3f} ms")
+    if memo_groups:
+        lines.append(f"memo: {memo_groups} groups, "
+                     f"{memo_alternatives} alternatives costed")
     return "\n".join(lines)
 
 

@@ -37,51 +37,71 @@ SORT_FACTOR = 0.015
 
 
 class OrcaCostModel:
-    """Cost formulas for the Cascades search."""
+    """Cost formulas for the Cascades search.
+
+    ``evaluations`` counts every formula application — the optimizer
+    reports the per-block delta as the ``cost_evaluations`` span
+    attribute and the ``orca.cost_evaluations`` histogram, one measure
+    of search effort alongside memo groups and alternatives.
+    """
+
+    def __init__(self) -> None:
+        self.evaluations = 0
 
     # -- access paths (same protocol as MySQLCostModel) -----------------------
 
     def table_scan_cost(self, rows: float) -> float:
+        self.evaluations += 1
         pages = max(1.0, rows / ROWS_PER_PAGE)
         return pages * SEQ_PAGE + rows * ROW_EVAL
 
     def index_range_cost(self, matched_rows: float) -> float:
+        self.evaluations += 1
         return LOOKUP_BASE + matched_rows * (INDEX_ROW + ROW_EVAL)
 
     def index_lookup_cost(self, matched_rows: float) -> float:
+        self.evaluations += 1
         return LOOKUP_BASE + matched_rows * (INDEX_ROW + ROW_EVAL)
 
     def rescan_cost(self, inner_scan_cost: float) -> float:
+        self.evaluations += 1
         return inner_scan_cost
 
     # -- joins ------------------------------------------------------------------
 
     def hash_join_cost(self, build_rows: float, probe_rows: float,
                        output_rows: float) -> float:
+        self.evaluations += 1
         return (build_rows * (ROW_EVAL + HASH_BUILD_ROW)
                 + probe_rows * (ROW_EVAL + HASH_PROBE_ROW)
                 + output_rows * ROW_EVAL * 0.25)
 
     def index_nljoin_cost(self, outer_rows: float,
                           per_lookup_cost: float) -> float:
+        self.evaluations += 1
         return outer_rows * per_lookup_cost
 
     def nljoin_rescan_cost(self, outer_rows: float,
                            inner_cost: float) -> float:
+        self.evaluations += 1
         return outer_rows * inner_cost
 
     # -- aggregation / sort --------------------------------------------------------
 
     def sort_cost(self, rows: float) -> float:
+        self.evaluations += 1
         if rows <= 1:
             return 0.0
         return rows * math.log2(rows) * SORT_FACTOR
 
     def stream_agg_cost(self, rows: float) -> float:
+        self.evaluations += 1
         return rows * ROW_EVAL * 0.4
 
     def hash_agg_cost(self, rows: float, groups: float) -> float:
+        self.evaluations += 1
         return rows * ROW_EVAL * 0.6 + groups * ROW_EVAL * 0.2
 
     def materialize_cost(self, rows: float) -> float:
+        self.evaluations += 1
         return rows * ROW_EVAL * 0.5

@@ -135,6 +135,10 @@ class OrcaJoinSearch:
         #: the search expands, so runaway compilations abort the detour
         #: (``BudgetExceededError``) instead of hanging.
         self.budget = budget
+        #: Search-effort counters surfaced as ``memo_search`` span
+        #: attributes: DP subsets expanded and left-deep chains costed.
+        self.expansions = 0
+        self.chains_costed = 0
         self._entry_sets = [frozenset({unit.descriptor.entry.entry_id})
                             for unit in units]
         self._local: List[Tuple[AccessPlan, float, float, PhysicalGet]] = []
@@ -333,6 +337,7 @@ class OrcaJoinSearch:
     def _expand_subset(self, subset: FrozenSet[int],
                        full_bushy: bool) -> None:
         self._check_budget()
+        self.expansions += 1
         group = self.memo.group(subset)
         group.rows = self.subset_rows(subset)
         members = sorted(subset)
@@ -490,6 +495,7 @@ class OrcaJoinSearch:
                     ) -> Tuple[PhysicalOp, float, float]:
         """Cost a left-deep chain, choosing the best method per step."""
         self._check_budget()
+        self.chains_costed += 1
         first = order[0]
         key = frozenset({first})
         group = self.memo.group(key)

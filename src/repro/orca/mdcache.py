@@ -8,6 +8,12 @@ parsed and memoised here.  It also serves as the statistics source for
 Orca's selectivity estimation (it exposes the ``statistics(name)`` /
 ``table(name)`` protocol the estimator expects), so every cardinality
 Orca computes has round-tripped through DXL.
+
+Observability: every hit and miss is counted per request kind
+(:meth:`MDAccessor.stats`), mirrored into a
+:class:`repro.observability.MetricsRegistry` (``mdcache.hits`` /
+``mdcache.misses``) when one is attached, and each provider round-trip
+(a cache miss) is traced as a ``metadata_lookup`` span.
 """
 
 from __future__ import annotations
@@ -18,18 +24,50 @@ from repro.bridge import dxl
 from repro.bridge.metadata_provider import MySQLMetadataProvider
 from repro.catalog.schema import TableSchema
 from repro.catalog.statistics import TableStatistics
+from repro.observability import NOOP_TRACER
 
 
 class MDAccessor:
     """Caching facade over the metadata provider."""
 
-    def __init__(self, provider: MySQLMetadataProvider) -> None:
+    def __init__(self, provider: MySQLMetadataProvider,
+                 tracer=NOOP_TRACER, metrics=None) -> None:
         self.provider = provider
+        self.tracer = tracer
+        self.metrics = metrics
         self._relation_cache: Dict[int, TableSchema] = {}
         self._statistics_cache: Dict[int, TableStatistics] = {}
         self._type_cache: Dict[int, dict] = {}
         self._oid_by_name: Dict[str, int] = {}
         self.cache_hits = 0
+        self.cache_misses = 0
+        self._hits_by_kind: Dict[str, int] = {}
+        self._misses_by_kind: Dict[str, int] = {}
+
+    # -- hit/miss accounting --------------------------------------------------------
+
+    def _hit(self, kind: str) -> None:
+        self.cache_hits += 1
+        self._hits_by_kind[kind] = self._hits_by_kind.get(kind, 0) + 1
+        if self.metrics is not None:
+            self.metrics.inc("mdcache.hits")
+
+    def _miss(self, kind: str) -> None:
+        self.cache_misses += 1
+        self._misses_by_kind[kind] = self._misses_by_kind.get(kind, 0) + 1
+        if self.metrics is not None:
+            self.metrics.inc("mdcache.misses")
+
+    def stats(self) -> dict:
+        """Hit/miss counts, hit ratio, and the per-kind breakdown."""
+        requests = self.cache_hits + self.cache_misses
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "hit_ratio": self.cache_hits / requests if requests else 0.0,
+            "hits_by_kind": dict(sorted(self._hits_by_kind.items())),
+            "misses_by_kind": dict(sorted(self._misses_by_kind.items())),
+        }
 
     # -- OID resolution -----------------------------------------------------------
 
@@ -37,9 +75,12 @@ class MDAccessor:
         key = name.lower()
         oid = self._oid_by_name.get(key)
         if oid is not None:
-            self.cache_hits += 1
+            self._hit("table_oid")
             return oid
-        oid = self.provider.get_table_oid(name)
+        self._miss("table_oid")
+        with self.tracer.span("metadata_lookup", kind="table_oid",
+                              name=name):
+            oid = self.provider.get_table_oid(name)
         self._oid_by_name[key] = oid
         return oid
 
@@ -53,9 +94,13 @@ class MDAccessor:
         oid = self.table_oid(name)
         cached = self._relation_cache.get(oid)
         if cached is not None:
-            self.cache_hits += 1
+            self._hit("relation")
             return cached
-        parsed = dxl.relation_from_dxl(self.provider.get_relation_dxl(oid))
+        self._miss("relation")
+        with self.tracer.span("metadata_lookup", kind="relation",
+                              name=name):
+            parsed = dxl.relation_from_dxl(
+                self.provider.get_relation_dxl(oid))
         self._relation_cache[oid] = parsed
         return parsed
 
@@ -70,10 +115,13 @@ class MDAccessor:
         oid = self.table_oid(name)
         cached = self._statistics_cache.get(oid)
         if cached is not None:
-            self.cache_hits += 1
+            self._hit("statistics")
             return cached
-        parsed = dxl.statistics_from_dxl(
-            self.provider.get_statistics_dxl(oid))
+        self._miss("statistics")
+        with self.tracer.span("metadata_lookup", kind="statistics",
+                              name=name):
+            parsed = dxl.statistics_from_dxl(
+                self.provider.get_statistics_dxl(oid))
         self._statistics_cache[oid] = parsed
         return parsed
 
@@ -82,8 +130,10 @@ class MDAccessor:
     def type_info(self, type_oid: int) -> dict:
         cached = self._type_cache.get(type_oid)
         if cached is not None:
-            self.cache_hits += 1
+            self._hit("type")
             return cached
-        parsed = dxl.type_from_dxl(self.provider.get_type_dxl(type_oid))
+        self._miss("type")
+        with self.tracer.span("metadata_lookup", kind="type"):
+            parsed = dxl.type_from_dxl(self.provider.get_type_dxl(type_oid))
         self._type_cache[type_oid] = parsed
         return parsed

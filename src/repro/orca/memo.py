@@ -70,3 +70,10 @@ class Memo:
     @property
     def total_alternatives(self) -> int:
         return sum(group.alternatives for group in self._groups.values())
+
+    def stats(self) -> dict:
+        """Search-effort summary for the observability layer."""
+        return {
+            "groups": self.group_count,
+            "alternatives": self.total_alternatives,
+        }

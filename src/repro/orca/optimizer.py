@@ -94,7 +94,8 @@ class OrcaOptimizer:
 
     def __init__(self, estimator: SelectivityEstimator,
                  config: Optional[OrcaConfig] = None,
-                 budget=None, fault_injector=None) -> None:
+                 budget=None, fault_injector=None,
+                 tracer=None, metrics=None) -> None:
         self.estimator = estimator
         self.config = config or OrcaConfig()
         self.cost_model = OrcaCostModel()
@@ -102,11 +103,41 @@ class OrcaOptimizer:
         #: the join search so pathological queries abort, not hang.
         self.budget = budget
         self.fault_injector = fault_injector
+        if tracer is None:
+            from repro.observability import NOOP_TRACER
+            tracer = NOOP_TRACER
+        self.tracer = tracer
+        self.metrics = metrics
 
     # -- public API ------------------------------------------------------------------
 
     def optimize_block(self, logical: OrcaLogicalBlock,
                        sub_estimates: SubEstimates) -> OrcaBlockPlan:
+        with self.tracer.span("memo_search",
+                              block_id=logical.block.block_id) as span:
+            evaluations_before = self.cost_model.evaluations
+            block_plan, search = self._optimize_block(logical,
+                                                      sub_estimates)
+            evaluations = (self.cost_model.evaluations
+                           - evaluations_before)
+            memo = block_plan.memo
+            span.set(memo_groups=memo.group_count,
+                     memo_alternatives=memo.total_alternatives,
+                     cost_evaluations=evaluations,
+                     dp_expansions=search.expansions if search else 0,
+                     chains_costed=search.chains_costed if search else 0)
+            if self.metrics is not None:
+                self.metrics.inc("orca.blocks_optimized")
+                self.metrics.observe("orca.memo_groups", memo.group_count)
+                self.metrics.observe("orca.memo_alternatives",
+                                     memo.total_alternatives)
+                self.metrics.observe("orca.cost_evaluations", evaluations)
+            return block_plan
+
+    def _optimize_block(self, logical: OrcaLogicalBlock,
+                        sub_estimates: SubEstimates
+                        ) -> Tuple[OrcaBlockPlan,
+                                   Optional["OrcaJoinSearch"]]:
         if self.fault_injector is not None:
             self.fault_injector.fire("optimizer")
         if self.budget is not None:
@@ -119,6 +150,7 @@ class OrcaOptimizer:
         cost = 0.0
         rows = 1.0
         placed_entries: frozenset = frozenset()
+        search: Optional[OrcaJoinSearch] = None
         if logical.core.units:
             mode = self.config.search
             if self.config.left_deep_only:
@@ -170,7 +202,7 @@ class OrcaOptimizer:
         return OrcaBlockPlan(block=block, root=plan, cost=cost,
                              rows=max(1.0, rows), memo=memo,
                              agg_streaming=agg_streaming,
-                             order_satisfied=order_satisfied)
+                             order_satisfied=order_satisfied), search
 
     # -- helpers -----------------------------------------------------------------------
 

@@ -268,9 +268,15 @@ class FallbackEvent:
 
 
 class FallbackLog:
-    """Counters by reason plus a bounded per-statement history."""
+    """Counters by reason plus a bounded per-statement history.
 
-    def __init__(self, max_events: int = 256) -> None:
+    With a ``metrics`` sink (a :class:`repro.observability.MetricsRegistry`)
+    every event is mirrored into the process-wide registry — the
+    ``detour.entered`` / ``detour.succeeded`` / ``fallback.<reason>``
+    counters — so one metrics report covers resilience too.
+    """
+
+    def __init__(self, max_events: int = 256, metrics=None) -> None:
         self.counters: Dict[FallbackReason, int] = {
             reason: 0 for reason in FallbackReason}
         self.events: Deque[FallbackEvent] = deque(maxlen=max_events)
@@ -278,18 +284,26 @@ class FallbackLog:
         self.detours_entered = 0
         self.detours_succeeded = 0
         self.last_event: Optional[FallbackEvent] = None
+        self.metrics = metrics
 
     def record_detour_entry(self) -> None:
         self.detours_entered += 1
+        if self.metrics is not None:
+            self.metrics.inc("detour.entered")
 
     def record_detour_success(self) -> None:
         self.detours_succeeded += 1
+        if self.metrics is not None:
+            self.metrics.inc("detour.succeeded")
 
     def record_fallback(self, event: FallbackEvent) -> None:
         self.counters[event.reason] += 1
         self.events.append(event)
         self.per_statement.setdefault(event.fingerprint, []).append(event)
         self.last_event = event
+        if self.metrics is not None:
+            self.metrics.inc("detour.fallbacks")
+            self.metrics.inc(f"fallback.{event.reason.value}")
 
     def count(self, reason: FallbackReason) -> int:
         return self.counters[reason]
