@@ -3,6 +3,7 @@
 from repro.bench.harness import (
     BenchmarkResult,
     QueryTiming,
+    plan_cache_report,
     results_match,
     run_compile_suite,
     run_suite,
@@ -11,6 +12,7 @@ from repro.bench.report import (
     format_figure10,
     format_figure11,
     format_figure12,
+    format_plan_cache_report,
     format_table1,
     summarize,
 )
@@ -21,7 +23,9 @@ __all__ = [
     "format_figure10",
     "format_figure11",
     "format_figure12",
+    "format_plan_cache_report",
     "format_table1",
+    "plan_cache_report",
     "results_match",
     "run_compile_suite",
     "run_suite",

@@ -133,12 +133,20 @@ def run_suite(db: Database, queries: Dict[int, str], name: str,
               timeout_seconds: float = 60.0,
               verify_results: bool = True,
               progress: Optional[Callable[[str], None]] = None,
-              collect_stages: bool = False) -> BenchmarkResult:
+              collect_stages: bool = False,
+              emit_json: Optional[str] = None) -> BenchmarkResult:
     """Run every query under both optimizers; returns all timings.
 
     Timings include optimization time (compile + execute), matching the
     paper's Fig. 11 methodology.  A query that exceeds the timeout on one
     optimizer is recorded at the cap with ``*_timed_out`` set.
+
+    The comparative runs bypass the statement plan cache — they measure
+    the optimizers, and a warm cache would silently zero the optimize
+    stage.  Cache behaviour is measured separately by the ``emit_json``
+    pass, which writes a JSON artifact with per-query cold/warm
+    optimize-and-execute medians, the plan-cache hit ratio, and the
+    search-pruning counters (see :func:`plan_cache_report`).
 
     With ``collect_stages=True`` the Orca run is traced and each
     timing's ``orca_stages`` records per-pipeline-stage seconds (for
@@ -176,6 +184,9 @@ def run_suite(db: Database, queries: Dict[int, str], name: str,
                 if orca.fallback_reason else ""
             progress(f"{name} Q{number}: mysql {mysql.elapsed:.2f}s "
                      f"orca {orca.elapsed:.2f}s{note}")
+    if emit_json is not None:
+        report = plan_cache_report(db, queries, name, progress=progress)
+        _write_json(emit_json, report)
     return result
 
 
@@ -218,7 +229,8 @@ def _timed_run(db: Database, sql: str, optimizer: str,
         previous = signal.signal(signal.SIGALRM, _raise_timeout)
         signal.setitimer(signal.ITIMER_REAL, timeout_seconds)
     try:
-        result = db.run(sql, optimizer=optimizer, trace=trace)
+        result = db.run(sql, optimizer=optimizer, trace=trace,
+                        use_plan_cache=False)
         rows = result.rows
         optimize_seconds = result.compile_seconds
         execute_seconds = result.execute_seconds
@@ -243,6 +255,118 @@ def _timed_run(db: Database, sql: str, optimizer: str,
 
 class _SoftTimeout(Exception):
     pass
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    count = len(ordered)
+    if count == 0:
+        return 0.0
+    mid = count // 2
+    if count % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _memo_counters(result) -> tuple:
+    """(cost evaluations, pruned candidates) summed over a traced run."""
+    from repro.observability import find_spans
+
+    evaluations = pruned = 0
+    if result.trace is not None:
+        for span in find_spans(result.trace, "memo_search"):
+            evaluations += span.attributes.get("cost_evaluations", 0)
+            pruned += span.attributes.get("pruned_candidates", 0)
+    return evaluations, pruned
+
+
+def plan_cache_report(db: Database, queries: Dict[int, str], name: str,
+                      samples: int = 3,
+                      progress: Optional[Callable[[str], None]] = None
+                      ) -> dict:
+    """Measure what the plan cache and search pruning actually save.
+
+    For each query: ``samples`` cold runs (plan cache bypassed) give the
+    before-medians, a priming run populates the cache, and ``samples``
+    warm runs give the after-medians (each asserted against
+    ``plan_cache_hit``).  One traced run with cost-bound pruning on and
+    one with it off give the cost-model evaluation counts the pruning
+    comparison needs.  Returns a JSON-serialisable dict.
+    """
+    per_query = {}
+    for number in sorted(queries):
+        sql = queries[number]
+        cold_optimize: List[float] = []
+        cold_execute: List[float] = []
+        optimizer_used = "mysql"
+        for __ in range(samples):
+            run = db.run(sql, use_plan_cache=False)
+            optimizer_used = run.optimizer_used
+            cold_optimize.append(run.compile_seconds)
+            cold_execute.append(run.execute_seconds)
+
+        previous = db.config.orca_cost_bound_pruning
+        db.config.orca_cost_bound_pruning = True
+        pruned_run = db.run(sql, trace=True, use_plan_cache=False)
+        pruned_evaluations, pruned_candidates = _memo_counters(pruned_run)
+        db.config.orca_cost_bound_pruning = False
+        unpruned_run = db.run(sql, trace=True, use_plan_cache=False)
+        unpruned_evaluations, __ = _memo_counters(unpruned_run)
+        db.config.orca_cost_bound_pruning = previous
+
+        db.run(sql)  # prime the cache (a miss that stores)
+        warm_optimize: List[float] = []
+        warm_execute: List[float] = []
+        warm_hits = 0
+        for __ in range(samples):
+            run = db.run(sql)
+            warm_hits += int(run.plan_cache_hit)
+            warm_optimize.append(run.compile_seconds)
+            warm_execute.append(run.execute_seconds)
+
+        reduction = 0.0
+        if unpruned_evaluations > 0:
+            reduction = 100.0 * (1.0 - pruned_evaluations
+                                 / unpruned_evaluations)
+        per_query[str(number)] = {
+            "optimizer_used": optimizer_used,
+            "cold_optimize_median_seconds": _median(cold_optimize),
+            "cold_execute_median_seconds": _median(cold_execute),
+            "warm_optimize_median_seconds": _median(warm_optimize),
+            "warm_execute_median_seconds": _median(warm_execute),
+            "warm_hits": warm_hits,
+            "warm_runs": samples,
+            "cost_evaluations_pruned": pruned_evaluations,
+            "cost_evaluations_unpruned": unpruned_evaluations,
+            "pruned_candidates": pruned_candidates,
+            "evaluation_reduction_percent": reduction,
+        }
+        if progress is not None:
+            progress(f"{name} Q{number}: cold optimize "
+                     f"{per_query[str(number)]['cold_optimize_median_seconds'] * 1000:.2f} ms, "
+                     f"warm {per_query[str(number)]['warm_optimize_median_seconds'] * 1000:.2f} ms, "
+                     f"evaluations {unpruned_evaluations} -> "
+                     f"{pruned_evaluations}")
+    return {
+        "suite": name,
+        "samples_per_query": samples,
+        "plan_cache": db.plan_cache.stats(),
+        "pruned_candidates_total": int(
+            db.metrics.count("orca.pruned_candidates")),
+        "queries": per_query,
+    }
+
+
+def _write_json(path: str, payload: dict) -> None:
+    import json
+    import os
+
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def run_compile_suite(db: Database, queries: Dict[int, str],

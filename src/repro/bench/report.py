@@ -169,3 +169,37 @@ def summarize(result: BenchmarkResult) -> Dict[str, object]:
                              if not t.results_match),
         "orca_fallbacks": result.fallback_counts,
     }
+
+
+def format_plan_cache_report(payload: Dict[str, object]) -> str:
+    """Render a :func:`repro.bench.harness.plan_cache_report` payload.
+
+    One row per query: cold-vs-warm optimize medians (the cache's
+    saving) and pruned-vs-unpruned cost-model evaluations (the
+    branch-and-bound saving).
+    """
+    title = f"{payload['suite']}: plan cache and search pruning"
+    lines = [title, "=" * len(title),
+             f"{'query':>6} | {'cold opt(ms)':>12} | {'warm opt(ms)':>12} |"
+             f" {'hits':>5} | {'evals':>11} | {'reduction':>9} |"]
+    queries: Dict[str, Dict[str, object]] = payload["queries"]
+    for number in sorted(queries, key=int):
+        row = queries[number]
+        lines.append(
+            f"Q{number:>5} |"
+            f" {row['cold_optimize_median_seconds'] * 1000.0:>12.3f} |"
+            f" {row['warm_optimize_median_seconds'] * 1000.0:>12.3f} |"
+            f" {row['warm_hits']:>2}/{row['warm_runs']:<2} |"
+            f" {row['cost_evaluations_unpruned']:>4} ->"
+            f" {row['cost_evaluations_pruned']:>4} |"
+            f" {row['evaluation_reduction_percent']:>8.1f}% |")
+    cache = payload["plan_cache"]
+    lines.append("")
+    lines.append(f"plan cache: {cache['hits']} hits / "
+                 f"{cache['misses']} misses "
+                 f"({100.0 * cache['hit_ratio']:.1f}%), "
+                 f"{cache['evictions']} evictions, "
+                 f"{cache['invalidations']} invalidations")
+    lines.append(f"pruned candidates total: "
+                 f"{payload['pruned_candidates_total']}")
+    return "\n".join(lines)

@@ -60,7 +60,10 @@ class OrcaRouter:
         if orca_config is not None:
             self.orca_config = orca_config
         else:
-            self.orca_config = OrcaConfig(search=_search_mode(config))
+            self.orca_config = OrcaConfig(
+                search=_search_mode(config),
+                enable_cost_bound_pruning=getattr(
+                    config, "orca_cost_bound_pruning", True))
         if tracer is None:
             from repro.observability import NOOP_TRACER
             tracer = NOOP_TRACER
@@ -107,7 +110,9 @@ class OrcaRouter:
                                          fault_injector=injector,
                                          metrics=self.metrics)
         accessor = MDAccessor(provider, tracer=self.tracer,
-                              metrics=self.metrics)
+                              metrics=self.metrics,
+                              capacity=getattr(self.config,
+                                               "mdcache_capacity", None))
         converter = ParseTreeConverter(accessor, fault_injector=injector,
                                        tracer=self.tracer)
         estimator = SelectivityEstimator(accessor, use_histograms=True)

@@ -23,6 +23,20 @@ class Catalog:
         self.default_schema = schema
         self._tables: Dict[str, TableSchema] = {}
         self._statistics: Dict[str, TableStatistics] = {}
+        self._version = 0
+
+    # -- versioning ---------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """A counter bumped by every DDL, ANALYZE, and (via the storage
+        engine) DML change.  The statement plan cache records the version
+        each plan was compiled against and invalidates on mismatch."""
+        return self._version
+
+    def bump_version(self) -> int:
+        self._version += 1
+        return self._version
 
     # -- tables -------------------------------------------------------------
 
@@ -32,6 +46,7 @@ class Catalog:
             raise CatalogError(f"table {table.name!r} already exists")
         self._tables[key] = table
         self._statistics[key] = TableStatistics()
+        self.bump_version()
 
     def drop_table(self, name: str) -> None:
         key = name.lower()
@@ -39,6 +54,7 @@ class Catalog:
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[key]
         del self._statistics[key]
+        self.bump_version()
 
     def table(self, name: str) -> TableSchema:
         key = name.lower()
@@ -66,3 +82,4 @@ class Catalog:
     def set_statistics(self, name: str, statistics: TableStatistics) -> None:
         self.table(name)
         self._statistics[name.lower()] = statistics
+        self.bump_version()

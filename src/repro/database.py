@@ -45,6 +45,11 @@ from repro.observability import (
     stage_durations,
 )
 from repro.orca.joinorder import JoinSearchMode
+from repro.plan_cache import (
+    PlanCache,
+    PlanCacheEntry,
+    statement_cache_key,
+)
 from repro.resilience import (
     CircuitBreaker,
     FallbackEvent,
@@ -103,6 +108,18 @@ class DatabaseConfig:
     #: Optional :class:`repro.resilience.FaultInjector` — the only way
     #: faults are ever injected; ``None`` costs nothing.
     fault_injector: Optional[FaultInjector] = None
+    #: Statement plan cache: repeated statements skip parse-tree
+    #: conversion, the memo search, and plan conversion entirely.
+    #: ``run(sql, use_plan_cache=False)`` bypasses per statement.
+    plan_cache_enabled: bool = True
+    #: Maximum cached statement plans (LRU beyond this).
+    plan_cache_capacity: int = 128
+    #: Branch-and-bound pruning in Orca's DP join search (see
+    #: ``OrcaConfig.enable_cost_bound_pruning``); off only to measure
+    #: the unpruned search.
+    orca_cost_bound_pruning: bool = True
+    #: Per-kind LRU capacity of the Orca metadata cache.
+    mdcache_capacity: int = 1024
 
     def __post_init__(self) -> None:
         if self.routing not in ROUTING_POLICIES:
@@ -132,6 +149,9 @@ class StatementResult:
     #: tracing (``run(sql, trace=True)`` or an enabled ``db.tracer``);
     #: ``None`` otherwise.
     trace: Optional[Span] = None
+    #: True when the executable plan came from the statement plan cache
+    #: (optimization was skipped entirely).
+    plan_cache_hit: bool = False
 
     def trace_export(self) -> List[dict]:
         """Flat JSON trace: one dict per span (name, start, duration,
@@ -166,6 +186,12 @@ class Database:
         self.circuit_breaker = CircuitBreaker(
             threshold=self.config.circuit_breaker_threshold,
             reset_seconds=self.config.circuit_breaker_reset_seconds)
+        #: Statement plan cache, keyed by literal-preserving statement
+        #: digest and validated against the catalog version (DDL, DML,
+        #: and ANALYZE all invalidate).
+        self.plan_cache = PlanCache(
+            capacity=self.config.plan_cache_capacity,
+            metrics=self.metrics)
         #: The router of the most recent Orca detour, kept so callers can
         #: inspect its bridge components (e.g. ``last_accessor.stats()``
         #: for the metadata-cache hit ratio of one statement).
@@ -186,10 +212,11 @@ class Database:
     # -- compilation -------------------------------------------------------------
 
     def _compile(self, sql: str, optimizer: str
-                 ) -> Tuple[Executor, str, Optional[FallbackReason]]:
+                 ) -> Tuple[Executor, str, Optional[FallbackReason],
+                            SkeletonPlan]:
         """Parse, prepare, optimize, and refine.
 
-        Returns ``(executor, optimizer_used, fallback_reason)``.
+        Returns ``(executor, optimizer_used, fallback_reason, skeleton)``.
         """
         with self.tracer.span("parse"):
             stmt = parse_statement(sql)
@@ -198,8 +225,10 @@ class Database:
                              "DML executes directly")
         return self._compile_select(stmt, optimizer, sql)
 
-    def _compile_select(self, stmt, optimizer: str, sql: str
-                        ) -> Tuple[Executor, str, Optional[FallbackReason]]:
+    def _compile_select(self, stmt, optimizer: str, sql: str,
+                        cache_status: Optional[str] = None
+                        ) -> Tuple[Executor, str, Optional[FallbackReason],
+                                   SkeletonPlan]:
         tracer = self.tracer
         with tracer.span("prepare"):
             block, context = Resolver(self.catalog).resolve(stmt)
@@ -209,6 +238,8 @@ class Database:
             route = self._route(stmt, optimizer)
             route_span.set(route=route, policy=self.config.routing,
                            table_references=stmt.table_reference_count())
+            if cache_status is not None:
+                route_span.set(plan_cache=cache_status)
         used = "mysql"
         fallback_reason: Optional[FallbackReason] = None
         skeleton: Optional[SkeletonPlan] = None
@@ -238,7 +269,7 @@ class Database:
         with tracer.span("refine"):
             executor = PlanBuilder(skeleton, self.catalog,
                                    self.storage).build()
-        return executor, used, fallback_reason
+        return executor, used, fallback_reason, skeleton
 
     def _guarded_detour(self, stmt, block, context, sql: str
                         ) -> Tuple[Optional[SkeletonPlan],
@@ -336,7 +367,8 @@ class Database:
         return self.run(sql, optimizer).rows
 
     def run(self, sql: str, optimizer: str = "auto",
-            explain: bool = False, trace: bool = False) -> StatementResult:
+            explain: bool = False, trace: bool = False,
+            use_plan_cache: bool = True) -> StatementResult:
         """Execute with timing breakdown (used by the benchmark harness).
 
         DML statements return a single row holding the affected-row
@@ -346,20 +378,22 @@ class Database:
         With ``trace=True`` the statement runs under a fresh
         :class:`repro.observability.Tracer` and the result carries the
         span tree (``result.trace``); without it, tracing costs nothing.
+        ``use_plan_cache=False`` bypasses the statement plan cache for
+        this statement only (no lookup, no store).
         """
         previous = self.tracer
         if trace and not previous.enabled:
             self.tracer = Tracer()
         try:
-            result = self._run(sql, optimizer, explain)
+            result = self._run(sql, optimizer, explain, use_plan_cache)
             if self.tracer.enabled:
                 result.trace = self.tracer.last_root
             return result
         finally:
             self.tracer = previous
 
-    def _run(self, sql: str, optimizer: str,
-             explain: bool) -> StatementResult:
+    def _run(self, sql: str, optimizer: str, explain: bool,
+             use_plan_cache: bool = True) -> StatementResult:
         tracer = self.tracer
         self.metrics.inc("statements.total")
         start = time.perf_counter()
@@ -372,8 +406,37 @@ class Database:
                 stmt_span.set(optimizer_used=result.optimizer_used)
                 return result
             self.metrics.inc("statements.select")
-            executor, used, fallback_reason = self._compile_select(
-                stmt, optimizer, sql)
+            cache_enabled = use_plan_cache and \
+                self.config.plan_cache_enabled
+            cache_key = statement_cache_key(sql, optimizer)
+            cached = self.plan_cache.lookup(
+                cache_key, self.catalog.version) if cache_enabled else None
+            fallback_reason: Optional[FallbackReason] = None
+            if cached is not None:
+                # Hit: the refined executable plan is reused as-is; the
+                # whole optimize pipeline (prepare, route, detour or
+                # MySQL optimization, refine) is skipped.
+                executor = cached.executor
+                used = cached.optimizer_used
+                with tracer.span("route") as route_span:
+                    route_span.set(plan_cache="hit", route=used,
+                                   policy=self.config.routing)
+            else:
+                status = "miss" if cache_enabled else "bypass"
+                executor, used, fallback_reason, skeleton = \
+                    self._compile_select(stmt, optimizer, sql,
+                                         cache_status=status)
+                if cache_enabled and fallback_reason is None:
+                    # Never cache a statement whose detour fell back
+                    # (circuit open, budget overrun, crash): each run
+                    # must re-attempt routing and keep feeding the
+                    # breaker.
+                    self.plan_cache.store(cache_key, PlanCacheEntry(
+                        executor=executor,
+                        skeleton=skeleton,
+                        optimizer_used=used,
+                        catalog_version=self.catalog.version,
+                        fingerprint=statement_fingerprint(sql)))
             explain_text = explain_plan(executor.top_plan) \
                 if explain else None
             compiled = time.perf_counter()
@@ -385,7 +448,8 @@ class Database:
                                  compiled - start)
             self.metrics.observe("statement.execute_seconds",
                                  done - compiled)
-            stmt_span.set(optimizer_used=used, rows=len(rows))
+            stmt_span.set(optimizer_used=used, rows=len(rows),
+                          plan_cache_hit=cached is not None)
             return StatementResult(
                 rows=rows,
                 optimizer_used=used,
@@ -393,6 +457,7 @@ class Database:
                 execute_seconds=done - compiled,
                 explain=explain_text,
                 fallback_reason=fallback_reason,
+                plan_cache_hit=cached is not None,
             )
 
     def explain(self, sql: str, optimizer: str = "auto",
@@ -402,7 +467,7 @@ class Database:
         memo statistics)."""
         if analyze:
             return self.explain_analyze(sql, optimizer)
-        executor, __, __ = self._compile(sql, optimizer)
+        executor, __, __, __ = self._compile(sql, optimizer)
         return explain_plan(executor.top_plan)
 
     def explain_analyze(self, sql: str, optimizer: str = "auto") -> str:
@@ -427,7 +492,7 @@ class Database:
         try:
             with self.tracer.span("statement", sql=sql) as root:
                 start = time.perf_counter()
-                executor, used, __ = self._compile(sql, optimizer)
+                executor, used, __, __ = self._compile(sql, optimizer)
                 instrument_plan(executor.top_plan)
                 compiled = time.perf_counter()
                 with self.tracer.span("execute"):
@@ -436,11 +501,12 @@ class Database:
         finally:
             self.tracer = previous
         stages = stage_durations(root)
-        memo_groups = memo_alternatives = 0
+        memo_groups = memo_alternatives = memo_pruned = 0
         for span in find_spans(root, "memo_search"):
             memo_groups += span.attributes.get("memo_groups", 0)
             memo_alternatives += span.attributes.get(
                 "memo_alternatives", 0)
+            memo_pruned += span.attributes.get("pruned_candidates", 0)
         footer = format_stage_footer(
             optimizer_used=used,
             optimize_seconds=compiled - start,
@@ -448,6 +514,7 @@ class Database:
             stages=stages,
             memo_groups=memo_groups,
             memo_alternatives=memo_alternatives,
+            memo_pruned=memo_pruned,
         )
         # Copy rebind counts (Section 7, Orca change 3) onto the
         # materialise nodes so the rendering can show them.
@@ -476,7 +543,7 @@ class Database:
                      ) -> StatementResult:
         """Compile (EXPLAIN) without executing — for Table 1 experiments."""
         start = time.perf_counter()
-        executor, used, fallback_reason = self._compile(sql, optimizer)
+        executor, used, fallback_reason, __ = self._compile(sql, optimizer)
         compiled = time.perf_counter()
         return StatementResult(
             rows=[],
@@ -516,6 +583,16 @@ class Database:
         ratio = hits / requests if requests else 0.0
         lines.append(f"mdcache hit ratio: {100.0 * ratio:.1f}% "
                      f"({int(hits)} hits / {int(misses)} misses)")
+        pc = self.plan_cache.stats()
+        lines.append(
+            f"plan cache:        {100.0 * pc['hit_ratio']:.1f}% hits "
+            f"({pc['hits']} hits / {pc['misses']} misses, "
+            f"{pc['evictions']} evictions, "
+            f"{pc['invalidations']} invalidations, "
+            f"{pc['size']} entries)")
+        pruned = m.count("orca.pruned_candidates")
+        lines.append(f"search pruning:    "
+                     f"{int(pruned)} join candidates pruned")
         lines.append("")
         lines.append(m.report())
         return "\n".join(lines)

@@ -118,7 +118,8 @@ def format_stage_footer(optimizer_used: str, optimize_seconds: float,
                         execute_seconds: float,
                         stages: Optional[dict] = None,
                         memo_groups: int = 0,
-                        memo_alternatives: int = 0) -> str:
+                        memo_alternatives: int = 0,
+                        memo_pruned: int = 0) -> str:
     """The EXPLAIN ANALYZE "stage breakdown" footer.
 
     Shows the optimize-vs-execute wall-clock split, the per-stage trace
@@ -139,8 +140,11 @@ def format_stage_footer(optimizer_used: str, optimize_seconds: float,
     for name, seconds in shown:
         lines.append(f"  {name + ':':<20} {seconds * 1000.0:9.3f} ms")
     if memo_groups:
-        lines.append(f"memo: {memo_groups} groups, "
+        memo_line = (f"memo: {memo_groups} groups, "
                      f"{memo_alternatives} alternatives costed")
+        if memo_pruned:
+            memo_line += f", {memo_pruned} candidates pruned"
+        lines.append(memo_line)
     return "\n".join(lines)
 
 

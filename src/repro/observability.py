@@ -27,7 +27,7 @@ Span taxonomy (names are stable API, used by the bench harness)::
     statement
       parse
       prepare
-      route
+      route              (plan_cache attribute: hit / miss / bypass)
       orca_detour
         preprocess
         metadata_lookup   (one per metadata-cache miss)
@@ -37,6 +37,13 @@ Span taxonomy (names are stable API, used by the bench harness)::
       mysql_optimize      (fallbacks and simple queries)
       refine
       execute
+
+A statement served from the plan cache emits only ``statement``,
+``parse``, ``route`` (with ``plan_cache=hit``), and ``execute`` — the
+skipped optimize stages are the saving being traced.  The
+``memo_search`` span carries the search-effort counters
+(``cost_evaluations``, ``memo_offered``, ``pruned_candidates``,
+``best_cost``) the perf benches aggregate.
 """
 
 from __future__ import annotations

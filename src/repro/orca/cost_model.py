@@ -81,6 +81,23 @@ class OrcaCostModel:
         self.evaluations += 1
         return outer_rows * per_lookup_cost
 
+    # -- branch-and-bound floors ---------------------------------------------------
+    #
+    # Same formulas as the join costs above but *not* counted as
+    # evaluations: the join search uses them as admissible lower bounds
+    # to rule out candidate pairs without costing them.
+
+    def hash_join_floor(self, build_rows: float, probe_rows: float,
+                        output_rows: float) -> float:
+        """Exactly ``hash_join_cost`` without the evaluation count."""
+        return (build_rows * (ROW_EVAL + HASH_BUILD_ROW)
+                + probe_rows * (ROW_EVAL + HASH_PROBE_ROW)
+                + output_rows * ROW_EVAL * 0.25)
+
+    def index_nljoin_floor(self, outer_rows: float) -> float:
+        """No index lookup can cost less than ``LOOKUP_BASE``."""
+        return outer_rows * LOOKUP_BASE
+
     def nljoin_rescan_cost(self, outer_rows: float,
                            inner_cost: float) -> float:
         self.evaluations += 1

@@ -121,7 +121,8 @@ class OrcaJoinSearch:
                  block: QueryBlock, estimator: SelectivityEstimator,
                  cost_model: OrcaCostModel, sub_estimates: SubEstimates,
                  corr: FrozenSet[int], mode: JoinSearchMode,
-                 memo: Memo, budget=None) -> None:
+                 memo: Memo, budget=None,
+                 enable_pruning: bool = True) -> None:
         self.units = units
         self.conjuncts = conjuncts
         self.block = block
@@ -135,10 +136,22 @@ class OrcaJoinSearch:
         #: the search expands, so runaway compilations abort the detour
         #: (``BudgetExceededError``) instead of hanging.
         self.budget = budget
+        #: Branch-and-bound pruning: skip costing a candidate join pair
+        #: when an admissible lower bound (the inputs' best costs plus
+        #: the cheapest join step the pair could possibly take — see
+        #: :meth:`_pair_lower_bound`) already reaches the target group's
+        #: best complete plan.  The DP seeds bounds from a cheap
+        #: left-deep first pass, so pruning bites from the first
+        #: expansion.  Sound: a pruned candidate can never beat the
+        #: incumbent, so the chosen plan's cost equals the unpruned
+        #: search's choice.
+        self.enable_pruning = enable_pruning
         #: Search-effort counters surfaced as ``memo_search`` span
-        #: attributes: DP subsets expanded and left-deep chains costed.
+        #: attributes: DP subsets expanded, left-deep chains costed, and
+        #: candidates skipped by cost-bound pruning.
         self.expansions = 0
         self.chains_costed = 0
+        self.pruned_candidates = 0
         self._entry_sets = [frozenset({unit.descriptor.entry.entry_id})
                             for unit in units]
         self._local: List[Tuple[AccessPlan, float, float, PhysicalGet]] = []
@@ -258,7 +271,7 @@ class OrcaJoinSearch:
             __, cost, rows, get = self._local[0]
             group = self.memo.group(frozenset({0}))
             group.rows = rows
-            group.offer(get, cost)
+            group.offer(get, cost, costed=False)
             return get, cost, rows
         components = self._components()
         plans = [self._search_component(component)
@@ -300,7 +313,7 @@ class OrcaJoinSearch:
             __, cost, rows, get = self._local[index]
             group = self.memo.group(frozenset({index}))
             group.rows = rows
-            group.offer(get, cost)
+            group.offer(get, cost, costed=False)
             return get, cost, rows
         if self.mode is JoinSearchMode.GREEDY or len(component) > DP_LIMIT:
             plan, cost, rows = self._greedy(component)
@@ -321,7 +334,13 @@ class OrcaJoinSearch:
             group = self.memo.group(key)
             access, cost, rows, get = self._local[index]
             group.rows = rows
-            group.offer(get, cost)
+            group.offer(get, cost, costed=False)
+        if self.enable_pruning:
+            # A cheap left-deep first pass populates the chain-prefix
+            # groups (and the final group) with complete plans, giving
+            # the branch-and-bound upper bounds something to bite on
+            # from the first DP expansion.
+            self._seed_bounds(component)
         full_bushy = self.mode is JoinSearchMode.EXHAUSTIVE2
         for size in range(2, len(members) + 1):
             for combo in itertools.combinations(members, size):
@@ -333,6 +352,29 @@ class OrcaJoinSearch:
         if final.best_plan is None:
             return self._greedy(component)
         return final.best_plan, final.best_cost, final.rows
+
+    def _seed_bounds(self, component: FrozenSet[int]) -> None:
+        """Cost one connectivity-respecting left-deep chain, cheapest
+        local unit first.  One chain (n-1 join steps) versus the DP's
+        exponential candidate count — negligible seeding cost."""
+        remaining = set(component)
+        first = min(remaining,
+                    key=lambda index: (self._local[index][2],
+                                       self._local[index][1]))
+        order = [first]
+        remaining.discard(first)
+        while remaining:
+            placed = frozenset(order)
+            candidates = [index for index in remaining
+                          if self._connected(placed | {index})]
+            if not candidates:
+                candidates = list(remaining)
+            next_index = min(candidates,
+                             key=lambda index: (self._local[index][2],
+                                                self._local[index][1]))
+            order.append(next_index)
+            remaining.discard(next_index)
+        self._cost_chain(order)
 
     def _expand_subset(self, subset: FrozenSet[int],
                        full_bushy: bool) -> None:
@@ -353,8 +395,50 @@ class OrcaJoinSearch:
             group_b = self.memo.group(side_b)
             if group_a.best_plan is None or group_b.best_plan is None:
                 continue
-            self._offer_joins(group, group_a, group_b)
-            self._offer_joins(group, group_b, group_a)
+            self._offer_joins_bounded(group, group_a, group_b)
+            self._offer_joins_bounded(group, group_b, group_a)
+
+    def _offer_joins_bounded(self, group, group_a, group_b) -> None:
+        """Offer joins of A and B unless branch-and-bound rules them out.
+
+        ``_pair_lower_bound`` underestimates every candidate this
+        orientation could offer; once it reaches the group's best
+        complete plan no candidate from this pair can win, so none is
+        built or costed.
+        """
+        if self.enable_pruning and group.best_plan is not None and \
+                self._pair_lower_bound(group, group_a, group_b) \
+                >= group.best_cost:
+            self.pruned_candidates += 1
+            group.note_pruned()
+            return
+        self._offer_joins(group, group_a, group_b)
+
+    def _pair_lower_bound(self, group, group_a, group_b) -> float:
+        """An admissible lower bound for joining A (outer) with B.
+
+        Mirrors exactly the candidate set :meth:`_offer_joins` builds
+        for this orientation: a hash join costs its inputs plus the
+        (deterministic, rows-only) hash formula; a singleton inner side
+        additionally allows an index NL join — which omits the inner
+        group's cost but pays at least one B-tree descent per outer
+        row — and an NL rescan of the inner unit's known access cost.
+        The floor formulas don't count as cost-model evaluations, which
+        is the point: a pruned pair does no costing work at all.
+        """
+        rows_a = group_a.rows
+        rows_b = group_b.rows
+        inputs = group_a.best_cost + group_b.best_cost
+        bound = inputs + self.cost_model.hash_join_floor(
+            rows_b, rows_a, group.rows)
+        if len(group_b.key) == 1:
+            unit_cost = self._local[next(iter(group_b.key))][1]
+            bound = min(
+                bound,
+                inputs + rows_a * unit_cost,
+                group_a.best_cost
+                + self.cost_model.index_nljoin_floor(rows_a))
+        return bound
 
     def _all_partitions(self, members: List[int]):
         """All 2-way partitions of the member list (first side holds the
@@ -375,12 +459,24 @@ class OrcaJoinSearch:
                 partitions.append((frozenset(side_a), frozenset(side_b)))
         return partitions
 
+    def _prune_candidate(self, group, floor: float) -> bool:
+        """Candidate-level branch and bound: skip one candidate whose
+        cost floor already reaches the group's incumbent.  Re-read the
+        incumbent per candidate — offers earlier in the same pair may
+        have lowered it."""
+        if not self.enable_pruning or floor < group.best_cost:
+            return False
+        self.pruned_candidates += 1
+        group.note_pruned()
+        return True
+
     def _offer_joins(self, group, group_a, group_b) -> None:
         """Offer join alternatives with A as the row-driving (outer) side."""
         subset = group.key
         out_rows = group.rows
         rows_a = group_a.rows
         rows_b = group_b.rows
+        inputs = group_a.best_cost + group_b.best_cost
         plan_a = group_a.best_plan
         plan_b = group_b.best_plan
         cross = self._cross_conjuncts(group_a.key, group_b.key)
@@ -388,8 +484,11 @@ class OrcaJoinSearch:
         entries_b = self._entries_of(group_b.key)
 
         # Hash join: probe with A, build with B.
-        if self._has_equi(cross, entries_a, entries_b):
-            cost = (group_a.best_cost + group_b.best_cost
+        if self._has_equi(cross, entries_a, entries_b) and \
+                not self._prune_candidate(
+                    group, inputs + self.cost_model.hash_join_floor(
+                        rows_b, rows_a, out_rows)):
+            cost = (inputs
                     + self.cost_model.hash_join_cost(rows_b, rows_a,
                                                      out_rows))
             join = PhysicalHashJoin(plan_a, plan_b, JoinVariant.INNER, cross)
@@ -401,7 +500,9 @@ class OrcaJoinSearch:
             index = next(iter(group_b.key))
             unit = self.units[index]
             entry = unit.descriptor.entry
-            if entry.kind is EntryKind.BASE:
+            if entry.kind is EntryKind.BASE and not self._prune_candidate(
+                    group, group_a.best_cost
+                    + self.cost_model.index_nljoin_floor(rows_a)):
                 ref = ref_access(self.block, entry,
                                  unit.conjuncts + cross,
                                  entries_a | self.corr,
@@ -421,11 +522,15 @@ class OrcaJoinSearch:
                     group.offer(join, cost)
             # Plain NL rescan (cartesian or non-equi) fallback.
             __, unit_cost, __, __ = self._local[index]
-            cost = (group_a.best_cost + group_b.best_cost
-                    + self.cost_model.nljoin_rescan_cost(rows_a, unit_cost))
-            join = PhysicalNLJoin(plan_a, plan_b, JoinVariant.INNER, cross)
-            join.cost, join.rows = cost, out_rows
-            group.offer(join, cost)
+            if not self._prune_candidate(group,
+                                         inputs + rows_a * unit_cost):
+                cost = (inputs
+                        + self.cost_model.nljoin_rescan_cost(rows_a,
+                                                             unit_cost))
+                join = PhysicalNLJoin(plan_a, plan_b, JoinVariant.INNER,
+                                      cross)
+                join.cost, join.rows = cost, out_rows
+                group.offer(join, cost)
 
     # -- greedy and polish -------------------------------------------------------------------
 
@@ -501,7 +606,7 @@ class OrcaJoinSearch:
         group = self.memo.group(key)
         access, cost, rows, get = self._local[first]
         group.rows = rows
-        group.offer(get, cost)
+        group.offer(get, cost, costed=False)
         plan: PhysicalOp = group.best_plan
         total_cost = group.best_cost
         placed = {first}
@@ -519,7 +624,7 @@ class OrcaJoinSearch:
             if group_b.best_plan is None:
                 access_b, cost_b, rows_b, get_b = self._local[index]
                 group_b.rows = rows_b
-                group_b.offer(get_b, cost_b)
+                group_b.offer(get_b, cost_b, costed=False)
             self._offer_joins(new_group, pseudo_a, group_b)
             self._offer_joins(new_group, group_b, pseudo_a)
             if new_group.best_plan is None:

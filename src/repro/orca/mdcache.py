@@ -12,13 +12,22 @@ Orca computes has round-tripped through DXL.
 Observability: every hit and miss is counted per request kind
 (:meth:`MDAccessor.stats`), mirrored into a
 :class:`repro.observability.MetricsRegistry` (``mdcache.hits`` /
-``mdcache.misses``) when one is attached, and each provider round-trip
-(a cache miss) is traced as a ``metadata_lookup`` span.
+``mdcache.misses`` / ``mdcache.evictions``) when one is attached, and
+each provider round-trip (a cache miss) is traced as a
+``metadata_lookup`` span.
+
+The cache is *bounded*: each kind-specific map is an LRU capped at
+``capacity`` entries, so metadata caching cannot grow without limit
+across long benchmark runs against wide catalogs.  The default is far
+above any workload in this repo (TPC-DS has 24 tables), so behaviour
+only changes for deliberately tiny capacities; evictions are counted
+per kind.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
 
 from repro.bridge import dxl
 from repro.bridge.metadata_provider import MySQLMetadataProvider
@@ -26,23 +35,63 @@ from repro.catalog.schema import TableSchema
 from repro.catalog.statistics import TableStatistics
 from repro.observability import NOOP_TRACER
 
+#: Default per-kind LRU capacity — generous enough that the seed
+#: workloads (a few dozen tables, a handful of types) never evict.
+DEFAULT_MDCACHE_CAPACITY = 1024
+
+
+class _LRUCache:
+    """A small LRU map; reports evictions through a callback."""
+
+    def __init__(self, capacity: int,
+                 on_evict: Callable[[], None]) -> None:
+        self.capacity = capacity
+        self._on_evict = on_evict
+        self._entries: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._on_evict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
 
 class MDAccessor:
     """Caching facade over the metadata provider."""
 
     def __init__(self, provider: MySQLMetadataProvider,
-                 tracer=NOOP_TRACER, metrics=None) -> None:
+                 tracer=NOOP_TRACER, metrics=None,
+                 capacity: Optional[int] = None) -> None:
         self.provider = provider
         self.tracer = tracer
         self.metrics = metrics
-        self._relation_cache: Dict[int, TableSchema] = {}
-        self._statistics_cache: Dict[int, TableStatistics] = {}
-        self._type_cache: Dict[int, dict] = {}
-        self._oid_by_name: Dict[str, int] = {}
+        self.capacity = capacity if capacity is not None \
+            else DEFAULT_MDCACHE_CAPACITY
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
         self._hits_by_kind: Dict[str, int] = {}
         self._misses_by_kind: Dict[str, int] = {}
+        self._evictions_by_kind: Dict[str, int] = {}
+        self._relation_cache = self._lru("relation")
+        self._statistics_cache = self._lru("statistics")
+        self._type_cache = self._lru("type")
+        self._oid_by_name = self._lru("table_oid")
+
+    def _lru(self, kind: str) -> _LRUCache:
+        return _LRUCache(self.capacity,
+                         on_evict=lambda: self._evicted(kind))
 
     # -- hit/miss accounting --------------------------------------------------------
 
@@ -58,15 +107,26 @@ class MDAccessor:
         if self.metrics is not None:
             self.metrics.inc("mdcache.misses")
 
+    def _evicted(self, kind: str) -> None:
+        self.cache_evictions += 1
+        self._evictions_by_kind[kind] = \
+            self._evictions_by_kind.get(kind, 0) + 1
+        if self.metrics is not None:
+            self.metrics.inc("mdcache.evictions")
+
     def stats(self) -> dict:
-        """Hit/miss counts, hit ratio, and the per-kind breakdown."""
+        """Hit/miss/eviction counts, hit ratio, per-kind breakdowns."""
         requests = self.cache_hits + self.cache_misses
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
+            "capacity": self.capacity,
             "hit_ratio": self.cache_hits / requests if requests else 0.0,
             "hits_by_kind": dict(sorted(self._hits_by_kind.items())),
             "misses_by_kind": dict(sorted(self._misses_by_kind.items())),
+            "evictions_by_kind": dict(
+                sorted(self._evictions_by_kind.items())),
         }
 
     # -- OID resolution -----------------------------------------------------------
@@ -81,7 +141,7 @@ class MDAccessor:
         with self.tracer.span("metadata_lookup", kind="table_oid",
                               name=name):
             oid = self.provider.get_table_oid(name)
-        self._oid_by_name[key] = oid
+        self._oid_by_name.put(key, oid)
         return oid
 
     def synthetic_oid(self, alias: str) -> int:
@@ -101,7 +161,7 @@ class MDAccessor:
                               name=name):
             parsed = dxl.relation_from_dxl(
                 self.provider.get_relation_dxl(oid))
-        self._relation_cache[oid] = parsed
+        self._relation_cache.put(oid, parsed)
         return parsed
 
     # Alias used by the selectivity estimator protocol.
@@ -122,7 +182,7 @@ class MDAccessor:
                               name=name):
             parsed = dxl.statistics_from_dxl(
                 self.provider.get_statistics_dxl(oid))
-        self._statistics_cache[oid] = parsed
+        self._statistics_cache.put(oid, parsed)
         return parsed
 
     # -- types -----------------------------------------------------------------------
@@ -135,5 +195,5 @@ class MDAccessor:
         self._miss("type")
         with self.tracer.span("metadata_lookup", kind="type"):
             parsed = dxl.type_from_dxl(self.provider.get_type_dxl(type_oid))
-        self._type_cache[type_oid] = parsed
+        self._type_cache.put(type_oid, parsed)
         return parsed

@@ -29,19 +29,40 @@ class Group:
     best_cost: float = float("inf")
     best_plan: Optional[PhysicalOp] = None
     rows: float = 0.0
-    #: How many alternative expressions were costed for this group — a
+    #: How many alternative expressions were *costed* for this group — a
     #: measure of exploration effort (used by compile-time accounting).
+    #: Re-offers of already-costed plans (``costed=False``) don't count
+    #: here, so compile-budget accounting isn't double-counted.
     alternatives: int = 0
+    #: Every ``offer()`` call, including re-offers of known plans.
+    offered: int = 0
+    #: Candidates the search skipped because their cost lower bound
+    #: already exceeded this group's best complete plan (branch-and-bound
+    #: pruning); they were never costed or offered.
+    pruned: int = 0
 
-    def offer(self, plan: PhysicalOp, cost: float) -> bool:
-        """Record a candidate plan; keep it if it is the cheapest so far."""
-        self.alternatives += 1
+    def offer(self, plan: PhysicalOp, cost: float,
+              costed: bool = True) -> bool:
+        """Record a candidate plan; keep it if it is the cheapest so far.
+
+        ``costed=False`` marks a re-offer of a plan whose cost the caller
+        already knew (seed plans, chain re-walks): it still competes for
+        ``best_plan`` but doesn't inflate the ``alternatives`` effort
+        counter.
+        """
+        self.offered += 1
+        if costed:
+            self.alternatives += 1
         if cost < self.best_cost:
             self.best_cost = cost
             self.best_plan = plan
             plan.group_id = self.group_id
             return True
         return False
+
+    def note_pruned(self, count: int = 1) -> None:
+        """Record candidates skipped by cost-bound pruning."""
+        self.pruned += count
 
 
 class Memo:
@@ -71,9 +92,19 @@ class Memo:
     def total_alternatives(self) -> int:
         return sum(group.alternatives for group in self._groups.values())
 
+    @property
+    def total_offered(self) -> int:
+        return sum(group.offered for group in self._groups.values())
+
+    @property
+    def total_pruned(self) -> int:
+        return sum(group.pruned for group in self._groups.values())
+
     def stats(self) -> dict:
         """Search-effort summary for the observability layer."""
         return {
             "groups": self.group_count,
             "alternatives": self.total_alternatives,
+            "offered": self.total_offered,
+            "pruned": self.total_pruned,
         }

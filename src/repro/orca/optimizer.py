@@ -74,6 +74,11 @@ class OrcaConfig:
     #: Restrict the search to left-deep trees (ablation A2 only; real Orca
     #: always considers bushy trees).
     left_deep_only: bool = False
+    #: Branch-and-bound pruning in the DP join search: candidates whose
+    #: input-cost lower bound already reaches the group's best complete
+    #: plan are skipped without costing.  Sound (the chosen plan's cost
+    #: matches the unpruned search); off only for A/B measurement.
+    enable_cost_bound_pruning: bool = True
 
 
 @dataclass
@@ -123,15 +128,22 @@ class OrcaOptimizer:
             memo = block_plan.memo
             span.set(memo_groups=memo.group_count,
                      memo_alternatives=memo.total_alternatives,
+                     memo_offered=memo.total_offered,
                      cost_evaluations=evaluations,
                      dp_expansions=search.expansions if search else 0,
-                     chains_costed=search.chains_costed if search else 0)
+                     chains_costed=search.chains_costed if search else 0,
+                     pruned_candidates=(search.pruned_candidates
+                                        if search else 0),
+                     best_cost=block_plan.cost)
             if self.metrics is not None:
                 self.metrics.inc("orca.blocks_optimized")
                 self.metrics.observe("orca.memo_groups", memo.group_count)
                 self.metrics.observe("orca.memo_alternatives",
                                      memo.total_alternatives)
                 self.metrics.observe("orca.cost_evaluations", evaluations)
+                self.metrics.inc("orca.pruned_candidates",
+                                 search.pruned_candidates
+                                 if search else 0)
             return block_plan
 
     def _optimize_block(self, logical: OrcaLogicalBlock,
@@ -158,7 +170,8 @@ class OrcaOptimizer:
             search = OrcaJoinSearch(
                 logical.core.units, logical.core.conjuncts, block,
                 self.estimator, self.cost_model, sub_estimates, corr,
-                mode, memo, budget=self.budget)
+                mode, memo, budget=self.budget,
+                enable_pruning=self.config.enable_cost_bound_pruning)
             plan, cost, rows = search.search()
             placed_entries = frozenset(
                 unit.descriptor.entry.entry_id
@@ -354,7 +367,9 @@ class OrcaOptimizer:
                                 self.estimator, self.cost_model,
                                 sub_estimates, corr,
                                 JoinSearchMode.GREEDY, memo,
-                                budget=self.budget)
+                                budget=self.budget,
+                                enable_pruning=self.config
+                                .enable_cost_bound_pruning)
         return search.search()
 
     def _equi_bridge(self, conjuncts: List[ast.Expr], outer: frozenset,

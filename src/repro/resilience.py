@@ -79,6 +79,13 @@ def statement_fingerprint(sql: str) -> str:
     ``WHERE o_totalprice > 100`` and ``WHERE o_totalprice > 250`` share a
     fingerprint, so the circuit breaker quarantines the statement *shape*
     that crashes the optimizer, not one literal binding of it.
+
+    Deliberately NOT the plan-cache key: a cached plan has its literals
+    compiled into the executor, so the cache keys on
+    :func:`repro.plan_cache.statement_cache_key`, which preserves them.
+    One fingerprint therefore maps to many cache entries — which is why
+    a quarantined fingerprint must never be served from the cache (the
+    facade refuses to store any plan whose compilation fell back).
     """
     text = _STRING_LITERAL.sub("?", sql)
     text = _NUMBER_LITERAL.sub("?", text)

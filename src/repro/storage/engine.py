@@ -87,19 +87,28 @@ class StorageEngine:
     # -- DML ------------------------------------------------------------------
 
     def load_rows(self, table_name: str, rows: Sequence[Sequence]) -> None:
-        """Bulk-load rows, then rebuild the table's indexes."""
+        """Bulk-load rows, then rebuild the table's indexes.
+
+        Bumps the catalog version: cached plans were costed against the
+        old row counts, so INSERT (and bulk loads) invalidate them.
+        """
         heap = self.heap(table_name)
         heap.insert_many(rows)
         for index in self._indexes[table_name.lower()].values():
             index.build()
+        self.catalog.bump_version()
 
     def replace_rows(self, table_name: str,
                      rows: Sequence[Sequence]) -> None:
-        """Replace the table's contents (DELETE/UPDATE rewrite the heap)."""
+        """Replace the table's contents (DELETE/UPDATE rewrite the heap).
+
+        Bumps the catalog version so cached statement plans invalidate.
+        """
         heap = self.heap(table_name)
         heap.rows = [tuple(row) for row in rows]
         for index in self._indexes[table_name.lower()].values():
             index.build()
+        self.catalog.bump_version()
 
     # -- access ---------------------------------------------------------------
 

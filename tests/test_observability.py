@@ -221,7 +221,9 @@ class TestMetricsRegistry:
 class TestPipelineTracing:
 
     def test_traced_join_covers_every_stage(self, loaded_db):
-        result = loaded_db.run(JOIN_SQL, trace=True)
+        # Bypass the plan cache: this test wants the full pipeline's spans,
+        # not the shortened hit path.
+        result = loaded_db.run(JOIN_SQL, trace=True, use_plan_cache=False)
         assert result.optimizer_used == "orca"
         root = result.trace
         assert root is not None and root.name == "statement"
@@ -254,7 +256,7 @@ class TestPipelineTracing:
         assert untraced.trace is None
 
     def test_trace_export_is_json(self, loaded_db):
-        result = loaded_db.run(JOIN_SQL, trace=True)
+        result = loaded_db.run(JOIN_SQL, trace=True, use_plan_cache=False)
         flat = result.trace_export()
         payload = json.dumps(flat)
         parsed = json.loads(payload)
@@ -286,10 +288,10 @@ class TestPipelineTracing:
 
     def test_metrics_report_headlines(self):
         db = build_mini_db(orders=40)
-        db.run(JOIN_SQL)
+        db.run(JOIN_SQL, use_plan_cache=False)
         db.config.fault_injector = FaultInjector().arm("optimizer",
                                                        "typed", times=1)
-        db.run(JOIN_SQL)
+        db.run(JOIN_SQL, use_plan_cache=False)
         report = db.metrics_report()
         assert "detour rate:" in report
         assert "(2/2 SELECTs entered the Orca detour)" in report
@@ -301,7 +303,7 @@ class TestPipelineTracing:
         assert db.metrics.count("detour.fallbacks") == 1
 
     def test_mdcache_stats(self, loaded_db):
-        loaded_db.run(JOIN_SQL, optimizer="orca")
+        loaded_db.run(JOIN_SQL, optimizer="orca", use_plan_cache=False)
         router = loaded_db.last_router
         stats = router.last_accessor.stats()
         assert stats["hits"] > 0 and stats["misses"] > 0

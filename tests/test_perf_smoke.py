@@ -1,0 +1,69 @@
+"""Perf smoke: the optimize-stage savings hold on a tiny TPC-H subset.
+
+Deterministic counter-based assertions only — no wall-clock thresholds,
+so the check cannot flake on slow CI machines.  Three multi-join TPC-H
+queries (Q5, Q8, Q9 — each with at least five join units) must show:
+
+* cost-bound pruning cuts cost-model evaluations by at least 25%
+  against the unpruned search while choosing a plan of the same cost;
+* the second identical run of every query is a plan-cache hit that
+  returns the same rows.
+"""
+
+import pytest
+
+from repro import Database, DatabaseConfig
+from repro.observability import find_spans
+from repro.workloads.tpch import TPCH_QUERIES, load_tpch
+
+SMOKE_QUERIES = (5, 8, 9)
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def smoke_dbs():
+    pruned = Database()
+    load_tpch(pruned, scale=SCALE)
+    unpruned = Database(DatabaseConfig(orca_cost_bound_pruning=False))
+    load_tpch(unpruned, scale=SCALE)
+    return pruned, unpruned
+
+
+def _orca_counters(db, sql):
+    result = db.run(sql, optimizer="orca", trace=True,
+                    use_plan_cache=False)
+    assert result.fallback_reason is None
+    spans = find_spans(result.trace, "memo_search")
+    evaluations = sum(s.attributes["cost_evaluations"] for s in spans)
+    best_cost = sum(s.attributes["best_cost"] for s in spans)
+    return result.rows, evaluations, best_cost
+
+
+@pytest.mark.parametrize("number", SMOKE_QUERIES)
+def test_pruning_cuts_evaluations_at_least_25_percent(smoke_dbs, number):
+    pruned_db, unpruned_db = smoke_dbs
+    sql = TPCH_QUERIES[number]
+    rows_p, evals_p, cost_p = _orca_counters(pruned_db, sql)
+    rows_u, evals_u, cost_u = _orca_counters(unpruned_db, sql)
+    assert rows_p == rows_u
+    # Soundness first: pruning never changes the chosen plan's cost ...
+    assert cost_p == pytest.approx(cost_u)
+    # ... and effectiveness second: at least a quarter of the cost-model
+    # work disappears on these multi-join queries.
+    assert evals_u > 0
+    reduction = 1.0 - evals_p / evals_u
+    assert reduction >= 0.25, (
+        f"Q{number}: only {100 * reduction:.1f}% fewer evaluations "
+        f"({evals_u} -> {evals_p})")
+
+
+@pytest.mark.parametrize("number", SMOKE_QUERIES)
+def test_second_run_is_a_plan_cache_hit(smoke_dbs, number):
+    pruned_db, __ = smoke_dbs
+    sql = TPCH_QUERIES[number]
+    first = pruned_db.run(sql)
+    second = pruned_db.run(sql)
+    assert not first.plan_cache_hit or first.rows == second.rows
+    assert second.plan_cache_hit
+    assert second.rows == first.rows
+    assert second.optimizer_used == first.optimizer_used

@@ -1,0 +1,339 @@
+"""The statement plan cache and cost-bound search pruning.
+
+Tentpole coverage for the optimize-stage cost work: a repeated
+statement is served from the cache (no memo search in its trace, same
+rows), every write path — INSERT, UPDATE, DELETE, and ANALYZE —
+invalidates, ``use_plan_cache=False`` bypasses, failed detours are
+never cached, and the branch-and-bound pruning in Orca's DP join
+search picks a plan of exactly the same cost as the unpruned search.
+"""
+
+import pytest
+
+from repro import Database, DatabaseConfig, FallbackReason, FaultInjector
+from repro.observability import find_spans
+from repro.plan_cache import PlanCache, PlanCacheEntry, statement_cache_key
+from repro.resilience import statement_fingerprint
+
+from tests.conftest import build_mini_db
+
+JOIN_SQL = """
+SELECT COUNT(*) FROM customer, orders, lineitem
+WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey
+"""
+
+FIVE_WAY_SQL = """
+SELECT COUNT(*)
+FROM customer c1, orders o1, lineitem l1, part p1, orders o2
+WHERE c1.c_custkey = o1.o_custkey
+  AND o1.o_orderkey = l1.l_orderkey
+  AND l1.l_partkey = p1.p_partkey
+  AND o2.o_custkey = c1.c_custkey
+"""
+
+
+@pytest.fixture()
+def db():
+    return build_mini_db(seed=5, orders=80)
+
+
+# -- the key function ---------------------------------------------------------------
+
+
+class TestStatementCacheKey:
+
+    def test_whitespace_and_case_insensitive(self):
+        assert statement_cache_key("SELECT  1\nFROM t") == \
+            statement_cache_key("select 1 from t")
+
+    def test_literals_are_preserved(self):
+        """Unlike the resilience fingerprint, different literals must
+        map to different plans (they are compiled into the executor)."""
+        a = "SELECT * FROM orders WHERE o_totalprice > 100"
+        b = "SELECT * FROM orders WHERE o_totalprice > 250"
+        assert statement_cache_key(a) != statement_cache_key(b)
+        assert statement_fingerprint(a) == statement_fingerprint(b)
+
+    def test_optimizer_is_part_of_the_key(self):
+        sql = "SELECT 1 FROM t"
+        assert statement_cache_key(sql, "orca") != \
+            statement_cache_key(sql, "mysql")
+
+
+# -- the cache data structure -------------------------------------------------------
+
+
+def _entry(version: int = 0) -> PlanCacheEntry:
+    return PlanCacheEntry(executor=object(), skeleton=object(),
+                          optimizer_used="orca", catalog_version=version)
+
+
+class TestPlanCacheLRU:
+
+    def test_lru_eviction_and_counters(self):
+        cache = PlanCache(capacity=2)
+        cache.store("a", _entry())
+        cache.store("b", _entry())
+        assert cache.lookup("a", 0) is not None  # "b" is now LRU
+        cache.store("c", _entry())
+        assert cache.evictions == 1
+        assert cache.lookup("b", 0) is None
+        assert cache.lookup("a", 0) is not None
+        assert cache.lookup("c", 0) is not None
+        stats = cache.stats()
+        assert stats["size"] == 2
+        assert stats["evictions"] == 1
+
+    def test_version_mismatch_invalidates(self):
+        cache = PlanCache(capacity=4)
+        cache.store("a", _entry(version=3))
+        assert cache.lookup("a", 4) is None
+        assert cache.invalidations == 1
+        assert "a" not in cache
+
+    def test_invalidate_all(self):
+        cache = PlanCache(capacity=4)
+        cache.store("a", _entry())
+        cache.store("b", _entry())
+        assert cache.invalidate_all() == 2
+        assert len(cache) == 0
+        assert cache.invalidations == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+# -- end-to-end: hits skip optimization ----------------------------------------------
+
+
+class TestCacheHits:
+
+    def test_repeat_is_a_hit_with_identical_rows(self, db):
+        first = db.run(JOIN_SQL, trace=True)
+        assert not first.plan_cache_hit
+        second = db.run(JOIN_SQL, trace=True)
+        assert second.plan_cache_hit
+        assert second.rows == first.rows
+        assert second.optimizer_used == first.optimizer_used
+        # The hit path skips the whole optimize pipeline: no memo
+        # search, no detour, no refine — just route/execute.
+        names = {span.name for span in second.trace.walk()}
+        assert "memo_search" not in names
+        assert "orca_detour" not in names
+        assert "refine" not in names
+        route = find_spans(second.trace, "route")[0]
+        assert route.attributes["plan_cache"] == "hit"
+
+    def test_miss_then_hit_counters(self, db):
+        db.run(JOIN_SQL)
+        db.run(JOIN_SQL)
+        db.run(JOIN_SQL)
+        stats = db.plan_cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+        assert db.metrics.count("plan_cache.hits") == 2
+        assert db.metrics.count("plan_cache.misses") == 1
+
+    def test_bypass_never_looks_up_or_stores(self, db):
+        db.run(JOIN_SQL, use_plan_cache=False)
+        assert len(db.plan_cache) == 0
+        assert db.plan_cache.hits == db.plan_cache.misses == 0
+        db.run(JOIN_SQL)          # miss + store
+        result = db.run(JOIN_SQL, use_plan_cache=False)
+        assert not result.plan_cache_hit
+        assert db.plan_cache.hits == 0
+
+    def test_config_disables_cache_globally(self):
+        db = build_mini_db(seed=5, orders=80)
+        db.config.plan_cache_enabled = False
+        db.run(JOIN_SQL)
+        db.run(JOIN_SQL)
+        assert len(db.plan_cache) == 0
+
+    def test_different_literals_do_not_share_plans(self, db):
+        template = "SELECT COUNT(*) FROM orders, lineitem, customer " \
+                   "WHERE o_orderkey = l_orderkey " \
+                   "AND c_custkey = o_custkey AND o_totalprice > {}"
+        low = db.run(template.format(100))
+        high = db.run(template.format(9000))
+        assert not high.plan_cache_hit
+        assert low.rows[0][0] >= high.rows[0][0]
+
+    def test_metrics_report_mentions_plan_cache(self, db):
+        db.run(JOIN_SQL)
+        db.run(JOIN_SQL)
+        report = db.metrics_report()
+        assert "plan cache:" in report
+        assert "search pruning:" in report
+
+
+# -- invalidation --------------------------------------------------------------------
+
+
+class TestInvalidation:
+
+    def _prime(self, db):
+        result = db.run(JOIN_SQL)
+        assert not result.plan_cache_hit
+        assert db.run(JOIN_SQL).plan_cache_hit
+
+    def test_insert_invalidates(self, db):
+        self._prime(db)
+        db.run("INSERT INTO customer VALUES "
+               "(9001, 'Customer#9001', 'GOLD', 10.0, 'late arrival')")
+        result = db.run(JOIN_SQL)
+        assert not result.plan_cache_hit
+        assert db.plan_cache.invalidations >= 1
+
+    def test_update_invalidates(self, db):
+        self._prime(db)
+        db.run("UPDATE orders SET o_totalprice = 1.0 WHERE o_orderkey = 1")
+        assert not db.run(JOIN_SQL).plan_cache_hit
+
+    def test_delete_invalidates(self, db):
+        self._prime(db)
+        before = db.run(JOIN_SQL).rows
+        db.run("DELETE FROM lineitem WHERE l_orderkey = 1")
+        result = db.run(JOIN_SQL)
+        assert not result.plan_cache_hit
+        # ... and the recompiled plan sees the new data.
+        assert result.rows[0][0] <= before[0][0]
+
+    def test_analyze_invalidates(self, db):
+        self._prime(db)
+        db.analyze()
+        assert not db.run(JOIN_SQL).plan_cache_hit
+
+    def test_ddl_invalidates(self, db):
+        self._prime(db)
+        db.catalog.drop_table("part")
+        assert not db.run(JOIN_SQL).plan_cache_hit
+
+    def test_stale_entry_serves_fresh_rows_after_dml(self, db):
+        """The end-to-end correctness story: cached plan + DML + re-run
+        returns the rows the new data implies, not the old ones."""
+        self._prime(db)
+        before = db.run(JOIN_SQL).rows[0][0]
+        db.run("INSERT INTO orders VALUES "
+               "(99001, 1, 'O', 500.0, '1995-06-01', '1-PRIO', NULL)")
+        db.run("INSERT INTO lineitem VALUES "
+               "(99001, 1, 1, 5.0, 50.0, "
+               "'1995-06-10', '1995-06-15', '1995-06-20')")
+        after = db.run(JOIN_SQL).rows[0][0]
+        assert after == before + 1
+
+
+# -- failed detours are never cached --------------------------------------------------
+
+
+class TestFailureInteraction:
+
+    def test_fallback_is_not_cached(self, db):
+        db.config.fault_injector = FaultInjector().arm(
+            "optimizer", "typed", times=1)
+        first = db.run(JOIN_SQL, optimizer="orca")
+        assert first.fallback_reason is FallbackReason.TYPED_ABORT
+        assert len(db.plan_cache) == 0
+        # The injector is exhausted: the retry takes the detour again
+        # (a cached MySQL plan would have hidden the recovery).
+        second = db.run(JOIN_SQL, optimizer="orca")
+        assert second.optimizer_used == "orca"
+        assert not second.plan_cache_hit
+        assert db.run(JOIN_SQL, optimizer="orca").plan_cache_hit
+
+    def test_circuit_broken_statement_never_populates(self, db):
+        db.config.fault_injector = FaultInjector().arm(
+            "plan_converter", "crash")
+        for __ in range(db.config.circuit_breaker_threshold):
+            db.run(JOIN_SQL, optimizer="orca")
+        assert len(db.plan_cache) == 0
+        result = db.run(JOIN_SQL, optimizer="orca")
+        assert result.fallback_reason is FallbackReason.CIRCUIT_OPEN
+        assert len(db.plan_cache) == 0
+        # Every quarantined run keeps consulting the breaker rather
+        # than short-circuiting through the cache.
+        assert db.fallback_log.count(FallbackReason.CIRCUIT_OPEN) == 1
+
+
+# -- cost-bound pruning ---------------------------------------------------------------
+
+
+class TestCostBoundPruning:
+
+    @pytest.mark.parametrize("sql", [JOIN_SQL, FIVE_WAY_SQL])
+    def test_pruned_search_matches_unpruned_cost(self, sql):
+        """Soundness: the bound only skips candidates that cannot beat
+        the incumbent, so the chosen plan's cost is identical."""
+        pruned_db = build_mini_db(seed=5, orders=80)
+        unpruned_db = build_mini_db(seed=5, orders=80)
+        unpruned_db.config.orca_cost_bound_pruning = False
+
+        pruned = pruned_db.run(sql, optimizer="orca", trace=True,
+                               use_plan_cache=False)
+        unpruned = unpruned_db.run(sql, optimizer="orca", trace=True,
+                                   use_plan_cache=False)
+        assert pruned.optimizer_used == "orca"
+        assert unpruned.optimizer_used == "orca"
+        assert sorted(pruned.rows) == sorted(unpruned.rows)
+
+        pruned_cost = sum(
+            s.attributes["best_cost"]
+            for s in find_spans(pruned.trace, "memo_search"))
+        unpruned_cost = sum(
+            s.attributes["best_cost"]
+            for s in find_spans(unpruned.trace, "memo_search"))
+        assert pruned_cost == pytest.approx(unpruned_cost)
+
+    def test_pruning_reduces_cost_evaluations(self):
+        pruned_db = build_mini_db(seed=5, orders=80)
+        unpruned_db = build_mini_db(seed=5, orders=80)
+        unpruned_db.config.orca_cost_bound_pruning = False
+
+        def evaluations(db):
+            result = db.run(FIVE_WAY_SQL, optimizer="orca", trace=True,
+                            use_plan_cache=False)
+            assert result.optimizer_used == "orca"
+            return sum(s.attributes["cost_evaluations"]
+                       for s in find_spans(result.trace, "memo_search"))
+
+        with_pruning = evaluations(pruned_db)
+        without = evaluations(unpruned_db)
+        assert with_pruning < without
+
+    def test_pruned_candidates_are_counted(self, db):
+        result = db.run(FIVE_WAY_SQL, optimizer="orca", trace=True,
+                        use_plan_cache=False)
+        pruned = sum(s.attributes["pruned_candidates"]
+                     for s in find_spans(result.trace, "memo_search"))
+        assert pruned > 0
+        assert db.metrics.count("orca.pruned_candidates") == pruned
+
+    def test_memo_separates_offered_from_costed(self, db):
+        result = db.run(JOIN_SQL, optimizer="orca", trace=True,
+                        use_plan_cache=False)
+        span = find_spans(result.trace, "memo_search")[0]
+        assert span.attributes["memo_offered"] >= \
+            span.attributes["memo_alternatives"]
+
+
+# -- the bounded metadata cache -------------------------------------------------------
+
+
+class TestBoundedMDCache:
+
+    def test_tiny_capacity_evicts_and_counts(self, db):
+        db.config.mdcache_capacity = 1
+        result = db.run(JOIN_SQL, optimizer="orca", use_plan_cache=False)
+        assert result.optimizer_used == "orca"
+        stats = db.last_router.last_accessor.stats()
+        assert stats["capacity"] == 1
+        assert stats["evictions"] > 0
+        assert sum(stats["evictions_by_kind"].values()) == \
+            stats["evictions"]
+        assert db.metrics.count("mdcache.evictions") == stats["evictions"]
+
+    def test_default_capacity_never_evicts_here(self, db):
+        result = db.run(JOIN_SQL, optimizer="orca", use_plan_cache=False)
+        assert result.optimizer_used == "orca"
+        assert db.last_router.last_accessor.stats()["evictions"] == 0
