@@ -6,9 +6,11 @@ from repro.bench.harness import (
     plan_cache_report,
     results_match,
     run_compile_suite,
+    run_executor_comparison,
     run_suite,
 )
 from repro.bench.report import (
+    format_executor_report,
     format_figure10,
     format_figure11,
     format_figure12,
@@ -20,6 +22,7 @@ from repro.bench.report import (
 __all__ = [
     "BenchmarkResult",
     "QueryTiming",
+    "format_executor_report",
     "format_figure10",
     "format_figure11",
     "format_figure12",
@@ -28,6 +31,7 @@ __all__ = [
     "plan_cache_report",
     "results_match",
     "run_compile_suite",
+    "run_executor_comparison",
     "run_suite",
     "summarize",
 ]

@@ -357,6 +357,101 @@ def plan_cache_report(db: Database, queries: Dict[int, str], name: str,
     }
 
 
+def run_executor_comparison(db: Database, queries: Dict[int, str],
+                            name: str,
+                            categories: Optional[Dict[str, List[int]]]
+                            = None,
+                            samples: int = 5,
+                            optimizer: str = "auto",
+                            progress: Optional[Callable[[str], None]]
+                            = None,
+                            emit_json: Optional[str] = None) -> dict:
+    """Row-vs-batch executor comparison over one workload.
+
+    Each query runs ``samples`` times per executor mode against the
+    same compiled plan (the statement plan cache is primed first, so
+    the comparison isolates the execute stage); recorded per query are
+    the execute-stage medians, the speedup, a result-equivalence check,
+    which engine actually ran (batch requests can degrade), and the
+    batch engine's work counters (batches, batch rows, compiled
+    expressions) for the final batch run.
+
+    ``categories`` maps a label (e.g. ``"scan_heavy"``) to query
+    numbers; the report carries each category's median speedup — the
+    number the acceptance gate asserts on.  Returns a
+    JSON-serialisable dict, also written to ``emit_json`` when given.
+    """
+    metrics = db.metrics
+    per_query = {}
+    for number in sorted(queries):
+        sql = queries[number]
+        db.run(sql, optimizer=optimizer)  # prime the plan cache
+        medians: Dict[str, float] = {}
+        rows: Dict[str, List[tuple]] = {}
+        ran_as = "row"
+        counters = {"batches": 0, "batch_rows": 0, "compiled_exprs": 0}
+        counter_names = {"batches": "executor.batches",
+                         "batch_rows": "executor.batch_rows",
+                         "compiled_exprs": "exec.compiled_exprs"}
+        for mode in ("row", "batch"):
+            times: List[float] = []
+            for __ in range(samples):
+                before = {key: metrics.count(metric)
+                          for key, metric in counter_names.items()}
+                run = db.run(sql, optimizer=optimizer,
+                             executor_mode=mode)
+                times.append(run.execute_seconds)
+            rows[mode] = run.rows
+            medians[mode] = _median(times)
+            if mode == "batch":
+                ran_as = run.executor_mode
+                # Work counters of the final batch run alone.
+                counters = {
+                    key: int(metrics.count(metric) - before[key])
+                    for key, metric in counter_names.items()}
+        speedup = (medians["row"] / medians["batch"]
+                   if medians["batch"] > 0 else 1.0)
+        per_query[str(number)] = {
+            "row_execute_median_seconds": medians["row"],
+            "batch_execute_median_seconds": medians["batch"],
+            "speedup": speedup,
+            "results_match": results_match(rows["row"], rows["batch"]),
+            "ran_as": ran_as,
+            "batches": counters["batches"],
+            "batch_rows": counters["batch_rows"],
+            "compiled_exprs": counters["compiled_exprs"],
+        }
+        if progress is not None:
+            progress(f"{name} Q{number}: row "
+                     f"{medians['row'] * 1000:.2f} ms, batch "
+                     f"{medians['batch'] * 1000:.2f} ms "
+                     f"({speedup:.2f}x, ran as {ran_as})")
+    category_rows = {}
+    for label, numbers in (categories or {}).items():
+        speedups = [per_query[str(n)]["speedup"] for n in numbers
+                    if str(n) in per_query]
+        category_rows[label] = {
+            "queries": list(numbers),
+            "median_speedup": _median(speedups) if speedups else 1.0,
+        }
+    payload = {
+        "suite": name,
+        "samples_per_query": samples,
+        "optimizer": optimizer,
+        "batch_size": _batch_size(),
+        "queries": per_query,
+        "categories": category_rows,
+    }
+    if emit_json is not None:
+        _write_json(emit_json, payload)
+    return payload
+
+
+def _batch_size() -> int:
+    from repro.executor.batch import BATCH_SIZE
+    return BATCH_SIZE
+
+
 def _write_json(path: str, payload: dict) -> None:
     import json
     import os

@@ -171,6 +171,47 @@ def summarize(result: BenchmarkResult) -> Dict[str, object]:
     }
 
 
+def format_executor_report(payload: Dict[str, object]) -> str:
+    """Render a :func:`repro.bench.harness.run_executor_comparison`
+    payload.
+
+    One row per query: execute-stage medians under each engine, the
+    speedup, what actually ran, and the batch engine's work counters;
+    followed by the per-category median speedups the acceptance gate
+    asserts on.
+    """
+    title = (f"{payload['suite']}: row vs batch executor "
+             f"(batch size {payload['batch_size']}, "
+             f"optimizer {payload['optimizer']})")
+    lines = [title, "=" * len(title),
+             f"{'query':>6} | {'row exec(ms)':>12} |"
+             f" {'batch exec(ms)':>14} | {'speedup':>7} | {'ran as':>6} |"
+             f" {'batches':>7} | {'batch rows':>10} | {'exprs':>5} |"]
+    queries: Dict[str, Dict[str, object]] = payload["queries"]
+    for number in sorted(queries, key=int):
+        row = queries[number]
+        match = "" if row["results_match"] else "  RESULTS DIFFER"
+        lines.append(
+            f"Q{number:>5} |"
+            f" {row['row_execute_median_seconds'] * 1000.0:>12.3f} |"
+            f" {row['batch_execute_median_seconds'] * 1000.0:>14.3f} |"
+            f" {row['speedup']:>6.2f}x |"
+            f" {row['ran_as']:>6} |"
+            f" {row['batches']:>7} |"
+            f" {row['batch_rows']:>10} |"
+            f" {row['compiled_exprs']:>5} |{match}")
+    categories: Dict[str, Dict[str, object]] = payload.get(
+        "categories", {})
+    if categories:
+        lines.append("")
+        for label in sorted(categories):
+            entry = categories[label]
+            numbers = ", ".join(f"Q{n}" for n in entry["queries"])
+            lines.append(f"{label}: median speedup "
+                         f"{entry['median_speedup']:.2f}x ({numbers})")
+    return "\n".join(lines)
+
+
 def format_plan_cache_report(payload: Dict[str, object]) -> str:
     """Render a :func:`repro.bench.harness.plan_cache_report` payload.
 

@@ -66,6 +66,7 @@ from repro.storage.engine import StorageEngine
 
 #: Valid values for ``DatabaseConfig.routing``.
 ROUTING_POLICIES = ("threshold", "cost_based")
+EXECUTOR_MODES = ("batch", "row")
 
 
 @dataclass
@@ -120,12 +121,23 @@ class DatabaseConfig:
     orca_cost_bound_pruning: bool = True
     #: Per-kind LRU capacity of the Orca metadata cache.
     mdcache_capacity: int = 1024
+    #: Execution engine: "batch" runs the vectorized batch-at-a-time
+    #: executor with compiled expressions (statements whose plans it
+    #: cannot lower degrade per-statement to the row engine, recorded as
+    #: ``FallbackReason.EXEC_BATCH_UNSUPPORTED``); "row" forces the
+    #: tuple-at-a-time Volcano interpreter.  Per-query override via
+    #: ``run(sql, executor_mode=...)``.
+    executor_mode: str = "batch"
 
     def __post_init__(self) -> None:
         if self.routing not in ROUTING_POLICIES:
             raise ReproError(
                 f"unknown routing {self.routing!r}; valid choices: "
                 f"{', '.join(ROUTING_POLICIES)}")
+        if self.executor_mode not in EXECUTOR_MODES:
+            raise ReproError(
+                f"unknown executor_mode {self.executor_mode!r}; valid "
+                f"choices: {', '.join(EXECUTOR_MODES)}")
         if self.orca_search not in JoinSearchMode.__members__:
             valid = ", ".join(JoinSearchMode.__members__)
             raise ReproError(
@@ -152,6 +164,10 @@ class StatementResult:
     #: True when the executable plan came from the statement plan cache
     #: (optimization was skipped entirely).
     plan_cache_hit: bool = False
+    #: Executor mode the statement actually ran in ("batch" or "row");
+    #: may differ from the requested mode when batch lowering refused
+    #: the plan and the statement degraded to the row engine.
+    executor_mode: str = "row"
 
     def trace_export(self) -> List[dict]:
         """Flat JSON trace: one dict per span (name, start, duration,
@@ -368,7 +384,8 @@ class Database:
 
     def run(self, sql: str, optimizer: str = "auto",
             explain: bool = False, trace: bool = False,
-            use_plan_cache: bool = True) -> StatementResult:
+            use_plan_cache: bool = True,
+            executor_mode: Optional[str] = None) -> StatementResult:
         """Execute with timing breakdown (used by the benchmark harness).
 
         DML statements return a single row holding the affected-row
@@ -380,12 +397,19 @@ class Database:
         span tree (``result.trace``); without it, tracing costs nothing.
         ``use_plan_cache=False`` bypasses the statement plan cache for
         this statement only (no lookup, no store).
+        ``executor_mode="batch"|"row"`` overrides
+        ``config.executor_mode`` for this statement only.
         """
+        if executor_mode is not None and executor_mode not in EXECUTOR_MODES:
+            raise ReproError(
+                f"unknown executor_mode {executor_mode!r}; valid "
+                f"choices: {', '.join(EXECUTOR_MODES)}")
         previous = self.tracer
         if trace and not previous.enabled:
             self.tracer = Tracer()
         try:
-            result = self._run(sql, optimizer, explain, use_plan_cache)
+            result = self._run(sql, optimizer, explain, use_plan_cache,
+                               executor_mode)
             if self.tracer.enabled:
                 result.trace = self.tracer.last_root
             return result
@@ -393,7 +417,8 @@ class Database:
             self.tracer = previous
 
     def _run(self, sql: str, optimizer: str, explain: bool,
-             use_plan_cache: bool = True) -> StatementResult:
+             use_plan_cache: bool = True,
+             executor_mode: Optional[str] = None) -> StatementResult:
         tracer = self.tracer
         self.metrics.inc("statements.total")
         start = time.perf_counter()
@@ -439,17 +464,33 @@ class Database:
                         fingerprint=statement_fingerprint(sql)))
             explain_text = explain_plan(executor.top_plan) \
                 if explain else None
+            mode = executor_mode or self.config.executor_mode
             compiled = time.perf_counter()
-            with tracer.span("execute"):
-                rows = executor.execute()
+            with tracer.span("execute") as exec_span:
+                rows = executor.execute(mode=mode, metrics=self.metrics)
+                exec_span.set(executor_mode=executor.last_mode)
+                if executor.last_mode == "batch":
+                    runtime = executor.last_runtime
+                    exec_span.set(batches=runtime.batches,
+                                  batch_rows=runtime.batch_rows)
             done = time.perf_counter()
+            if mode == "batch" and executor.last_mode == "row":
+                # The batch engine refused this plan; record the
+                # degradation through the same taxonomy as detour
+                # fallbacks so operators see it in one report.
+                self.fallback_log.record_fallback(FallbackEvent(
+                    fingerprint=statement_fingerprint(sql),
+                    reason=FallbackReason.EXEC_BATCH_UNSUPPORTED,
+                    error_message=executor.batch_unsupported_reason,
+                    sql=sql))
             self.metrics.inc(f"statements.{used}")
             self.metrics.observe("statement.compile_seconds",
                                  compiled - start)
             self.metrics.observe("statement.execute_seconds",
                                  done - compiled)
             stmt_span.set(optimizer_used=used, rows=len(rows),
-                          plan_cache_hit=cached is not None)
+                          plan_cache_hit=cached is not None,
+                          executor_mode=executor.last_mode)
             return StatementResult(
                 rows=rows,
                 optimizer_used=used,
@@ -458,6 +499,7 @@ class Database:
                 explain=explain_text,
                 fallback_reason=fallback_reason,
                 plan_cache_hit=cached is not None,
+                executor_mode=executor.last_mode,
             )
 
     def explain(self, sql: str, optimizer: str = "auto",
@@ -470,15 +512,18 @@ class Database:
         executor, __, __, __ = self._compile(sql, optimizer)
         return explain_plan(executor.top_plan)
 
-    def explain_analyze(self, sql: str, optimizer: str = "auto") -> str:
+    def explain_analyze(self, sql: str, optimizer: str = "auto",
+                        executor_mode: Optional[str] = None) -> str:
         """EXPLAIN ANALYZE: execute with per-operator actual row counts.
 
         The plan is instrumented, executed once, and rendered with
         ``(actual rows=N)`` next to the optimizer's estimates — making
         estimation errors (the histogram story of Section 5.5) visible
-        per operator.  A "stage breakdown" footer shows where the
-        statement spent its time (mirroring the paper's EXPLAIN cost
-        copy-over, Section 6) and, for Orca plans, the memo statistics.
+        per operator; batch-engine runs additionally show per-node
+        ``(batches=N)`` counts.  A "stage breakdown" footer shows where
+        the statement spent its time (mirroring the paper's EXPLAIN
+        cost copy-over, Section 6), which executor engine ran, and, for
+        Orca plans, the memo statistics.
         """
         from repro.executor.explain import (
             format_stage_footer,
@@ -486,6 +531,10 @@ class Database:
         )
         from repro.executor.plan import DerivedMaterializeNode
 
+        mode = executor_mode or self.config.executor_mode
+        if mode not in EXECUTOR_MODES:
+            raise ReproError(f"unknown executor mode {mode!r}; "
+                             f"expected one of {EXECUTOR_MODES}")
         previous = self.tracer
         if not previous.enabled:
             self.tracer = Tracer()
@@ -496,7 +545,7 @@ class Database:
                 instrument_plan(executor.top_plan)
                 compiled = time.perf_counter()
                 with self.tracer.span("execute"):
-                    executor.execute()
+                    executor.execute(mode=mode)
                 done = time.perf_counter()
         finally:
             self.tracer = previous
@@ -515,6 +564,10 @@ class Database:
             memo_groups=memo_groups,
             memo_alternatives=memo_alternatives,
             memo_pruned=memo_pruned,
+            executor_mode=executor.last_mode,
+            batches=executor.last_runtime.batches,
+            batch_rows=executor.last_runtime.batch_rows,
+            compiled_exprs=executor.compiled_expr_count,
         )
         # Copy rebind counts (Section 7, Orca change 3) onto the
         # materialise nodes so the rendering can show them.

@@ -1,0 +1,799 @@
+"""The vectorized batch execution layer: RowBatch + expression compiler.
+
+The row engine in :mod:`repro.executor.plan` interprets expression trees
+one context at a time: every row pays a Python function call per
+expression node plus a generator resumption per operator.  The batch
+engine amortises both: operators exchange :class:`RowBatch` chunks of
+~1024 rows, and expressions are *compiled* — the interpreted tree is
+lowered into Python source code with MySQL's three-valued NULL semantics
+spelled out inline, ``compile()``-d once, and evaluated with a single
+function call per batch.
+
+The compiler is deliberately conservative: any construct whose batch
+semantics are not a provable 1:1 match of the row interpreter (subquery
+expressions, window functions, correlated materialisations) raises
+:class:`BatchUnsupported`, and the executor degrades the whole statement
+to the row engine (recorded as ``FallbackReason.EXEC_BATCH_UNSUPPORTED``).
+Correctness is anchored by the equivalence harness in
+``tests/test_executor_equivalence.py``.
+
+Layout of a generated evaluator for ``o_totalprice > 100 AND o_status =
+'F'`` over entry 0::
+
+    def _eval(_b):
+        _col_0 = _b.columns[0]
+        _out = []
+        _ap = _out.append
+        for _r0 in _col_0:
+            _t0 = _r0[3] if _r0 is not None else None
+            _t1 = (_t0 > 100) if _t0 is not None else None
+            if _t1 is not True:
+                _t2 = False
+            else:
+                ...
+            _ap(_t2)
+        return _out
+
+One function call per batch, zero per-row interpreter dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.executor.expression import (
+    RAW_SCALARS,
+    arith_add,
+    arith_sub,
+    cast_value,
+    extract_value,
+    like_regex,
+)
+from repro.sql import ast
+
+#: Rows per batch.  Big enough to amortise per-batch dispatch, small
+#: enough to keep intermediate columns cache-resident.
+BATCH_SIZE = 1024
+
+
+class BatchUnsupported(ExecutionError):
+    """The batch engine cannot run this construct; use the row engine.
+
+    Raised during plan lowering (never mid-execution on supported plans);
+    the executor catches it and degrades the statement to the row
+    interpreter, so this is a routing signal rather than a user error.
+    """
+
+    def __init__(self, construct: str) -> None:
+        super().__init__(f"batch executor does not support {construct}")
+        self.construct = construct
+
+
+class RowBatch:
+    """A columnar chunk of rows flowing between batch operators.
+
+    ``columns`` maps a table-entry id to a list of that entry's current
+    row tuples (``None`` for a null-extended outer-join row); every
+    column has exactly ``length`` elements.  This mirrors the row
+    engine's context array — slot *i* of the context becomes column *i*
+    of the batch — so compiled expressions read the same shapes in both
+    engines.
+    """
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: Dict[int, list], length: int) -> None:
+        self.columns = columns
+        self.length = length
+
+    def filter_true(self, mask: Sequence) -> "RowBatch":
+        """Keep only rows whose mask value is exactly ``True`` (SQL
+        filter semantics: NULL and FALSE both drop the row)."""
+        kept = 0
+        for value in mask:
+            if value is True:
+                kept += 1
+        if kept == self.length:
+            return self
+        if kept == 0:
+            return RowBatch({entry: [] for entry in self.columns}, 0)
+        columns = {
+            entry: [row for row, passed in zip(column, mask)
+                    if passed is True]
+            for entry, column in self.columns.items()}
+        return RowBatch(columns, kept)
+
+    def slice(self, start: int, stop: int) -> "RowBatch":
+        if start == 0 and stop >= self.length:
+            return self
+        columns = {entry: column[start:stop]
+                   for entry, column in self.columns.items()}
+        return RowBatch(columns, max(0, min(stop, self.length) - start))
+
+
+class BatchAccumulator:
+    """Collects produced rows and flushes them as fixed-size batches.
+
+    Rows are stored row-major (one tuple per row, aligned with
+    ``entries``) so hot loops pay a single ``append`` per row; the
+    column transpose happens once per flush through ``zip(*rows)`` at
+    C speed.
+    """
+
+    __slots__ = ("entries", "rows")
+
+    def __init__(self, entries: List[int]) -> None:
+        self.entries = entries
+        self.rows: List[tuple] = []
+
+    def add_ctx(self, ctx) -> None:
+        self.rows.append(tuple(ctx[entry] for entry in self.entries))
+
+    def add_values(self, values: tuple) -> None:
+        self.rows.append(values)
+
+    @property
+    def length(self) -> int:
+        return len(self.rows)
+
+    @property
+    def full(self) -> bool:
+        return len(self.rows) >= BATCH_SIZE
+
+    def flush(self) -> RowBatch:
+        rows = self.rows
+        self.rows = []
+        if rows:
+            transposed = zip(*rows)
+            columns = {entry: list(column)
+                       for entry, column in zip(self.entries, transposed)}
+        else:
+            columns = {entry: [] for entry in self.entries}
+        return RowBatch(columns, len(rows))
+
+
+#: A compiled batch expression: RowBatch -> list of values (length rows).
+BatchExpr = Callable[[RowBatch], list]
+
+
+class _Emitter:
+    """Accumulates generated statements with indentation tracking."""
+
+    def __init__(self) -> None:
+        self.lines: List[tuple] = []  # (indent level, text)
+        self.level = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append((self.level, text))
+
+    def indented(self) -> "_IndentBlock":
+        return _IndentBlock(self)
+
+    def render(self, base_indent: int) -> str:
+        pad = " " * base_indent
+        return "\n".join(pad + "    " * level + text
+                         for level, text in self.lines)
+
+
+class _IndentBlock:
+    def __init__(self, emitter: _Emitter) -> None:
+        self.emitter = emitter
+
+    def __enter__(self):
+        self.emitter.level += 1
+        return self
+
+    def __exit__(self, *exc):
+        self.emitter.level -= 1
+        return False
+
+
+def _in_eval(value, candidates, negated):
+    """Non-constant IN list semantics (mirrors the row interpreter)."""
+    if value is None:
+        return None
+    saw_null = False
+    for candidate in candidates:
+        if candidate is None:
+            saw_null = True
+        elif candidate == value:
+            return False if negated else True
+    if saw_null:
+        return None
+    return True if negated else False
+
+
+def _like_dyn(value, pattern):
+    """LIKE with a non-literal pattern (mirrors the row interpreter)."""
+    if value is None or pattern is None:
+        return None
+    return like_regex(pattern).match(str(value)) is not None
+
+
+_COMPARE_SOURCE = {
+    ast.BinOp.EQ: "==",
+    ast.BinOp.NE: "!=",
+    ast.BinOp.LT: "<",
+    ast.BinOp.LE: "<=",
+    ast.BinOp.GT: ">",
+    ast.BinOp.GE: ">=",
+}
+
+
+class BatchExpressionCompiler:
+    """Lowers resolved expression trees into per-batch evaluators.
+
+    Each ``compile`` call generates one Python function that evaluates
+    the whole expression for every row of a batch in a single loop, with
+    NULL propagation and three-valued logic emitted as inline statements
+    (no per-row closure dispatch).  Constants and helper callables are
+    bound into the function's globals.
+
+    ``compiled_count`` tracks successful compilations for the
+    ``exec.compiled_exprs`` metric.
+    """
+
+    def __init__(self) -> None:
+        self.compiled_count = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def compile(self, expr: ast.Expr,
+                available: Optional[frozenset] = None) -> BatchExpr:
+        """Compile one expression; ``available`` restricts which entry
+        ids it may read (a read outside the batch's columns raises
+        :class:`BatchUnsupported` — the row engine's global context could
+        serve it, the batch cannot)."""
+        emitter = _Emitter()
+        state = _GenState()
+        result = self._gen(expr, emitter, state)
+        if available is not None and not state.entries.issubset(available):
+            missing = sorted(state.entries - available)
+            raise BatchUnsupported(
+                f"expression reading entries {missing} outside its "
+                f"operator subtree")
+        fn = self._assemble(emitter, state, result)
+        self.compiled_count += 1
+        return fn
+
+    def compile_many(self, exprs: Sequence[ast.Expr],
+                     available: Optional[frozenset] = None
+                     ) -> List[BatchExpr]:
+        return [self.compile(expr, available) for expr in exprs]
+
+    def compile_filter(self, conjuncts: Sequence[ast.Expr],
+                       available: Optional[frozenset] = None
+                       ) -> Optional[BatchExpr]:
+        """Compile a conjunct list into one strict True/False mask
+        evaluator (NULL counts as not-passing, like the row engine's
+        ``compile_filter``).  Returns ``None`` for an empty list."""
+        if not conjuncts:
+            return None
+        emitter = _Emitter()
+        state = _GenState()
+        out = state.temp()
+        self._gen_conjunction(list(conjuncts), emitter, state, out)
+        if available is not None and not state.entries.issubset(available):
+            missing = sorted(state.entries - available)
+            raise BatchUnsupported(
+                f"filter reading entries {missing} outside its operator "
+                f"subtree")
+        fn = self._assemble(emitter, state, out)
+        self.compiled_count += 1
+        return fn
+
+    def _gen_conjunction(self, conjuncts: List[ast.Expr],
+                         emitter: _Emitter, state: "_GenState",
+                         out: str) -> None:
+        head = self._gen(conjuncts[0], emitter, state)
+        if len(conjuncts) == 1 and out != head:
+            # A single conjunct's value is used as-is; the mask check
+            # (`is True`) downstream handles NULL/False identically.
+            emitter.emit(f"{out} = {head}")
+            return
+        if len(conjuncts) == 1:
+            return
+        emitter.emit(f"if {head} is not True:")
+        with emitter.indented():
+            emitter.emit(f"{out} = False")
+        emitter.emit("else:")
+        with emitter.indented():
+            self._gen_conjunction(conjuncts[1:], emitter, state, out)
+
+    # -- assembly -------------------------------------------------------------
+
+    def _assemble(self, emitter: _Emitter, state: "_GenState",
+                  result: str) -> BatchExpr:
+        entries = sorted(state.entries)
+        if entries:
+            cols = "\n".join(f"    _col_{e} = _b.columns[{e}]"
+                             for e in entries)
+            row_vars = ", ".join(f"_r{e}" for e in entries)
+            col_vars = ", ".join(f"_col_{e}" for e in entries)
+            if len(entries) == 1:
+                loop = f"    for {row_vars} in {col_vars}:"
+            else:
+                loop = f"    for {row_vars} in zip({col_vars}):"
+            source = (
+                "def _eval(_b):\n"
+                f"{cols}\n"
+                "    _out = []\n"
+                "    _ap = _out.append\n"
+                f"{loop}\n"
+                f"{emitter.render(8)}\n"
+                f"        _ap({result})\n"
+                "    return _out\n")
+        else:
+            # Row-invariant expression: evaluate once, replicate.
+            source = (
+                "def _eval(_b):\n"
+                f"{emitter.render(4)}\n"
+                f"    return [{result}] * _b.length\n")
+        code = compile(source, "<batch-expr>", "exec")
+        namespace = dict(state.env)
+        exec(code, namespace)
+        fn = namespace["_eval"]
+        fn._batch_source = source  # debugging aid
+        return fn
+
+    # -- codegen dispatch -------------------------------------------------------------
+
+    def _gen(self, expr: ast.Expr, emitter: _Emitter,
+             state: "_GenState") -> str:
+        method = getattr(self, "_gen_" + type(expr).__name__, None)
+        if method is None:
+            raise BatchUnsupported(
+                f"expression node {type(expr).__name__}")
+        return method(expr, emitter, state)
+
+    # -- leaves -------------------------------------------------------------
+
+    def _gen_Literal(self, expr: ast.Literal, emitter, state) -> str:
+        # Non-None literals bind as environment constants rather than
+        # inline reprs: every atom the generated NULL guards test with
+        # ``is`` is then a name, never a literal (and guards on consts
+        # short-circuit correctly since only "None" is ever null).
+        value = expr.value
+        if value is None:
+            return "None"
+        return state.const(value)
+
+    def _gen_IntervalLiteral(self, expr, emitter, state) -> str:
+        return state.const(expr.interval)
+
+    def _gen_ColumnRef(self, expr: ast.ColumnRef, emitter, state) -> str:
+        if expr.entry_id is None or expr.position is None:
+            raise ExecutionError(
+                f"unresolved column reference {expr.display!r}")
+        state.entries.add(expr.entry_id)
+        out = state.temp()
+        emitter.emit(f"{out} = _r{expr.entry_id}[{expr.position}] "
+                     f"if _r{expr.entry_id} is not None else None")
+        return out
+
+    # -- logic, comparison, arithmetic --------------------------------------------
+
+    def _gen_BinaryExpr(self, expr: ast.BinaryExpr, emitter, state) -> str:
+        op = expr.op
+        if op is ast.BinOp.AND:
+            return self._gen_and(expr, emitter, state)
+        if op is ast.BinOp.OR:
+            return self._gen_or(expr, emitter, state)
+        left = self._gen(expr.left, emitter, state)
+        right = self._gen(expr.right, emitter, state)
+        out = state.temp()
+        if op in _COMPARE_SOURCE:
+            emitter.emit(
+                f"{out} = ({left} {_COMPARE_SOURCE[op]} {right}) "
+                f"if ({left} is not None and {right} is not None) else None")
+            return out
+        if op is ast.BinOp.MUL:
+            body = f"{left} * {right}"
+        elif op is ast.BinOp.DIV:
+            body = f"(None if {right} == 0 else {left} / {right})"
+        elif op is ast.BinOp.MOD:
+            body = f"(None if {right} == 0 else {left} % {right})"
+        elif op is ast.BinOp.ADD:
+            body = f"_arith_add({left}, {right})"
+            state.env["_arith_add"] = arith_add
+        elif op is ast.BinOp.SUB:
+            body = f"_arith_sub({left}, {right})"
+            state.env["_arith_sub"] = arith_sub
+        else:
+            raise ExecutionError(f"bad arithmetic operator {op}")
+        emitter.emit(
+            f"{out} = {body} "
+            f"if ({left} is not None and {right} is not None) else None")
+        return out
+
+    def _gen_and(self, expr: ast.BinaryExpr, emitter, state) -> str:
+        left = self._gen(expr.left, emitter, state)
+        out = state.temp()
+        emitter.emit(f"if {left} is False:")
+        with emitter.indented():
+            emitter.emit(f"{out} = False")
+        emitter.emit("else:")
+        with emitter.indented():
+            right = self._gen(expr.right, emitter, state)
+            emitter.emit(f"if {right} is False:")
+            with emitter.indented():
+                emitter.emit(f"{out} = False")
+            emitter.emit(f"elif {left} is None or {right} is None:")
+            with emitter.indented():
+                emitter.emit(f"{out} = None")
+            emitter.emit("else:")
+            with emitter.indented():
+                emitter.emit(f"{out} = True")
+        return out
+
+    def _gen_or(self, expr: ast.BinaryExpr, emitter, state) -> str:
+        left = self._gen(expr.left, emitter, state)
+        out = state.temp()
+        emitter.emit(f"if {left} is True:")
+        with emitter.indented():
+            emitter.emit(f"{out} = True")
+        emitter.emit("else:")
+        with emitter.indented():
+            right = self._gen(expr.right, emitter, state)
+            emitter.emit(f"if {right} is True:")
+            with emitter.indented():
+                emitter.emit(f"{out} = True")
+            emitter.emit(f"elif {left} is None or {right} is None:")
+            with emitter.indented():
+                emitter.emit(f"{out} = None")
+            emitter.emit("else:")
+            with emitter.indented():
+                emitter.emit(f"{out} = False")
+        return out
+
+    def _gen_NotExpr(self, expr: ast.NotExpr, emitter, state) -> str:
+        operand = self._gen(expr.operand, emitter, state)
+        out = state.temp()
+        emitter.emit(f"{out} = (not {operand}) "
+                     f"if {operand} is not None else None")
+        return out
+
+    def _gen_NegExpr(self, expr: ast.NegExpr, emitter, state) -> str:
+        operand = self._gen(expr.operand, emitter, state)
+        out = state.temp()
+        emitter.emit(f"{out} = -{operand} "
+                     f"if {operand} is not None else None")
+        return out
+
+    def _gen_IsNullExpr(self, expr: ast.IsNullExpr, emitter, state) -> str:
+        operand = self._gen(expr.operand, emitter, state)
+        out = state.temp()
+        test = "is not None" if expr.negated else "is None"
+        emitter.emit(f"{out} = {operand} {test}")
+        return out
+
+    def _gen_BetweenExpr(self, expr: ast.BetweenExpr, emitter, state) -> str:
+        operand = self._gen(expr.operand, emitter, state)
+        low = self._gen(expr.low, emitter, state)
+        high = self._gen(expr.high, emitter, state)
+        out = state.temp()
+        check = f"{low} <= {operand} <= {high}"
+        if expr.negated:
+            check = f"not ({check})"
+        emitter.emit(
+            f"{out} = ({check}) if ({operand} is not None and "
+            f"{low} is not None and {high} is not None) else None")
+        return out
+
+    def _gen_LikeExpr(self, expr: ast.LikeExpr, emitter, state) -> str:
+        operand = self._gen(expr.operand, emitter, state)
+        out = state.temp()
+        if isinstance(expr.pattern, ast.Literal) and \
+                isinstance(expr.pattern.value, str):
+            regex = state.const(like_regex(expr.pattern.value))
+            check = f"{regex}.match(str({operand})) is not None"
+            if expr.negated:
+                check = f"not ({check})"
+            emitter.emit(f"{out} = ({check}) "
+                         f"if {operand} is not None else None")
+            return out
+        pattern = self._gen(expr.pattern, emitter, state)
+        state.env["_like_dyn"] = _like_dyn
+        emitter.emit(f"{out} = _like_dyn({operand}, {pattern})")
+        if expr.negated:
+            negated = state.temp()
+            emitter.emit(f"{negated} = (not {out}) "
+                         f"if {out} is not None else None")
+            return negated
+        return out
+
+    def _gen_InListExpr(self, expr: ast.InListExpr, emitter, state) -> str:
+        operand = self._gen(expr.operand, emitter, state)
+        out = state.temp()
+        constant_items = all(isinstance(item, ast.Literal)
+                             for item in expr.items)
+        if constant_items:
+            values = state.const(frozenset(
+                item.value for item in expr.items
+                if item.value is not None))
+            has_null = any(item.value is None for item in expr.items)
+            found = state.temp()
+            emitter.emit(f"if {operand} is None:")
+            with emitter.indented():
+                emitter.emit(f"{out} = None")
+            emitter.emit("else:")
+            with emitter.indented():
+                emitter.emit(f"{found} = {operand} in {values}")
+                if has_null:
+                    emitter.emit(f"if not {found}:")
+                    with emitter.indented():
+                        emitter.emit(f"{out} = None")
+                    emitter.emit("else:")
+                    with emitter.indented():
+                        emitter.emit(f"{out} = "
+                                     f"{'not ' if expr.negated else ''}"
+                                     f"{found}")
+                else:
+                    emitter.emit(f"{out} = "
+                                 f"{'not ' if expr.negated else ''}{found}")
+            return out
+        items = [self._gen(item, emitter, state) for item in expr.items]
+        state.env["_in_eval"] = _in_eval
+        candidates = ", ".join(items)
+        emitter.emit(f"{out} = _in_eval({operand}, ({candidates},), "
+                     f"{expr.negated})")
+        return out
+
+    def _gen_CaseExpr(self, expr: ast.CaseExpr, emitter, state) -> str:
+        out = state.temp()
+
+        def gen_branch(index: int) -> None:
+            if index >= len(expr.whens):
+                if expr.else_value is not None:
+                    value = self._gen(expr.else_value, emitter, state)
+                    emitter.emit(f"{out} = {value}")
+                else:
+                    emitter.emit(f"{out} = None")
+                return
+            condition, result = expr.whens[index]
+            cond = self._gen(condition, emitter, state)
+            emitter.emit(f"if {cond} is True:")
+            with emitter.indented():
+                value = self._gen(result, emitter, state)
+                emitter.emit(f"{out} = {value}")
+            emitter.emit("else:")
+            with emitter.indented():
+                gen_branch(index + 1)
+
+        gen_branch(0)
+        return out
+
+    def _gen_GroupingCall(self, expr, emitter, state) -> str:
+        # Plain GROUP BY never produces super-aggregate rows.
+        return state.const(0)
+
+    # -- functions -------------------------------------------------------------
+
+    def _gen_FuncCall(self, expr: ast.FuncCall, emitter, state) -> str:
+        name = expr.name
+        if name in ("COALESCE", "IFNULL"):
+            return self._gen_coalesce(expr.args, emitter, state)
+        args = [self._gen(arg, emitter, state) for arg in expr.args]
+        out = state.temp()
+        if name.startswith("CAST_"):
+            target = state.const(name[5:])
+            state.env["_cast_value"] = cast_value
+            body = f"_cast_value({target}, {args[0]})"
+        elif name.startswith("EXTRACT_"):
+            unit = state.const(name[8:])
+            state.env["_extract_value"] = extract_value
+            body = f"_extract_value({unit}, {args[0]})"
+        else:
+            raw = RAW_SCALARS.get(name)
+            if raw is None:
+                raise ExecutionError(f"unknown function {name!r}")
+            fn = state.const(raw)
+            body = f"{fn}({', '.join(args)})"
+        if args:
+            null_check = " or ".join(f"{arg} is None" for arg in args)
+            emitter.emit(f"{out} = None if ({null_check}) else {body}")
+        else:
+            emitter.emit(f"{out} = {body}")
+        return out
+
+    def _gen_coalesce(self, args: List[ast.Expr], emitter, state) -> str:
+        out = state.temp()
+
+        def gen_chain(index: int) -> None:
+            if index >= len(args):
+                emitter.emit(f"{out} = None")
+                return
+            value = self._gen(args[index], emitter, state)
+            emitter.emit(f"if {value} is not None:")
+            with emitter.indented():
+                emitter.emit(f"{out} = {value}")
+            emitter.emit("else:")
+            with emitter.indented():
+                gen_chain(index + 1)
+
+        gen_chain(0)
+        return out
+
+    # -- unsupported constructs ------------------------------------------------------
+
+    def _gen_ScalarSubquery(self, expr, emitter, state) -> str:
+        raise BatchUnsupported("scalar subquery expressions")
+
+    def _gen_InSubqueryExpr(self, expr, emitter, state) -> str:
+        raise BatchUnsupported("IN (subquery) expressions")
+
+    def _gen_ExistsExpr(self, expr, emitter, state) -> str:
+        raise BatchUnsupported("EXISTS (subquery) expressions")
+
+    def _gen_AggCall(self, expr, emitter, state) -> str:
+        raise ExecutionError(
+            "aggregate call reached the batch expression compiler; plan "
+            "refinement should have rewritten it")
+
+    def _gen_WindowCall(self, expr, emitter, state) -> str:
+        raise ExecutionError(
+            "window call reached the batch expression compiler; plan "
+            "refinement should have rewritten it")
+
+    def _gen_Star(self, expr, emitter, state) -> str:
+        raise ExecutionError("* must be expanded during resolution")
+
+
+class _GenState:
+    """Mutable per-compilation state: temps, consts, referenced entries."""
+
+    def __init__(self) -> None:
+        self.counter = 0
+        self.env: Dict[str, object] = {}
+        self.entries: set = set()
+
+    def temp(self) -> str:
+        name = f"_t{self.counter}"
+        self.counter += 1
+        return name
+
+    def const(self, value) -> str:
+        name = f"_c{len(self.env)}"
+        self.env[name] = value
+        return name
+
+
+# ---------------------------------------------------------------------------
+# Plan lowering
+# ---------------------------------------------------------------------------
+
+def lower_executor(executor) -> int:
+    """Lower every batch-executed plan of a statement.
+
+    Walks the top plan and all sub-plans reachable through plan nodes
+    (derived tables, CTEs, UNION parts), attaching compiled batch
+    expressions (``bx_*`` attributes) to each node that will run in
+    batch mode.  Inner sides of nested-loop joins are *not* lowered:
+    they execute through the row interpreter under a context populated
+    from the outer batch, which keeps correlated index lookups and
+    pushed-down predicates exact.
+
+    Returns the number of expressions compiled.  Raises
+    :class:`BatchUnsupported` when any required construct cannot be
+    lowered; the caller then degrades the statement to the row engine.
+    """
+    compiler = BatchExpressionCompiler()
+    _lower_query_plan(executor.top_plan, compiler, set())
+    return compiler.compiled_count
+
+
+def _lower_query_plan(plan, compiler: BatchExpressionCompiler,
+                      seen: set) -> None:
+    if id(plan) in seen:
+        return
+    seen.add(id(plan))
+    if plan.root is not None:
+        _lower_node(plan.root, compiler, seen)
+        available = frozenset(plan.root.produced_entries())
+    else:
+        available = frozenset()
+    plan.bx_select = compiler.compile_many(plan.select_exprs, available)
+    for __, part in plan.union_parts:
+        _lower_query_plan(part, compiler, seen)
+
+
+def _lower_node(node, compiler: BatchExpressionCompiler,
+                seen: set) -> None:
+    from repro.executor import plan as p
+
+    if id(node) in seen:
+        return
+    seen.add(id(node))
+
+    if isinstance(node, p.WindowNode):
+        raise BatchUnsupported("window functions")
+
+    if isinstance(node, p.NestedLoopJoinNode):
+        # Outer side runs batched; the inner side re-runs per outer row
+        # through the row interpreter (it may read outer slots), and the
+        # join's condition and filter run row-wise inside run_ctx — so
+        # neither the inner side nor the predicates need lowering.
+        _lower_node(node.outer, compiler, seen)
+        return
+
+    if isinstance(node, p.HashJoinNode):
+        _lower_node(node.probe, compiler, seen)
+        _lower_node(node.build, compiler, seen)
+        probe_avail = frozenset(node.probe.produced_entries())
+        build_avail = frozenset(node.build.produced_entries())
+        node.bx_probe_keys = compiler.compile_many(
+            node.probe_key_exprs, probe_avail)
+        node.bx_build_keys = compiler.compile_many(
+            node.build_key_exprs, build_avail)
+        available = probe_avail | build_avail
+        # Residual conjuncts are evaluated per candidate pair through the
+        # row interpreter (rare); only validate what the batch reads.
+        node.bx_filter = compiler.compile_filter(
+            node.filter_conjuncts, available)
+        return
+
+    # Sort/aggregate/filter/limit nodes never apply the attached
+    # ``filter_fn`` in the row engine, so no ``bx_filter`` is compiled
+    # for them — parity means ignoring the same things.
+
+    if isinstance(node, p.FilterNode):
+        _lower_node(node.child, compiler, seen)
+        available = frozenset(node.produced_entries())
+        node.bx_condition = compiler.compile_filter(
+            node.conjuncts, available)
+        return
+
+    if isinstance(node, p.SortNode):
+        _lower_node(node.child, compiler, seen)
+        available = frozenset(node.child.produced_entries())
+        node.bx_keys = compiler.compile_many(
+            [item.expr for item in node.order_items], available)
+        return
+
+    if isinstance(node, p.AggregateNode):
+        if node.child is not None:
+            _lower_node(node.child, compiler, seen)
+            available = frozenset(node.child.produced_entries())
+        else:
+            available = frozenset()
+        node.bx_group = compiler.compile_many(node.group_exprs, available)
+        node.bx_args = [
+            compiler.compile(spec.arg_expr, available)
+            if spec.arg_expr is not None and not spec.star else None
+            for spec in node.specs]
+        return
+
+    if isinstance(node, p.LimitNode):
+        _lower_node(node.child, compiler, seen)
+        return
+
+    if isinstance(node, p.DerivedMaterializeNode):
+        if node.correlation_sources:
+            raise BatchUnsupported("correlated materialisation")
+        _lower_query_plan(node.subplan, compiler, seen)
+        node.bx_filter = compiler.compile_filter(
+            node.filter_conjuncts, frozenset({node.entry_id}))
+        return
+
+    if isinstance(node, p.CteScanNode):
+        _lower_query_plan(node.subplan, compiler, seen)
+        node.bx_filter = compiler.compile_filter(
+            node.filter_conjuncts, frozenset({node.entry_id}))
+        return
+
+    if isinstance(node, p.IndexLookupNode):
+        # Reached only as a chain *driver* (never as an NL inner, which
+        # stays on the row path); its keys must then be row-invariant.
+        node.bx_keys = compiler.compile_many(node.key_exprs, frozenset())
+        node.bx_filter = compiler.compile_filter(
+            node.filter_conjuncts, frozenset({node.entry_id}))
+        return
+
+    if isinstance(node, (p.TableScanNode, p.IndexRangeScanNode,
+                         p.IndexOrderedScanNode)):
+        node.bx_filter = compiler.compile_filter(
+            node.filter_conjuncts, frozenset({node.entry_id}))
+        return
+
+    raise BatchUnsupported(f"plan node {type(node).__name__}")

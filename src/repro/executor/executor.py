@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional
 
 from repro.errors import ExecutionError
+from repro.executor.batch import BatchUnsupported, lower_executor
 from repro.executor.plan import ExecutionRuntime, QueryPlan
 from repro.sql.blocks import QueryBlock
 
@@ -30,6 +31,16 @@ class Executor:
         #: The runtime of the in-flight execution; compiled subquery
         #: closures read this to find per-execution caches.
         self.current_runtime: Optional[ExecutionRuntime] = None
+        #: Batch-lowering state, cached per Executor (plans are shared
+        #: across executions through the statement plan cache).  None =
+        #: not attempted; True = lowered; False = unsupported.
+        self._batch_lowered: Optional[bool] = None
+        #: Expressions compiled by a successful lowering.
+        self.compiled_expr_count = 0
+        #: Why batch lowering refused this statement (str or None).
+        self.batch_unsupported_reason: Optional[str] = None
+        #: Mode the most recent execute() actually ran in.
+        self.last_mode = "row"
 
     # -- plan registry -----------------------------------------------------------
 
@@ -56,8 +67,29 @@ class Executor:
         """Run one block's plan under an existing runtime (subqueries)."""
         return self.plan_for(block).run(runtime)
 
-    def execute(self) -> List[tuple]:
-        """Run the statement and return all output rows."""
+    def ensure_batch_lowered(self) -> bool:
+        """Lower the statement's plans for batch execution (cached).
+
+        Returns True when the batch path is available; on the first
+        refusal records ``batch_unsupported_reason`` and permanently
+        routes this statement to the row engine.
+        """
+        if self._batch_lowered is None:
+            try:
+                self.compiled_expr_count = lower_executor(self)
+                self._batch_lowered = True
+            except BatchUnsupported as exc:
+                self._batch_lowered = False
+                self.batch_unsupported_reason = str(exc)
+        return self._batch_lowered
+
+    def execute(self, mode: str = "row",
+                metrics=None) -> List[tuple]:
+        """Run the statement and return all output rows.
+
+        ``mode`` is the *requested* executor mode; ``last_mode`` reports
+        what actually ran (batch requests degrade per-statement to the
+        row engine when lowering refuses the plan)."""
         if self.top_plan is None:
             raise ExecutionError("no top-level plan registered")
         runtime = ExecutionRuntime(self.storage, self.context.entry_count)
@@ -66,6 +98,18 @@ class Executor:
         #: Kept for post-execution inspection (EXPLAIN ANALYZE rebinds).
         self.last_runtime = runtime
         try:
+            if mode == "batch" and self.ensure_batch_lowered():
+                self.last_mode = "batch"
+                rows: List[tuple] = []
+                for chunk in self.top_plan.run_batches(runtime):
+                    rows.extend(chunk)
+                if metrics is not None:
+                    metrics.inc("executor.batches", runtime.batches)
+                    metrics.inc("executor.batch_rows", runtime.batch_rows)
+                    metrics.inc("exec.compiled_exprs",
+                                self.compiled_expr_count)
+                return rows
+            self.last_mode = "row"
             return list(self.top_plan.run(runtime))
         finally:
             self.current_runtime = previous

@@ -119,13 +119,20 @@ def format_stage_footer(optimizer_used: str, optimize_seconds: float,
                         stages: Optional[dict] = None,
                         memo_groups: int = 0,
                         memo_alternatives: int = 0,
-                        memo_pruned: int = 0) -> str:
+                        memo_pruned: int = 0,
+                        executor_mode: Optional[str] = None,
+                        batches: int = 0,
+                        batch_rows: int = 0,
+                        compiled_exprs: int = 0) -> str:
     """The EXPLAIN ANALYZE "stage breakdown" footer.
 
     Shows the optimize-vs-execute wall-clock split, the per-stage trace
     durations (when the statement ran traced), and — for Orca plans —
     the memo statistics, mirroring the paper's copy-over of Orca's
-    numbers into MySQL's EXPLAIN (Section 6 / Listing 7).
+    numbers into MySQL's EXPLAIN (Section 6 / Listing 7).  When
+    ``executor_mode`` is given, an executor line reports which engine
+    ran and — for the batch engine — its batch and compiled-expression
+    counts.
     """
     total = optimize_seconds + execute_seconds
     share = 100.0 * optimize_seconds / total if total > 0 else 0.0
@@ -134,6 +141,13 @@ def format_stage_footer(optimizer_used: str, optimize_seconds: float,
              f"optimize:  {optimize_seconds * 1000.0:.3f} ms  "
              f"execute: {execute_seconds * 1000.0:.3f} ms  "
              f"(optimize share {share:.1f}%)"]
+    if executor_mode is not None:
+        executor_line = f"executor: {executor_mode}"
+        if executor_mode == "batch":
+            executor_line += (f" (batches={batches}, "
+                              f"batch_rows={batch_rows}, "
+                              f"compiled_exprs={compiled_exprs})")
+        lines.append(executor_line)
     stages = stages or {}
     shown = [(name, stages[name]) for name in _FOOTER_STAGES
              if name in stages]
@@ -163,7 +177,12 @@ def instrument_plan(query_plan: p.QueryPlan) -> None:
             return
         seen.add(id(node))
         node.actual_rows = 0
-        original = node.run
+        node.actual_batches = 0
+        # Wrap the pristine methods: re-instrumenting a plan-cached
+        # statement must not stack counting wrappers (which would
+        # double-count every row).
+        original = getattr(node, "_plain_run", node.run)
+        node._plain_run = original
 
         def counting_run(runtime, _node=node, _original=original):
             for item in _original(runtime):
@@ -171,6 +190,35 @@ def instrument_plan(query_plan: p.QueryPlan) -> None:
                 yield item
 
         node.run = counting_run
+        if isinstance(node, p.NestedLoopJoinNode):
+            # In a fused NL chain only the top join materializes
+            # batches; rows are counted where they stream — run_ctx —
+            # and the batch wrapper below must not double-count them.
+            original_ctx = getattr(node, "_plain_run_ctx", node.run_ctx)
+            node._plain_run_ctx = original_ctx
+
+            def counting_ctx(runtime, _node=node,
+                             _original=original_ctx):
+                for item in _original(runtime):
+                    _node.actual_rows += 1
+                    yield item
+
+            node.run_ctx = counting_ctx
+        original_batches = getattr(node, "_plain_run_batches",
+                                   node.run_batches)
+        node._plain_run_batches = original_batches
+
+        def counting_batches(runtime, _node=node,
+                             _original=original_batches,
+                             _count_rows=not isinstance(
+                                 node, p.NestedLoopJoinNode)):
+            for batch in _original(runtime):
+                _node.actual_batches += 1
+                if _count_rows:
+                    _node.actual_rows += batch.length
+                yield batch
+
+        node.run_batches = counting_batches
         for child in node.children():
             instrument_node(child)
         subplan = getattr(node, "subplan", None)
@@ -197,6 +245,9 @@ def _render(node: p.PlanNode, lines: List[str], depth: int,
         actual = getattr(node, "actual_rows", None)
         if actual is not None:
             annotation += f" (actual rows={actual})"
+        batches = getattr(node, "actual_batches", 0)
+        if batches:
+            annotation += f" (batches={batches})"
     lines.append(f"{indent}-> {node.label()}{annotation}")
     if node.filter_conjuncts:
         text = " and ".join(expr_text(c) for c in node.filter_conjuncts)

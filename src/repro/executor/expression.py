@@ -48,7 +48,6 @@ class ExpressionCompiler:
         #: ``run_block(block, runtime) -> iterator of tuples`` (the
         #: Executor).  Only needed when compiling subquery expressions.
         self._subplan_host = subplan_host
-        self._like_cache: Dict[str, re.Pattern] = {}
 
     # -- public API -------------------------------------------------------------
 
@@ -191,18 +190,13 @@ class ExpressionCompiler:
         operand = self.compile(expr.operand)
         pattern = self.compile(expr.pattern)
         negated = expr.negated
-        cache = self._like_cache
 
         def like(ctx):
             value = operand(ctx)
             pat = pattern(ctx)
             if value is None or pat is None:
                 return None
-            regex = cache.get(pat)
-            if regex is None:
-                regex = _like_to_regex(pat)
-                cache[pat] = regex
-            result = regex.match(str(value)) is not None
+            result = like_regex(pat).match(str(value)) is not None
             return (not result) if negated else result
 
         return like
@@ -399,6 +393,34 @@ def _comparison(op: ast.BinOp, left: CompiledExpr,
     return evaluate
 
 
+def arith_add(lhs, rhs):
+    """``lhs + rhs`` with SQL date/interval semantics (non-NULL inputs).
+
+    Shared by the row interpreter and the batch expression compiler so
+    both engines agree bit-for-bit on arithmetic results.
+    """
+    if isinstance(rhs, Interval):
+        if not isinstance(lhs, datetime.date):
+            raise ExecutionError("interval arithmetic needs a date")
+        return rhs.add_to(lhs)
+    if isinstance(lhs, datetime.date) and isinstance(rhs, int):
+        return lhs + datetime.timedelta(days=rhs)
+    return lhs + rhs
+
+
+def arith_sub(lhs, rhs):
+    """``lhs - rhs`` with SQL date/interval semantics (non-NULL inputs)."""
+    if isinstance(rhs, Interval):
+        if not isinstance(lhs, datetime.date):
+            raise ExecutionError("interval arithmetic needs a date")
+        return rhs.negate().add_to(lhs)
+    if isinstance(lhs, datetime.date) and isinstance(rhs, datetime.date):
+        return (lhs - rhs).days
+    if isinstance(lhs, datetime.date) and isinstance(rhs, int):
+        return lhs - datetime.timedelta(days=rhs)
+    return lhs - rhs
+
+
 def _arithmetic(op: ast.BinOp, left: CompiledExpr,
                 right: CompiledExpr) -> CompiledExpr:
     def evaluate(ctx):
@@ -408,25 +430,10 @@ def _arithmetic(op: ast.BinOp, left: CompiledExpr,
         rhs = right(ctx)
         if rhs is None:
             return None
-        if isinstance(rhs, Interval):
-            if not isinstance(lhs, datetime.date):
-                raise ExecutionError("interval arithmetic needs a date")
-            if op is ast.BinOp.ADD:
-                return rhs.add_to(lhs)
-            if op is ast.BinOp.SUB:
-                return rhs.negate().add_to(lhs)
-            raise ExecutionError(f"bad interval operator {op}")
-        if isinstance(lhs, datetime.date) and isinstance(rhs, datetime.date) \
-                and op is ast.BinOp.SUB:
-            return (lhs - rhs).days
         if op is ast.BinOp.ADD:
-            if isinstance(lhs, datetime.date) and isinstance(rhs, int):
-                return lhs + datetime.timedelta(days=rhs)
-            return lhs + rhs
+            return arith_add(lhs, rhs)
         if op is ast.BinOp.SUB:
-            if isinstance(lhs, datetime.date) and isinstance(rhs, int):
-                return lhs - datetime.timedelta(days=rhs)
-            return lhs - rhs
+            return arith_sub(lhs, rhs)
         if op is ast.BinOp.MUL:
             return lhs * rhs
         if op is ast.BinOp.DIV:
@@ -450,24 +457,56 @@ def _like_to_regex(pattern: str) -> re.Pattern:
     return re.compile("".join(parts) + r"\Z", re.DOTALL)
 
 
+_LIKE_REGEX_CACHE: Dict[str, re.Pattern] = {}
+
+
+def like_regex(pattern: str) -> re.Pattern:
+    """Cached compiled regex for a LIKE pattern (shared by both engines)."""
+    regex = _LIKE_REGEX_CACHE.get(pattern)
+    if regex is None:
+        regex = _like_to_regex(pattern)
+        _LIKE_REGEX_CACHE[pattern] = regex
+    return regex
+
+
+def cast_value(target: str, value):
+    """CAST a non-NULL value (shared by both engines)."""
+    if target == "DATE":
+        if isinstance(value, datetime.datetime):
+            return value.date()
+        if isinstance(value, datetime.date):
+            return value
+        return datetime.date.fromisoformat(str(value))
+    if target in ("SIGNED", "UNSIGNED", "INTEGER", "INT"):
+        return int(value)
+    if target in ("DOUBLE", "FLOAT", "DECIMAL"):
+        return float(value)
+    if target in ("CHAR", "VARCHAR"):
+        return str(value)
+    raise ExecutionError(f"unsupported CAST target {target}")
+
+
+def extract_value(unit: str, value):
+    """EXTRACT a date part from a non-NULL value (shared by both engines)."""
+    if unit == "YEAR":
+        return value.year
+    if unit == "MONTH":
+        return value.month
+    if unit == "DAY":
+        return value.day
+    if unit == "QUARTER":
+        return (value.month - 1) // 3 + 1
+    if unit == "WEEK":
+        return value.isocalendar()[1]
+    raise ExecutionError(f"unsupported EXTRACT unit {unit}")
+
+
 def _compile_cast(target: str, arg: CompiledExpr) -> CompiledExpr:
     def cast(ctx):
         value = arg(ctx)
         if value is None:
             return None
-        if target == "DATE":
-            if isinstance(value, datetime.datetime):
-                return value.date()
-            if isinstance(value, datetime.date):
-                return value
-            return datetime.date.fromisoformat(str(value))
-        if target in ("SIGNED", "UNSIGNED", "INTEGER", "INT"):
-            return int(value)
-        if target in ("DOUBLE", "FLOAT", "DECIMAL"):
-            return float(value)
-        if target in ("CHAR", "VARCHAR"):
-            return str(value)
-        raise ExecutionError(f"unsupported CAST target {target}")
+        return cast_value(target, value)
 
     return cast
 
@@ -477,17 +516,7 @@ def _compile_extract(unit: str, arg: CompiledExpr) -> CompiledExpr:
         value = arg(ctx)
         if value is None:
             return None
-        if unit == "YEAR":
-            return value.year
-        if unit == "MONTH":
-            return value.month
-        if unit == "DAY":
-            return value.day
-        if unit == "QUARTER":
-            return (value.month - 1) // 3 + 1
-        if unit == "WEEK":
-            return value.isocalendar()[1]
-        raise ExecutionError(f"unsupported EXTRACT unit {unit}")
+        return extract_value(unit, value)
 
     return extract
 
@@ -526,31 +555,37 @@ def _substring(value, start, length=None):
     return text[start_index:start_index + int(length)]
 
 
-_FUNCTIONS = {
-    "CONCAT": _null_guard(lambda *parts: "".join(str(p) for p in parts)),
-    "UPPER": _null_guard(lambda s: str(s).upper()),
-    "LOWER": _null_guard(lambda s: str(s).lower()),
-    "LENGTH": _null_guard(lambda s: len(str(s))),
-    "TRIM": _null_guard(lambda s: str(s).strip()),
-    "LTRIM": _null_guard(lambda s: str(s).lstrip()),
-    "RTRIM": _null_guard(lambda s: str(s).rstrip()),
-    "ABS": _null_guard(abs),
-    "ROUND": _null_guard(lambda v, digits=0: round(v, int(digits))),
-    "FLOOR": _null_guard(math.floor),
-    "CEIL": _null_guard(math.ceil),
-    "CEILING": _null_guard(math.ceil),
-    "SQRT": _null_guard(math.sqrt),
-    "MOD": _null_guard(lambda a, b: None if b == 0 else a % b),
-    "POWER": _null_guard(lambda a, b: a ** b),
-    "SUBSTRING": _null_guard(_substring),
-    "SUBSTR": _null_guard(_substring),
-    "YEAR": _null_guard(lambda d: d.year),
-    "MONTH": _null_guard(lambda d: d.month),
-    "DAYOFMONTH": _null_guard(lambda d: d.day),
-    "DAYOFWEEK": _null_guard(lambda d: d.isoweekday() % 7 + 1),
-    "COALESCE": _build_coalesce,
-    "IFNULL": _build_coalesce,
-    "NULLIF": _null_guard(lambda a, b: None if a == b else a),
-    "GREATEST": _null_guard(max),
-    "LEAST": _null_guard(min),
+#: Raw scalar implementations, NULL-in/NULL-out applied by the caller.
+#: Both the row interpreter (via :func:`_null_guard`) and the batch
+#: expression compiler (inline NULL checks in generated code) call these,
+#: so the two engines cannot drift apart on function semantics.
+RAW_SCALARS = {
+    "CONCAT": lambda *parts: "".join(str(p) for p in parts),
+    "UPPER": lambda s: str(s).upper(),
+    "LOWER": lambda s: str(s).lower(),
+    "LENGTH": lambda s: len(str(s)),
+    "TRIM": lambda s: str(s).strip(),
+    "LTRIM": lambda s: str(s).lstrip(),
+    "RTRIM": lambda s: str(s).rstrip(),
+    "ABS": abs,
+    "ROUND": lambda v, digits=0: round(v, int(digits)),
+    "FLOOR": math.floor,
+    "CEIL": math.ceil,
+    "CEILING": math.ceil,
+    "SQRT": math.sqrt,
+    "MOD": lambda a, b: None if b == 0 else a % b,
+    "POWER": lambda a, b: a ** b,
+    "SUBSTRING": _substring,
+    "SUBSTR": _substring,
+    "YEAR": lambda d: d.year,
+    "MONTH": lambda d: d.month,
+    "DAYOFMONTH": lambda d: d.day,
+    "DAYOFWEEK": lambda d: d.isoweekday() % 7 + 1,
+    "NULLIF": lambda a, b: None if a == b else a,
+    "GREATEST": max,
+    "LEAST": min,
 }
+
+_FUNCTIONS = {name: _null_guard(fn) for name, fn in RAW_SCALARS.items()}
+_FUNCTIONS["COALESCE"] = _build_coalesce
+_FUNCTIONS["IFNULL"] = _build_coalesce

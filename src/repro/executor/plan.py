@@ -17,9 +17,16 @@ optimizer produced it, so EXPLAIN shows Orca's estimates on Orca plans
 from __future__ import annotations
 
 import enum
+import itertools
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
+from repro.executor.batch import (
+    BATCH_SIZE,
+    BatchAccumulator,
+    BatchUnsupported,
+    RowBatch,
+)
 from repro.sql import ast
 from repro.sql.blocks import QueryBlock
 
@@ -62,6 +69,15 @@ class ExecutionRuntime:
         #: count is simply the number of rows coming from the outer side"
         #: (Section 7), deduplicated here by the subquery cache.
         self.rebind_counts: Dict[int, int] = {}
+        #: Batch-mode accounting: batches/rows exchanged between
+        #: operators (feeds executor.batches / executor.batch_rows).
+        self.batches = 0
+        self.batch_rows = 0
+
+    def note_batch(self, batch: "RowBatch") -> "RowBatch":
+        self.batches += 1
+        self.batch_rows += batch.length
+        return batch
 
 
 class PlanNode:
@@ -74,6 +90,9 @@ class PlanNode:
         self.filter_conjuncts: List[ast.Expr] = []
         #: Compiled filter; identity-true when no conjuncts.
         self.filter_fn: Callable = _always_true
+        #: Batch-compiled filter mask (set by batch lowering; None when
+        #: no conjuncts or when this node kind never applies one).
+        self.bx_filter = None
 
     def children(self) -> Sequence["PlanNode"]:
         return ()
@@ -88,12 +107,50 @@ class PlanNode:
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
         raise NotImplementedError
 
+    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        """Batch-at-a-time twin of :meth:`run`.
+
+        Yields :class:`RowBatch` chunks whose columns cover this
+        subtree's produced entries.  Lowering rejects unsupported nodes
+        before execution; this default is a defensive backstop.
+        """
+        raise BatchUnsupported(f"plan node {type(self).__name__}")
+
     def label(self) -> str:
         raise NotImplementedError
 
 
 def _always_true(ctx) -> bool:
     return True
+
+
+def _iter_chunks(rows: List[tuple]) -> Iterator[List[tuple]]:
+    for start in range(0, len(rows), BATCH_SIZE):
+        yield rows[start:start + BATCH_SIZE]
+
+
+def _leaf_batches(node: "_LeafNode", runtime: ExecutionRuntime,
+                  chunks: Iterator[List[tuple]]) -> Iterator[RowBatch]:
+    """Wrap storage chunks for one table entry, applying the leaf's
+    attached filter as a vectorized mask (row twin: ``check(ctx)``)."""
+    slot = node.entry_id
+    mask_fn = node.bx_filter
+    for chunk in chunks:
+        batch = RowBatch({slot: chunk}, len(chunk))
+        if mask_fn is not None:
+            batch = batch.filter_true(mask_fn(batch))
+        if batch.length:
+            yield runtime.note_batch(batch)
+
+
+def _emit(acc: BatchAccumulator, mask_fn,
+          runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+    """Flush an accumulator through a node's attached filter mask."""
+    batch = acc.flush()
+    if mask_fn is not None:
+        batch = batch.filter_true(mask_fn(batch))
+    if batch.length:
+        yield runtime.note_batch(batch)
 
 
 # ---------------------------------------------------------------------------
@@ -128,6 +185,11 @@ class TableScanNode(_LeafNode):
             if check(ctx) is True:
                 yield
 
+    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        chunks = runtime.storage.table_scan_batches(
+            self.table_name, BATCH_SIZE)
+        yield from _leaf_batches(self, runtime, chunks)
+
     def label(self) -> str:
         return f"Table scan on {self.alias}"
 
@@ -160,6 +222,12 @@ class IndexRangeScanNode(_LeafNode):
             ctx[slot] = row
             if check(ctx) is True:
                 yield
+
+    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        chunks = runtime.storage.index_range_batches(
+            self.table_name, self.index_name, self.low, self.high,
+            self.low_inclusive, self.high_inclusive, BATCH_SIZE)
+        yield from _leaf_batches(self, runtime, chunks)
 
     def label(self) -> str:
         return (f"Index range scan on {self.alias} "
@@ -198,6 +266,18 @@ class IndexLookupNode(_LeafNode):
             if check(ctx) is True:
                 yield
 
+    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        # Only reached as a chain driver, where the lookup keys are
+        # row-invariant (lowering enforces it); as a nested-loop inner
+        # this node runs through the row path instead.
+        probe = RowBatch({}, 1)
+        key = tuple(fn(probe)[0] for fn in self.bx_keys)
+        if any(part is None for part in key):
+            return
+        rows = runtime.storage.index_lookup_rows(
+            self.table_name, self.index_name, key)
+        yield from _leaf_batches(self, runtime, _iter_chunks(rows))
+
     def label(self) -> str:
         keys = ", ".join(_expr_text(expr) for expr in self.key_exprs)
         return (f"Index lookup on {self.alias} using {self.index_name} "
@@ -226,6 +306,11 @@ class IndexOrderedScanNode(_LeafNode):
             ctx[slot] = row
             if check(ctx) is True:
                 yield
+
+    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        chunks = runtime.storage.index_ordered_batches(
+            self.table_name, self.index_name, self.descending, BATCH_SIZE)
+        yield from _leaf_batches(self, runtime, chunks)
 
     def label(self) -> str:
         direction = " (reverse)" if self.descending else ""
@@ -270,6 +355,21 @@ class DerivedMaterializeNode(_LeafNode):
             ctx[slot] = row
             if check(ctx) is True:
                 yield
+
+    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        # Lowering rejects correlated materialisations on the batch path
+        # (they run row-at-a-time as nested-loop inners), so the
+        # materialisation key is always the uncorrelated None snapshot.
+        by_key = runtime.materializations.setdefault(id(self), {})
+        rows = by_key.get(None)
+        if rows is None:
+            rows = []
+            for chunk in self.subplan.run_batches(runtime):
+                rows.extend(chunk)
+            by_key[None] = rows
+            runtime.rebind_counts[id(self)] = \
+                runtime.rebind_counts.get(id(self), 0) + 1
+        yield from _leaf_batches(self, runtime, _iter_chunks(rows))
 
     def label(self) -> str:
         return f"Table scan on {self.alias}"
@@ -316,6 +416,15 @@ class CteScanNode(_LeafNode):
             ctx[slot] = row
             if check(ctx) is True:
                 yield
+
+    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        rows = runtime.cte_rows.get(self.cte_id)
+        if rows is None:
+            rows = []
+            for chunk in self.subplan.run_batches(runtime):
+                rows.extend(chunk)
+            runtime.cte_rows[self.cte_id] = rows
+        yield from _leaf_batches(self, runtime, _iter_chunks(rows))
 
     def label(self) -> str:
         return f"Table scan on {self.alias} (cte {self.cte_name})"
@@ -371,6 +480,79 @@ class NestedLoopJoinNode(PlanNode):
                     ctx[entry_id] = None
                 if check(ctx) is True:
                     yield
+
+    def _outer_states(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        """Drive the outer side, leaving each outer row in the context.
+
+        A nested-loop outer child streams through :meth:`run_ctx` (no
+        intermediate batch materialization — a left-deep NL chain
+        materializes only at its top); any other child runs batched and
+        is unpacked into context slots row by row."""
+        outer = self.outer
+        if isinstance(outer, NestedLoopJoinNode):
+            yield from outer.run_ctx(runtime)
+            return
+        ctx = runtime.ctx
+        for batch in outer.run_batches(runtime):
+            cols = list(batch.columns.items())
+            for i in range(batch.length):
+                for entry_id, column in cols:
+                    ctx[entry_id] = column[i]
+                yield
+
+    def run_ctx(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        """Row-path join loop over a batched outer side.
+
+        Identical to :meth:`run` except the outer side comes from
+        :meth:`_outer_states` (batched leaf scans keep their vectorized
+        filters); the inner side re-runs per outer row through the row
+        interpreter (it may read outer context slots — index lookups,
+        pushed-down correlated predicates)."""
+        ctx = runtime.ctx
+        condition = self.condition_fn
+        check = self.filter_fn
+        kind = self.kind
+        inner = self.inner
+        inner_entries = self._inner_entries
+        for __ in self._outer_states(runtime):
+            matched = False
+            for __ in inner.run(runtime):
+                if condition(ctx) is not True:
+                    continue
+                matched = True
+                if kind is JoinKind.SEMI or kind is JoinKind.ANTI:
+                    break
+                if check(ctx) is True:
+                    yield
+            if kind is JoinKind.SEMI:
+                if matched and check(ctx) is True:
+                    yield
+            elif kind is JoinKind.ANTI:
+                if not matched:
+                    for entry_id in inner_entries:
+                        ctx[entry_id] = None
+                    if check(ctx) is True:
+                        yield
+            elif kind is JoinKind.LEFT and not matched:
+                for entry_id in inner_entries:
+                    ctx[entry_id] = None
+                if check(ctx) is True:
+                    yield
+
+    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        """Materialize :meth:`run_ctx` output into batches.
+
+        The join's own filter already ran row-wise inside run_ctx, so no
+        flush-time mask is needed."""
+        ctx = runtime.ctx
+        acc = BatchAccumulator(self.produced_entries())
+        add_ctx = acc.add_ctx
+        for __ in self.run_ctx(runtime):
+            add_ctx(ctx)
+            if acc.full:
+                yield runtime.note_batch(acc.flush())
+        if acc.length:
+            yield runtime.note_batch(acc.flush())
 
     def label(self) -> str:
         if self.kind is JoinKind.INNER:
@@ -458,6 +640,110 @@ class HashJoinNode(PlanNode):
                 if check(ctx) is True:
                     yield
 
+    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        """Build and probe per batch with vectorized key evaluation.
+
+        Residual (non-equi) conjuncts — rare — are evaluated per
+        candidate pair through the row-compiled ``residual_fn`` under
+        temporary context writes, exactly like the row engine."""
+        ctx = runtime.ctx
+        build_entries = self._build_entries
+        # Single-key joins (the common case) hash the bare scalar; the
+        # dict equality matches 1-tuple keys exactly, without the
+        # per-row tuple build.
+        single_key = len(self.bx_build_keys) == 1
+        table: Dict[object, List[tuple]] = {}
+        setdefault = table.setdefault
+        for build_batch in self.build.run_batches(runtime):
+            key_cols = [fn(build_batch) for fn in self.bx_build_keys]
+            saved_cols = [build_batch.columns[e] for e in build_entries]
+            saved_rows = zip(*saved_cols) if saved_cols \
+                else iter([()] * build_batch.length)
+            if single_key:
+                for key, saved in zip(key_cols[0], saved_rows):
+                    if key is not None:
+                        setdefault(key, []).append(saved)
+            else:
+                build_keys = zip(*key_cols) if key_cols \
+                    else iter([()] * build_batch.length)
+                for key, saved in zip(build_keys, saved_rows):
+                    if None not in key:
+                        setdefault(key, []).append(saved)
+        residual = self.residual_fn
+        has_residual = bool(self.residual_conjuncts)
+        kind = self.kind
+        probe_entries = self.probe.produced_entries()
+        acc = BatchAccumulator(probe_entries + list(build_entries))
+        mask_fn = self.bx_filter
+        nulls = (None,) * len(build_entries)
+        empty: List[tuple] = []
+        get_bucket = table.get
+        inner_fast = kind is JoinKind.INNER and not has_residual
+        for probe_batch in self.probe.run_batches(runtime):
+            key_cols = [fn(probe_batch) for fn in self.bx_probe_keys]
+            probe_cols = [probe_batch.columns[e] for e in probe_entries]
+            probe_rows = zip(*probe_cols) if probe_cols \
+                else iter([()] * probe_batch.length)
+            if single_key:
+                keys: Iterator = iter(key_cols[0])
+            elif key_cols:
+                keys = zip(*key_cols)
+            else:  # cross join: every row keys to the () bucket
+                keys = iter([()] * probe_batch.length)
+            if inner_fast:
+                # Inner join without residual: null keys are never in
+                # the table, so bucket lookup doubles as the null check;
+                # rows append straight into the accumulator's buffer.
+                out_rows = acc.rows
+                append = out_rows.append
+                for key, probe_values in zip(keys, probe_rows):
+                    bucket = get_bucket(key)
+                    if bucket:
+                        for saved in bucket:
+                            append(probe_values + saved)
+                        if len(out_rows) >= BATCH_SIZE:
+                            yield from _emit(acc, mask_fn, runtime)
+                            out_rows = acc.rows
+                            append = out_rows.append
+                continue
+            for key, probe_values in zip(keys, probe_rows):
+                if single_key:
+                    bucket = empty if key is None \
+                        else get_bucket(key, empty)
+                else:
+                    bucket = empty if None in key \
+                        else get_bucket(key, empty)
+                if has_residual and bucket:
+                    for entry_id, value in zip(probe_entries, probe_values):
+                        ctx[entry_id] = value
+                matched = False
+                last_saved = nulls
+                for saved in bucket:
+                    if has_residual:
+                        for entry_id, row in zip(build_entries, saved):
+                            ctx[entry_id] = row
+                        if residual(ctx) is not True:
+                            continue
+                    matched = True
+                    last_saved = saved
+                    if kind is JoinKind.SEMI or kind is JoinKind.ANTI:
+                        break
+                    acc.add_values(probe_values + saved)
+                    if acc.full:
+                        yield from _emit(acc, mask_fn, runtime)
+                if kind is JoinKind.SEMI:
+                    if matched:
+                        acc.add_values(probe_values + last_saved)
+                elif kind is JoinKind.ANTI:
+                    if not matched:
+                        acc.add_values(probe_values + nulls)
+                elif kind is JoinKind.LEFT and not matched:
+                    acc.add_values(probe_values + nulls)
+                if acc.full:
+                    yield from _emit(acc, mask_fn, runtime)
+        if acc.length:
+            yield from _emit(acc, mask_fn, runtime)
+
     def label(self) -> str:
         keys = ", ".join(
             f"{_expr_text(p)} = {_expr_text(b)}"
@@ -497,6 +783,14 @@ class FilterNode(PlanNode):
             if condition(ctx) is True:
                 yield
 
+    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        condition = self.bx_condition
+        for batch in self.child.run_batches(runtime):
+            if condition is not None:
+                batch = batch.filter_true(condition(batch))
+            if batch.length:
+                yield runtime.note_batch(batch)
+
     def label(self) -> str:
         text = " and ".join(_expr_text(c) for c in self.conjuncts)
         return f"Filter: ({text})"
@@ -529,6 +823,35 @@ class SortNode(PlanNode):
                 ctx[entry_id] = row
             yield
 
+    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        captured: List[Tuple[tuple, tuple]] = []
+        entries: Optional[List[int]] = None
+        for batch in self.child.run_batches(runtime):
+            if entries is None:
+                # Live entries the child actually produces in batch form
+                # (a post-aggregate sort's live list can include pre-agg
+                # entries the row engine merely leaves stale in ctx).
+                entries = [e for e in self.live_entries
+                           if e in batch.columns]
+            key_cols = [fn(batch) for fn in self.bx_keys]
+            live_cols = [batch.columns[e] for e in entries]
+            # Row-wise (key tuple, live tuple) pairs built by zip at C
+            # speed; empty-column edge cases fall back to repeat().
+            keys = zip(*key_cols) if key_cols else \
+                iter([()] * batch.length)
+            saved = zip(*live_cols) if live_cols else \
+                iter([()] * batch.length)
+            captured.extend(zip(keys, saved))
+        if entries is None:
+            return
+        sort_rows(captured, self.order_items)
+        for start in range(0, len(captured), BATCH_SIZE):
+            chunk = captured[start:start + BATCH_SIZE]
+            transposed = list(zip(*(saved for __, saved in chunk)))
+            columns = {entry: list(column) for entry, column
+                       in zip(entries, transposed)}
+            yield runtime.note_batch(RowBatch(columns, len(chunk)))
+
     def label(self) -> str:
         parts = []
         for item in self.order_items:
@@ -560,11 +883,15 @@ class AggSpec:
     """One aggregate computation within an AggregateNode."""
 
     def __init__(self, func: ast.AggFunc, arg_fn: Optional[Callable],
-                 distinct: bool, star: bool) -> None:
+                 distinct: bool, star: bool,
+                 arg_expr: Optional[ast.Expr] = None) -> None:
         self.func = func
         self.arg_fn = arg_fn
         self.distinct = distinct
         self.star = star
+        #: Source expression of the argument (batch lowering re-compiles
+        #: it vectorized; None for COUNT(*)).
+        self.arg_expr = arg_expr
 
 
 class AggregateStrategy(enum.Enum):
@@ -603,11 +930,131 @@ class AggregateNode(PlanNode):
         else:
             yield from self._run_hash(runtime)
 
+    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        if self.strategy is AggregateStrategy.STREAM:
+            yield from self._run_stream_batches(runtime)
+        else:
+            yield from self._run_hash_batches(runtime)
+
     def _child_states(self, runtime: ExecutionRuntime) -> Iterator[None]:
         if self.child is None:
             yield  # SELECT without FROM: one empty input state
         else:
             yield from self.child.run(runtime)
+
+    def _child_batches(self, runtime: ExecutionRuntime
+                       ) -> Iterator[RowBatch]:
+        if self.child is None:
+            yield RowBatch({}, 1)  # one empty input state
+        else:
+            yield from self.child.run_batches(runtime)
+
+    def _input_columns(self, batch: RowBatch
+                       ) -> Tuple[List[list], List[Optional[list]]]:
+        """Vectorize group keys and aggregate arguments for one batch."""
+        group_cols = [fn(batch) for fn in self.bx_group]
+        arg_cols = [fn(batch) if fn is not None else None
+                    for fn in self.bx_args]
+        return group_cols, arg_cols
+
+    def _run_hash_batches(self, runtime: ExecutionRuntime
+                          ) -> Iterator[RowBatch]:
+        groups: Dict[tuple, List[_Accumulator]] = {}
+        order: List[tuple] = []
+        specs = self.specs
+        for batch in self._child_batches(runtime):
+            group_cols, arg_cols = self._input_columns(batch)
+            length = batch.length
+            if group_cols:
+                keys = list(zip(*group_cols))
+            else:
+                keys = [()] * length
+            # Gather each key's row indexes, then fold the gathered
+            # argument slices in bulk; within a key the row order (and
+            # so the float fold order) matches the row engine's.
+            index_map: Dict[tuple, List[int]] = {}
+            batch_order: List[tuple] = []
+            for i, key in enumerate(keys):
+                idxs = index_map.get(key)
+                if idxs is None:
+                    index_map[key] = [i]
+                    batch_order.append(key)
+                else:
+                    idxs.append(i)
+            for key in batch_order:
+                idxs = index_map[key]
+                accumulators = groups.get(key)
+                if accumulators is None:
+                    accumulators = [_Accumulator(spec) for spec in specs]
+                    groups[key] = accumulators
+                    order.append(key)
+                whole = len(idxs) == length
+                for accumulator, column in zip(accumulators, arg_cols):
+                    if column is None:  # COUNT(*)
+                        accumulator.count += len(idxs)
+                    elif whole:
+                        accumulator.add_many(column)
+                    else:
+                        accumulator.add_many([column[i] for i in idxs])
+        if not groups and not self.group_fns:
+            # Scalar aggregation over empty input yields one row.
+            groups[()] = [_Accumulator(spec) for spec in self.specs]
+            order.append(())
+        acc = BatchAccumulator([self.output_entry_id])
+        for key in order:
+            acc.add_values(
+                (key + tuple(a.result() for a in groups[key]),))
+            if acc.full:
+                yield runtime.note_batch(acc.flush())
+        if acc.length:
+            yield runtime.note_batch(acc.flush())
+
+    def _run_stream_batches(self, runtime: ExecutionRuntime
+                            ) -> Iterator[RowBatch]:
+        acc = BatchAccumulator([self.output_entry_id])
+        current_key: object = _NEVER
+        accumulators: List[_Accumulator] = []
+        saw_input = False
+        specs = self.specs
+        for batch in self._child_batches(runtime):
+            length = batch.length
+            if not length:
+                continue
+            saw_input = True
+            group_cols, arg_cols = self._input_columns(batch)
+            if group_cols:
+                keys = list(zip(*group_cols))
+            else:
+                keys = [()] * length
+            # Grouped input arrives in contiguous key runs; fold each
+            # run's argument slices in one bulk call per aggregate.
+            pos = 0
+            for key, run in itertools.groupby(keys):
+                start = pos
+                pos += sum(1 for __ in run)
+                if key != current_key:
+                    if not isinstance(current_key, _Never):
+                        acc.add_values((current_key + tuple(
+                            a.result() for a in accumulators),))
+                        if acc.full:
+                            yield runtime.note_batch(acc.flush())
+                    current_key = key
+                    accumulators = [_Accumulator(spec) for spec in specs]
+                seg_len = pos - start
+                for accumulator, column in zip(accumulators, arg_cols):
+                    if column is None:  # COUNT(*)
+                        accumulator.count += seg_len
+                    else:
+                        accumulator.add_many(column[start:pos])
+        if saw_input:
+            acc.add_values((current_key + tuple(
+                a.result() for a in accumulators),))
+        elif not self.group_fns:
+            accumulators = [_Accumulator(spec) for spec in self.specs]
+            acc.add_values(
+                (tuple(a.result() for a in accumulators),))
+        if acc.length:
+            yield runtime.note_batch(acc.flush())
 
     def _run_hash(self, runtime: ExecutionRuntime) -> Iterator[None]:
         ctx = runtime.ctx
@@ -688,7 +1135,47 @@ class _Accumulator:
         if spec.star:
             self.count += 1
             return
-        value = spec.arg_fn(ctx)
+        self.add_value(spec.arg_fn(ctx))
+
+    def add_many(self, values: List) -> None:
+        """Fold a run of already-evaluated argument values (batch path).
+
+        Bulk twin of repeated :meth:`add_value` — same fold order, so
+        float results are bit-identical to the row engine's."""
+        spec = self.spec
+        if spec.star:
+            self.count += len(values)
+            return
+        if spec.distinct:
+            # Per-value path preserves first-occurrence fold order.
+            for value in values:
+                self.add_value(value)
+            return
+        non_null = [value for value in values if value is not None]
+        if not non_null:
+            return
+        self.count += len(non_null)
+        func = spec.func
+        if func in (ast.AggFunc.SUM, ast.AggFunc.AVG, ast.AggFunc.STDDEV):
+            # sum(rest, first) folds left-to-right like the row engine.
+            partial = sum(non_null[1:], non_null[0])
+            self.total = partial if self.total is None \
+                else self.total + partial
+            if func is ast.AggFunc.STDDEV:
+                self.total_sq += sum(
+                    float(value) * float(value) for value in non_null)
+        elif func is ast.AggFunc.MIN:
+            smallest = min(non_null)
+            if self.minimum is None or smallest < self.minimum:
+                self.minimum = smallest
+        elif func is ast.AggFunc.MAX:
+            largest = max(non_null)
+            if self.maximum is None or largest > self.maximum:
+                self.maximum = largest
+
+    def add_value(self, value) -> None:
+        """Fold one already-evaluated argument value (batch path)."""
+        spec = self.spec
         if value is None:
             return
         if self.distinct_values is not None:
@@ -896,6 +1383,24 @@ class LimitNode(PlanNode):
             produced += 1
             yield
 
+    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        to_skip = self.offset
+        remaining = self.count
+        for batch in self.child.run_batches(runtime):
+            if to_skip:
+                if batch.length <= to_skip:
+                    to_skip -= batch.length
+                    continue
+                batch = batch.slice(to_skip, batch.length)
+                to_skip = 0
+            if batch.length > remaining:
+                batch = batch.slice(0, remaining)
+            remaining -= batch.length
+            if batch.length:
+                yield runtime.note_batch(batch)
+            if remaining <= 0:
+                return
+
     def label(self) -> str:
         return f"Limit: {self.count} row(s)"
 
@@ -929,6 +1434,8 @@ class QueryPlan:
         self.origin: str = "mysql"
         self.total_cost: float = 0.0
         self.total_rows: float = 0.0
+        #: Batch-compiled select expressions (set by batch lowering).
+        self.bx_select: Optional[List[Callable]] = None
 
     def _own_rows(self, runtime: ExecutionRuntime) -> Iterator[tuple]:
         ctx = runtime.ctx
@@ -948,6 +1455,57 @@ class QueryPlan:
         if self.offset or self.limit is not None:
             rows = _limited(rows, self.limit, self.offset or 0)
         return rows
+
+    def _own_batch_rows(self, runtime: ExecutionRuntime
+                        ) -> Iterator[List[tuple]]:
+        """Project plan-tree batches into chunks of output tuples."""
+        fns = self.bx_select
+        if self.root is None:
+            batch = RowBatch({}, 1)
+            runtime.note_batch(batch)
+            columns = [fn(batch) for fn in fns]
+            yield list(zip(*columns)) if columns else [()]
+            return
+        for batch in self.root.run_batches(runtime):
+            columns = [fn(batch) for fn in fns]
+            if columns:
+                yield list(zip(*columns))
+            else:
+                yield [()] * batch.length
+
+    def run_batches(self, runtime: ExecutionRuntime
+                    ) -> Iterator[List[tuple]]:
+        """Batch-mode twin of :meth:`run`: yields chunks of output
+        tuples with DISTINCT / set operations / LIMIT applied."""
+        chunks = self._own_batch_rows(runtime)
+        if self.union_parts:
+            chunks = iter([self._union_batch_rows(chunks, runtime)])
+        elif self.distinct:
+            chunks = _dedup_chunks(chunks)
+        if self.offset or self.limit is not None:
+            chunks = _limited_chunks(chunks, self.limit, self.offset or 0)
+        return chunks
+
+    def _union_batch_rows(self, own: Iterator[List[tuple]],
+                          runtime: ExecutionRuntime) -> List[tuple]:
+        collected: List[tuple] = []
+        for chunk in own:
+            collected.extend(chunk)
+        dedup_needed = self.distinct
+        for op, part in self.union_parts:
+            for chunk in part.run_batches(runtime):
+                collected.extend(chunk)
+            if op is ast.SetOp.UNION:
+                dedup_needed = True
+        if dedup_needed:
+            collected = list(_dedup(iter(collected)))
+        if self.union_order:
+            for position, descending in reversed(self.union_order):
+                def key_fn(row, p=position):
+                    value = row[p]
+                    return (0, 0) if value is None else (1, value)
+                collected.sort(key=key_fn, reverse=descending)
+        return collected
 
     def _union_rows(self, own: Iterator[tuple],
                     runtime: ExecutionRuntime) -> Iterator[tuple]:
@@ -975,6 +1533,40 @@ def _dedup(rows: Iterator[tuple]) -> Iterator[tuple]:
             continue
         seen.add(row)
         yield row
+
+
+def _dedup_chunks(chunks: Iterator[List[tuple]]
+                  ) -> Iterator[List[tuple]]:
+    seen = set()
+    for chunk in chunks:
+        fresh = []
+        for row in chunk:
+            if row in seen:
+                continue
+            seen.add(row)
+            fresh.append(row)
+        if fresh:
+            yield fresh
+
+
+def _limited_chunks(chunks: Iterator[List[tuple]], limit: Optional[int],
+                    offset: int) -> Iterator[List[tuple]]:
+    remaining = limit
+    for chunk in chunks:
+        if offset:
+            if len(chunk) <= offset:
+                offset -= len(chunk)
+                continue
+            chunk = chunk[offset:]
+            offset = 0
+        if remaining is not None:
+            if len(chunk) > remaining:
+                chunk = chunk[:remaining]
+            remaining -= len(chunk)
+        if chunk:
+            yield chunk
+        if remaining is not None and remaining <= 0:
+            return
 
 
 def _limited(rows: Iterator[tuple], limit: Optional[int],

@@ -422,7 +422,7 @@ class PlanBuilder:
         for call in agg_calls:
             arg_fn = self._compile(call.arg) if call.arg is not None else None
             specs.append(AggSpec(call.func, arg_fn, call.distinct,
-                                 call.star))
+                                 call.star, arg_expr=call.arg))
         group_fns = [self._compile(g) for g in group_exprs]
         root = AggregateNode(root, group_fns, group_exprs, specs, strategy,
                              agg_entry.entry_id)

@@ -64,6 +64,10 @@ class FallbackReason(enum.Enum):
     #: The plan converter produced best-position arrays that do not
     #: describe the query block (structure changed / coverage broken).
     SKELETON_INVALID = "skeleton_invalid"
+    #: The vectorized batch executor cannot run this plan (correlated
+    #: materialisation, window frames, subquery expressions, ...); the
+    #: statement degraded to the row-at-a-time engine.
+    EXEC_BATCH_UNSUPPORTED = "exec_batch_unsupported"
 
 
 # -- statement fingerprinting ------------------------------------------------------

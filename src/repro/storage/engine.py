@@ -170,6 +170,62 @@ class StorageEngine:
             self.counters.index_rows_read += 1
             yield heap.rows[row_id]
 
+    # -- batched access ---------------------------------------------------------
+    #
+    # The batch executor's counterparts of the scans above.  Each charges
+    # the same AccessCounters totals as its row-at-a-time twin when fully
+    # consumed (one lookup per range start, one rows_scanned /
+    # index_rows_read per row); the only divergence is granularity — a
+    # chunk's rows are charged when the chunk is produced, so early
+    # termination (LIMIT) can over-charge by at most one batch.
+
+    def table_scan_batches(self, table_name: str,
+                           batch_size: int) -> Iterator[List[Row]]:
+        """Full scan emitting chunks of at most ``batch_size`` rows."""
+        heap = self.heap(table_name)
+        counters = self.counters
+        rows = heap.rows
+        for start in range(0, len(rows), batch_size):
+            chunk = rows[start:start + batch_size]
+            counters.rows_scanned += len(chunk)
+            yield chunk
+
+    def index_range_batches(self, table_name: str, index_name: str,
+                            low: Optional[Tuple], high: Optional[Tuple],
+                            low_inclusive: bool, high_inclusive: bool,
+                            batch_size: int) -> Iterator[List[Row]]:
+        heap = self.heap(table_name)
+        index = self.index(table_name, index_name)
+        self._charge_lookup()
+        self.counters.index_lookups += 1
+        counters = self.counters
+        chunk: List[Row] = []
+        for row_id in index.range_scan(low, high, low_inclusive,
+                                       high_inclusive):
+            counters.index_rows_read += 1
+            chunk.append(heap.rows[row_id])
+            if len(chunk) >= batch_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+    def index_ordered_batches(self, table_name: str, index_name: str,
+                              descending: bool,
+                              batch_size: int) -> Iterator[List[Row]]:
+        heap = self.heap(table_name)
+        index = self.index(table_name, index_name)
+        counters = self.counters
+        chunk: List[Row] = []
+        for row_id in index.ordered_row_ids(descending):
+            counters.index_rows_read += 1
+            chunk.append(heap.rows[row_id])
+            if len(chunk) >= batch_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
     # -- statistics -------------------------------------------------------------
 
     def analyze_table(self, table_name: str,

@@ -99,3 +99,42 @@ class TestExplainAnalyze:
         plain = db.execute(sql, optimizer="mysql")
         db.explain_analyze(sql, optimizer="mysql")
         assert db.execute(sql, optimizer="mysql") == plain
+
+
+class TestBatchCounts:
+    """Per-node batch counts and the executor footer line."""
+
+    def test_batch_counts_on_operators(self, db):
+        text = db.explain_analyze(
+            "SELECT o_status, COUNT(*) FROM orders GROUP BY o_status",
+            optimizer="mysql", executor_mode="batch")
+        scan_line = next(line for line in text.splitlines()
+                         if "Table scan" in line)
+        assert re.search(r"\(batches=\d+\)", scan_line)
+
+    def test_footer_reports_batch_engine(self, db):
+        text = db.explain_analyze("SELECT o_orderkey FROM orders",
+                                  optimizer="mysql",
+                                  executor_mode="batch")
+        footer = text.split("Stage breakdown")[1]
+        assert re.search(
+            r"executor: batch \(batches=[1-9]\d*, "
+            r"batch_rows=[1-9]\d*, compiled_exprs=\d+\)", footer)
+
+    def test_footer_reports_row_engine(self, db):
+        text = db.explain_analyze("SELECT o_orderkey FROM orders",
+                                  optimizer="mysql",
+                                  executor_mode="row")
+        assert "executor: row" in text
+        assert "batches=" not in text
+
+    def test_actual_rows_match_across_modes(self, db):
+        sql = """
+            SELECT o_status, COUNT(*) FROM orders
+            WHERE o_totalprice > 1000
+            GROUP BY o_status ORDER BY o_status"""
+        row_text = db.explain_analyze(sql, optimizer="mysql",
+                                      executor_mode="row")
+        batch_text = db.explain_analyze(sql, optimizer="mysql",
+                                        executor_mode="batch")
+        assert actual_rows(row_text) == actual_rows(batch_text)

@@ -1,4 +1,5 @@
-"""Perf smoke: the optimize-stage savings hold on a tiny TPC-H subset.
+"""Perf smoke: the optimize- and execute-stage savings hold on a tiny
+TPC-H subset.
 
 Deterministic counter-based assertions only — no wall-clock thresholds,
 so the check cannot flake on slow CI machines.  Three multi-join TPC-H
@@ -8,6 +9,11 @@ queries (Q5, Q8, Q9 — each with at least five join units) must show:
   against the unpruned search while choosing a plan of the same cost;
 * the second identical run of every query is a plan-cache hit that
   returns the same rows.
+
+The batch executor's counters are smoked the same way: a scan-heavy and
+a join-heavy query must actually run batched (``executor.batches`` > 0)
+through compiled expressions (``exec.compiled_exprs`` > 0) with results
+identical to the row engine's.
 """
 
 import pytest
@@ -67,3 +73,26 @@ def test_second_run_is_a_plan_cache_hit(smoke_dbs, number):
     assert second.plan_cache_hit
     assert second.rows == first.rows
     assert second.optimizer_used == first.optimizer_used
+
+
+#: Scan-heavy (Q1: lineitem scan + wide aggregation) and join-heavy
+#: (Q10: four-way hash join under Orca) batch-engine smoke queries.
+BATCH_SMOKE_QUERIES = (1, 10)
+
+
+@pytest.mark.parametrize("number", BATCH_SMOKE_QUERIES)
+def test_batch_engine_runs_with_live_counters(smoke_dbs, number):
+    db, __ = smoke_dbs
+    sql = TPCH_QUERIES[number]
+    row = db.run(sql, optimizer="orca", executor_mode="row")
+    before_batches = db.metrics.count("executor.batches")
+    before_rows = db.metrics.count("executor.batch_rows")
+    before_exprs = db.metrics.count("exec.compiled_exprs")
+    batch = db.run(sql, optimizer="orca", executor_mode="batch")
+    # The statement really took the batch path, counted its work ...
+    assert batch.executor_mode == "batch"
+    assert db.metrics.count("executor.batches") > before_batches
+    assert db.metrics.count("executor.batch_rows") > before_rows
+    assert db.metrics.count("exec.compiled_exprs") > before_exprs
+    # ... and produced the row engine's exact result multiset.
+    assert sorted(map(repr, batch.rows)) == sorted(map(repr, row.rows))
