@@ -1,0 +1,54 @@
+"""BENCH — cardinality estimate accuracy: per-query root Q-error.
+
+Produces ``benchmarks/results/BENCH_planquality.json`` (committed, so
+the PR carries each optimizer's estimate accuracy) and a text summary.
+Every TPC-H query runs under both the MySQL and the Orca optimizer with
+``collect_plan_quality=True``; the executor's always-on actual-row
+counters give each plan's root and worst per-node Q-error.
+
+Assertions mirror the acceptance criteria: every executed statement —
+under both optimizers — yields a quality snapshot (root q >= 1, max q
+>= root q), and the two optimizers still agree on every result set.
+No accuracy gate is asserted between the optimizers: the artifact is
+the comparison.
+"""
+
+import json
+
+from benchmarks.conftest import RESULTS_DIR, TIMEOUT, write_report
+from repro.bench import (
+    format_plan_quality_bench,
+    run_suite,
+    summarize_plan_quality,
+)
+from repro.workloads.tpch import TPCH_QUERIES
+
+
+def test_bench_planquality(tpch_db):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    result = run_suite(tpch_db, TPCH_QUERIES, "TPC-H",
+                       timeout_seconds=TIMEOUT,
+                       collect_plan_quality=True)
+    payload = summarize_plan_quality(result)
+    path = RESULTS_DIR / "BENCH_planquality.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    write_report("BENCH_planquality.txt",
+                 format_plan_quality_bench(payload))
+
+    recorded = json.loads(path.read_text())
+    queries = recorded["queries"]
+    assert len(queries) == len(TPCH_QUERIES)
+
+    for number, row in queries.items():
+        # Both optimizers produced a quality snapshot: a real Q-error
+        # is always >= 1 (0.0 would mean the loop never ran).
+        assert row["mysql_root_q"] >= 1.0, f"Q{number}: no mysql quality"
+        assert row["orca_root_q"] >= 1.0, f"Q{number}: no orca quality"
+        assert row["mysql_max_q"] >= row["mysql_root_q"] - 1e-9
+        assert row["orca_max_q"] >= row["orca_root_q"] - 1e-9
+        assert row["results_match"], f"Q{number}: results differ"
+
+    # Every query lands in exactly one accuracy bucket.
+    assert sorted(recorded["orca_better_or_equal_root"]
+                  + recorded["mysql_better_root"]) == sorted(
+        int(n) for n in queries)

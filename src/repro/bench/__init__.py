@@ -15,8 +15,10 @@ from repro.bench.report import (
     format_figure11,
     format_figure12,
     format_plan_cache_report,
+    format_plan_quality_bench,
     format_table1,
     summarize,
+    summarize_plan_quality,
 )
 
 __all__ = [
@@ -27,6 +29,7 @@ __all__ = [
     "format_figure11",
     "format_figure12",
     "format_plan_cache_report",
+    "format_plan_quality_bench",
     "format_table1",
     "plan_cache_report",
     "results_match",
@@ -34,4 +37,5 @@ __all__ = [
     "run_executor_comparison",
     "run_suite",
     "summarize",
+    "summarize_plan_quality",
 ]

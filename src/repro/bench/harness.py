@@ -42,6 +42,16 @@ class QueryTiming:
     #: Per-pipeline-stage seconds of the Orca run (span name -> seconds),
     #: populated only when the suite ran with ``collect_stages=True``.
     orca_stages: Dict[str, float] = field(default_factory=dict)
+    #: Cardinality-estimate accuracy of each optimizer's plan (root and
+    #: worst per-node Q-error; see :mod:`repro.plan_quality`), populated
+    #: only when the suite ran with ``collect_plan_quality=True``.
+    #: Zero means "not collected" — a real Q-error is always >= 1.
+    mysql_root_q: float = 0.0
+    mysql_max_q: float = 0.0
+    mysql_worst_operator: str = ""
+    orca_root_q: float = 0.0
+    orca_max_q: float = 0.0
+    orca_worst_operator: str = ""
 
     @property
     def ratio(self) -> float:
@@ -134,6 +144,7 @@ def run_suite(db: Database, queries: Dict[int, str], name: str,
               verify_results: bool = True,
               progress: Optional[Callable[[str], None]] = None,
               collect_stages: bool = False,
+              collect_plan_quality: bool = False,
               emit_json: Optional[str] = None) -> BenchmarkResult:
     """Run every query under both optimizers; returns all timings.
 
@@ -152,6 +163,11 @@ def run_suite(db: Database, queries: Dict[int, str], name: str,
     timing's ``orca_stages`` records per-pipeline-stage seconds (for
     :func:`repro.bench.report.format_stage_breakdown`); tracing adds a
     little overhead, so leave it off for headline timings.
+
+    With ``collect_plan_quality=True`` each timing also records both
+    optimizers' root and worst per-node Q-error (estimate accuracy,
+    from the executor's always-on counters) — the comparison behind
+    ``BENCH_planquality``.
     """
     result = BenchmarkResult(name)
     for number in sorted(queries):
@@ -178,6 +194,13 @@ def run_suite(db: Database, queries: Dict[int, str], name: str,
             orca_execute_seconds=orca.execute_seconds,
             orca_stages=orca.stages,
         )
+        if collect_plan_quality:
+            timing.mysql_root_q = mysql.root_q
+            timing.mysql_max_q = mysql.max_q
+            timing.mysql_worst_operator = mysql.worst_operator
+            timing.orca_root_q = orca.root_q
+            timing.orca_max_q = orca.max_q
+            timing.orca_worst_operator = orca.worst_operator
         result.timings.append(timing)
         if progress is not None:
             note = f" (orca fell back: {orca.fallback_reason})" \
@@ -201,6 +224,11 @@ class _RunOutcome:
     optimize_seconds: float = 0.0
     execute_seconds: float = 0.0
     stages: Dict[str, float] = field(default_factory=dict)
+    #: Estimate accuracy of the executed plan (0.0 when the run timed
+    #: out before producing a quality snapshot).
+    root_q: float = 0.0
+    max_q: float = 0.0
+    worst_operator: str = ""
 
 
 def _timed_run(db: Database, sql: str, optimizer: str,
@@ -219,6 +247,8 @@ def _timed_run(db: Database, sql: str, optimizer: str,
     optimize_seconds = 0.0
     execute_seconds = 0.0
     stages: Dict[str, float] = {}
+    root_q = max_q = 0.0
+    worst_operator = ""
     start = time.perf_counter()
 
     def _raise_timeout(signum, frame):
@@ -236,6 +266,10 @@ def _timed_run(db: Database, sql: str, optimizer: str,
         execute_seconds = result.execute_seconds
         if trace:
             stages = result.stage_seconds()
+        if result.plan_quality is not None:
+            root_q = result.plan_quality.root_q
+            max_q = result.plan_quality.max_q
+            worst_operator = result.plan_quality.worst_operator
         if result.fallback_reason is not None:
             fallback_reason = result.fallback_reason.value
     except _SoftTimeout:
@@ -250,7 +284,9 @@ def _timed_run(db: Database, sql: str, optimizer: str,
     return _RunOutcome(elapsed=elapsed, rows=rows, timed_out=timed_out,
                        fallback_reason=fallback_reason,
                        optimize_seconds=optimize_seconds,
-                       execute_seconds=execute_seconds, stages=stages)
+                       execute_seconds=execute_seconds, stages=stages,
+                       root_q=root_q, max_q=max_q,
+                       worst_operator=worst_operator)
 
 
 class _SoftTimeout(Exception):

@@ -171,6 +171,72 @@ def summarize(result: BenchmarkResult) -> Dict[str, object]:
     }
 
 
+def summarize_plan_quality(result: BenchmarkResult) -> Dict[str, object]:
+    """JSON-serialisable plan-quality payload for one suite run.
+
+    Requires the suite to have run with ``collect_plan_quality=True``;
+    per query it carries both optimizers' root and worst per-node
+    Q-error plus the operator kind behind the worst estimate —
+    the committed ``BENCH_planquality.json`` artifact.
+    """
+    queries: Dict[str, Dict[str, object]] = {}
+    for timing in result.timings:
+        queries[str(timing.number)] = {
+            "mysql_root_q": timing.mysql_root_q,
+            "mysql_max_q": timing.mysql_max_q,
+            "mysql_worst_operator": timing.mysql_worst_operator,
+            "orca_root_q": timing.orca_root_q,
+            "orca_max_q": timing.orca_max_q,
+            "orca_worst_operator": timing.orca_worst_operator,
+            "results_match": timing.results_match,
+        }
+    collected = [t for t in result.timings if t.mysql_root_q > 0.0
+                 and t.orca_root_q > 0.0]
+    return {
+        "suite": result.name,
+        "queries": queries,
+        "orca_better_or_equal_root": sorted(
+            t.number for t in collected
+            if t.orca_root_q <= t.mysql_root_q),
+        "mysql_better_root": sorted(
+            t.number for t in collected
+            if t.orca_root_q > t.mysql_root_q),
+    }
+
+
+def format_plan_quality_bench(payload: Dict[str, object]) -> str:
+    """Render a :func:`summarize_plan_quality` payload.
+
+    One row per query: each optimizer's root and worst Q-error, and
+    the operator kind behind the worst Orca estimate.
+    """
+    title = f"{payload['suite']}: cardinality estimate accuracy (Q-error)"
+    lines = [title, "=" * len(title),
+             f"{'query':>6} | {'mysql root q':>12} | {'mysql max q':>11} |"
+             f" {'orca root q':>11} | {'orca max q':>10} |"
+             f" worst orca operator"]
+    queries: Dict[str, Dict[str, object]] = payload["queries"]
+    for number in sorted(queries, key=int):
+        row = queries[number]
+        match = "" if row["results_match"] else "  RESULTS DIFFER"
+        lines.append(
+            f"Q{number:>5} |"
+            f" {row['mysql_root_q']:>12.2f} |"
+            f" {row['mysql_max_q']:>11.2f} |"
+            f" {row['orca_root_q']:>11.2f} |"
+            f" {row['orca_max_q']:>10.2f} |"
+            f" {row['orca_worst_operator'] or '-'}{match}")
+    lines.append("")
+    better = payload["orca_better_or_equal_root"]
+    worse = payload["mysql_better_root"]
+    lines.append(f"root estimate at least as accurate under orca: "
+                 f"{len(better)} queries")
+    lines.append(f"root estimate better under mysql: "
+                 f"{len(worse)} queries "
+                 f"({', '.join(f'Q{n}' for n in worse) or 'none'})")
+    return "\n".join(lines)
+
+
 def format_executor_report(payload: Dict[str, object]) -> str:
     """Render a :func:`repro.bench.harness.run_executor_comparison`
     payload.

@@ -55,6 +55,11 @@ class TableStatistics:
 
     row_count: int = 0
     columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+    #: True once ANALYZE computed these statistics; False for the
+    #: all-default object a table starts with.  The plan-quality
+    #: staleness report uses this to tell "never analyzed" apart from
+    #: "analyzed when the table was empty".
+    analyzed: bool = False
 
     def column(self, name: str) -> ColumnStatistics:
         """Statistics for a column; a neutral default if never analyzed."""

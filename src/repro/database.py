@@ -24,6 +24,8 @@ statements that keep crashing the optimizer straight to MySQL.
 
 from __future__ import annotations
 
+import datetime
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
@@ -49,6 +51,13 @@ from repro.plan_cache import (
     PlanCache,
     PlanCacheEntry,
     statement_cache_key,
+)
+from repro.plan_quality import (
+    MisestimationLedger,
+    StatementQuality,
+    format_plan_quality_report,
+    statement_quality,
+    stats_staleness,
 )
 from repro.resilience import (
     CircuitBreaker,
@@ -128,6 +137,24 @@ class DatabaseConfig:
     #: tuple-at-a-time Volcano interpreter.  Per-query override via
     #: ``run(sql, executor_mode=...)``.
     executor_mode: str = "batch"
+    #: Plan-quality feedback: a statement execution whose worst per-node
+    #: Q-error exceeds this is a *breach* (1.0 = perfect estimate).
+    planq_q_threshold: float = 16.0
+    #: Breaches in a row before the statement's cached plan is
+    #: invalidated (forcing re-optimization against current statistics).
+    planq_consecutive_breaches: int = 3
+    #: Bounded size of the misestimation ledger (LRU beyond this).
+    planq_ledger_capacity: int = 256
+    #: Fractional live-vs-ANALYZE cardinality drift above which
+    #: ``plan_quality_report()`` recommends re-ANALYZE for a table.
+    planq_stats_staleness_threshold: float = 0.2
+    #: Structured JSONL slow-query log: one record (trace, stage
+    #: breakdown, root Q-error) per statement slower than the threshold.
+    #: ``None`` disables the log entirely.
+    slow_query_log_path: Optional[str] = None
+    #: Total statement latency (compile + execute seconds) above which
+    #: a statement is logged.
+    slow_query_log_threshold_seconds: float = 0.25
 
     def __post_init__(self) -> None:
         if self.routing not in ROUTING_POLICIES:
@@ -143,6 +170,14 @@ class DatabaseConfig:
             raise ReproError(
                 f"unknown orca_search {self.orca_search!r}; "
                 f"valid choices: {valid}")
+        if self.planq_q_threshold < 1.0:
+            raise ReproError("planq_q_threshold must be >= 1.0 "
+                             "(1.0 is a perfect estimate)")
+        if self.planq_consecutive_breaches < 1:
+            raise ReproError("planq_consecutive_breaches must be >= 1")
+        if self.slow_query_log_threshold_seconds < 0.0:
+            raise ReproError(
+                "slow_query_log_threshold_seconds must be >= 0")
 
 
 @dataclass
@@ -168,6 +203,9 @@ class StatementResult:
     #: may differ from the requested mode when batch lowering refused
     #: the plan and the statement degraded to the row engine.
     executor_mode: str = "row"
+    #: Per-node estimated/actual/Q-error snapshot of this execution;
+    #: ``None`` only for DML (no plan tree to compare against).
+    plan_quality: Optional[StatementQuality] = None
 
     def trace_export(self) -> List[dict]:
         """Flat JSON trace: one dict per span (name, start, duration,
@@ -208,6 +246,12 @@ class Database:
         self.plan_cache = PlanCache(
             capacity=self.config.plan_cache_capacity,
             metrics=self.metrics)
+        #: Per-statement estimate-accuracy history; breach streaks feed
+        #: back into plan-cache invalidation (see plan_quality module).
+        self.misestimation_ledger = MisestimationLedger(
+            capacity=self.config.planq_ledger_capacity,
+            q_threshold=self.config.planq_q_threshold,
+            consecutive_threshold=self.config.planq_consecutive_breaches)
         #: The router of the most recent Orca detour, kept so callers can
         #: inspect its bridge components (e.g. ``last_accessor.stats()``
         #: for the metadata-cache hit ratio of one statement).
@@ -412,6 +456,7 @@ class Database:
                                executor_mode)
             if self.tracer.enabled:
                 result.trace = self.tracer.last_root
+            self._log_slow_query(sql, result)
             return result
         finally:
             self.tracer = previous
@@ -474,6 +519,9 @@ class Database:
                     exec_span.set(batches=runtime.batches,
                                   batch_rows=runtime.batch_rows)
             done = time.perf_counter()
+            quality = statement_quality(executor)
+            self._record_plan_quality(sql, cache_key, quality, used,
+                                      cached is not None, exec_span)
             if mode == "batch" and executor.last_mode == "row":
                 # The batch engine refused this plan; record the
                 # degradation through the same taxonomy as detour
@@ -500,7 +548,38 @@ class Database:
                 fallback_reason=fallback_reason,
                 plan_cache_hit=cached is not None,
                 executor_mode=executor.last_mode,
+                plan_quality=quality,
             )
+
+    def _record_plan_quality(self, sql: str, cache_key: str,
+                             quality: StatementQuality, used: str,
+                             plan_cache_hit: bool, exec_span) -> None:
+        """Fold one execution's estimate accuracy into the feedback loop.
+
+        Records the statement in the misestimation ledger, mirrors the
+        aggregates into ``planq.*`` metrics and the ``execute`` span,
+        and — when the ledger reports a completed breach streak — drops
+        the statement's plan-cache entry so the next run re-optimizes.
+        Only cache hits advance the breach streak: invalidation evicts
+        a cached plan, so the evidence has to come from executions that
+        plan actually served.
+        """
+        entry, invalidate = self.misestimation_ledger.record(
+            cache_key, statement_fingerprint(sql), sql, quality, used,
+            cached=plan_cache_hit)
+        metrics = self.metrics
+        metrics.inc("planq.statements")
+        metrics.observe("planq.root_q", quality.root_q)
+        metrics.observe("planq.max_q", quality.max_q)
+        breached = quality.max_q > self.misestimation_ledger.q_threshold
+        if breached:
+            metrics.inc("planq.breaches")
+        exec_span.set(root_q=quality.root_q, max_q=quality.max_q,
+                      worst_operator=quality.worst_operator,
+                      planq_breach=breached)
+        if invalidate:
+            metrics.inc("planq.plan_invalidations")
+            self.plan_cache.invalidate(cache_key)
 
     def explain(self, sql: str, optimizer: str = "auto",
                 analyze: bool = False) -> str:
@@ -516,19 +595,17 @@ class Database:
                         executor_mode: Optional[str] = None) -> str:
         """EXPLAIN ANALYZE: execute with per-operator actual row counts.
 
-        The plan is instrumented, executed once, and rendered with
-        ``(actual rows=N)`` next to the optimizer's estimates — making
-        estimation errors (the histogram story of Section 5.5) visible
-        per operator; batch-engine runs additionally show per-node
-        ``(batches=N)`` counts.  A "stage breakdown" footer shows where
-        the statement spent its time (mirroring the paper's EXPLAIN
-        cost copy-over, Section 6), which executor engine ran, and, for
-        Orca plans, the memo statistics.
+        The statement is executed once and rendered with
+        ``(estimated rows=E actual rows=N q=Q)`` per node from the
+        executor's always-on counters — making estimation errors (the
+        histogram story of Section 5.5) visible per operator; batch-
+        engine runs additionally show per-node ``(batches=N)`` counts.
+        A "stage breakdown" footer shows where the statement spent its
+        time (mirroring the paper's EXPLAIN cost copy-over, Section 6),
+        which executor engine ran, and, for Orca plans, the memo
+        statistics.
         """
-        from repro.executor.explain import (
-            format_stage_footer,
-            instrument_plan,
-        )
+        from repro.executor.explain import format_stage_footer
         from repro.executor.plan import DerivedMaterializeNode
 
         mode = executor_mode or self.config.executor_mode
@@ -542,7 +619,6 @@ class Database:
             with self.tracer.span("statement", sql=sql) as root:
                 start = time.perf_counter()
                 executor, used, __, __ = self._compile(sql, optimizer)
-                instrument_plan(executor.top_plan)
                 compiled = time.perf_counter()
                 with self.tracer.span("execute"):
                     executor.execute(mode=mode)
@@ -608,6 +684,80 @@ class Database:
         )
 
     # -- observability -----------------------------------------------------------------
+
+    def _log_slow_query(self, sql: str, result: StatementResult) -> None:
+        """Append one JSONL record for a statement over the latency
+        threshold; free when ``slow_query_log_path`` is unset."""
+        path = self.config.slow_query_log_path
+        if path is None:
+            return
+        total = result.compile_seconds + result.execute_seconds
+        if total < self.config.slow_query_log_threshold_seconds:
+            return
+        quality = result.plan_quality
+        record = {
+            "ts": datetime.datetime.now().isoformat(),
+            "sql": sql,
+            "fingerprint": statement_fingerprint(sql),
+            "optimizer": result.optimizer_used,
+            "executor_mode": result.executor_mode,
+            "plan_cache_hit": result.plan_cache_hit,
+            "total_seconds": total,
+            "compile_seconds": result.compile_seconds,
+            "execute_seconds": result.execute_seconds,
+            "rows": len(result.rows),
+            "root_q": quality.root_q if quality is not None else None,
+            "max_q": quality.max_q if quality is not None else None,
+            "worst_operator": quality.worst_operator
+            if quality is not None else None,
+            "fallback_reason": result.fallback_reason.value
+            if result.fallback_reason is not None else None,
+            "stages": result.stage_seconds(),
+            "trace": result.trace_export(),
+        }
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, default=str) + "\n")
+        self.metrics.inc("slow_query_log.records")
+
+    def metrics_export(self) -> str:
+        """The whole metrics registry (counters, gauges, histogram
+        quantiles) in Prometheus text exposition format."""
+        return self.metrics.to_prometheus()
+
+    def plan_quality_report(self) -> dict:
+        """The estimate-vs-actual feedback surface, as one payload:
+
+        * ``worst_fingerprints`` — ledger entries ranked by worst-ever
+          Q-error (statements the optimizer misestimates hardest);
+        * ``worst_operators`` — operator kinds ranked the same way;
+        * ``stats_staleness`` — per-table live-vs-ANALYZE cardinality
+          drift, worst first;
+        * ``reanalyze_recommendations`` — tables whose drift exceeds
+          ``config.planq_stats_staleness_threshold`` (or that were
+          never analyzed at all);
+        * ``ledger`` — breach/invalidation totals and thresholds.
+
+        Render with
+        :func:`repro.plan_quality.format_plan_quality_report`.
+        """
+        staleness = stats_staleness(
+            self.catalog, self.storage,
+            threshold=self.config.planq_stats_staleness_threshold)
+        ledger = self.misestimation_ledger
+        return {
+            "ledger": ledger.stats(),
+            "worst_fingerprints": [
+                entry.to_dict() for entry in ledger.worst_fingerprints()],
+            "worst_operators": ledger.worst_operators(),
+            "stats_staleness": [table.to_dict() for table in staleness],
+            "reanalyze_recommendations": [
+                table.table for table in staleness
+                if table.recommend_analyze],
+        }
+
+    def plan_quality_report_text(self) -> str:
+        """``plan_quality_report()`` rendered as plain text."""
+        return format_plan_quality_report(self.plan_quality_report())
 
     def metrics_report(self) -> str:
         """One text report answering "what happened and why": routing

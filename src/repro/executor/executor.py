@@ -13,7 +13,11 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.errors import ExecutionError
 from repro.executor.batch import BatchUnsupported, lower_executor
-from repro.executor.plan import ExecutionRuntime, QueryPlan
+from repro.executor.plan import (
+    ExecutionRuntime,
+    QueryPlan,
+    walk_plan_nodes,
+)
 from repro.sql.blocks import QueryBlock
 
 
@@ -67,6 +71,31 @@ class Executor:
         """Run one block's plan under an existing runtime (subqueries)."""
         return self.plan_for(block).run(runtime)
 
+    def iter_plan_nodes(self):
+        """Every plan node across all registered block plans, once.
+
+        Registered block plans can share nodes (a derived table's
+        sub-plan is both a registered block and reachable through its
+        materialize node), so the union is deduplicated by identity.
+        """
+        seen = set()
+        for plan in self._plans.values():
+            for node in walk_plan_nodes(plan):
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    yield node
+
+    def reset_actuals(self) -> None:
+        """Zero every node's actual-row/batch counters.
+
+        Called at the start of each execution: plan-cached statements
+        share one Executor across runs, and the plan-quality loop reads
+        per-execution (not cumulative) actuals."""
+        for node in self.iter_plan_nodes():
+            node.actual_rows = 0
+            node.actual_batches = 0
+            node.actual_loops = 0
+
     def ensure_batch_lowered(self) -> bool:
         """Lower the statement's plans for batch execution (cached).
 
@@ -92,6 +121,7 @@ class Executor:
         row engine when lowering refuses the plan)."""
         if self.top_plan is None:
             raise ExecutionError("no top-level plan registered")
+        self.reset_actuals()
         runtime = ExecutionRuntime(self.storage, self.context.entry_count)
         previous = self.current_runtime
         self.current_runtime = runtime

@@ -12,6 +12,7 @@ from typing import List, Optional
 
 from repro.sql import ast
 from repro.executor import plan as p
+from repro.plan_quality import per_loop_q
 
 
 def expr_text(expr: ast.Expr) -> str:
@@ -81,10 +82,11 @@ def explain_plan(query_plan: p.QueryPlan, analyze: bool = False,
                  footer: str = "") -> str:
     """Produce the EXPLAIN FORMAT=TREE-style text for a query plan.
 
-    With ``analyze=True``, per-operator *actual* row counts recorded by a
-    prior instrumented execution (see :func:`instrument_plan`) are shown
-    next to the estimates — EXPLAIN ANALYZE style.  A non-empty
-    ``footer`` (see :func:`format_stage_footer`) is appended verbatim.
+    With ``analyze=True``, each node shows the always-on actual-row
+    counters from the most recent execution next to the optimizer's
+    estimate, plus the resulting Q-error — EXPLAIN ANALYZE style.  A
+    non-empty ``footer`` (see :func:`format_stage_footer`) is appended
+    verbatim.
     """
     header = "EXPLAIN (ORCA)" if query_plan.origin == "orca" \
         else "EXPLAIN"
@@ -162,92 +164,35 @@ def format_stage_footer(optimizer_used: str, optimize_seconds: float,
     return "\n".join(lines)
 
 
-def instrument_plan(query_plan: p.QueryPlan) -> None:
-    """Attach actual-row counters to every node of a plan tree.
+def _fmt_estimate(rows: float) -> str:
+    """Render a cardinality estimate without clamping.
 
-    Each node's ``run`` is wrapped (per instance) to count the context
-    states it emits; ``actual_rows`` starts at 0 and accumulates across
-    executions until re-instrumented.  Sub-plans of derived tables and
-    CTEs are instrumented recursively.
+    The cost model keeps its own >= 1 floors where it needs them; here
+    the raw estimate is shown (``rows=0`` is meaningful — it is exactly
+    the kind of sub-1-row estimate Q-error must see).  Integral values
+    print as integers, fractional ones with two decimals.
     """
-    seen = set()
-
-    def instrument_node(node: p.PlanNode) -> None:
-        if id(node) in seen:
-            return
-        seen.add(id(node))
-        node.actual_rows = 0
-        node.actual_batches = 0
-        # Wrap the pristine methods: re-instrumenting a plan-cached
-        # statement must not stack counting wrappers (which would
-        # double-count every row).
-        original = getattr(node, "_plain_run", node.run)
-        node._plain_run = original
-
-        def counting_run(runtime, _node=node, _original=original):
-            for item in _original(runtime):
-                _node.actual_rows += 1
-                yield item
-
-        node.run = counting_run
-        if isinstance(node, p.NestedLoopJoinNode):
-            # In a fused NL chain only the top join materializes
-            # batches; rows are counted where they stream — run_ctx —
-            # and the batch wrapper below must not double-count them.
-            original_ctx = getattr(node, "_plain_run_ctx", node.run_ctx)
-            node._plain_run_ctx = original_ctx
-
-            def counting_ctx(runtime, _node=node,
-                             _original=original_ctx):
-                for item in _original(runtime):
-                    _node.actual_rows += 1
-                    yield item
-
-            node.run_ctx = counting_ctx
-        original_batches = getattr(node, "_plain_run_batches",
-                                   node.run_batches)
-        node._plain_run_batches = original_batches
-
-        def counting_batches(runtime, _node=node,
-                             _original=original_batches,
-                             _count_rows=not isinstance(
-                                 node, p.NestedLoopJoinNode)):
-            for batch in _original(runtime):
-                _node.actual_batches += 1
-                if _count_rows:
-                    _node.actual_rows += batch.length
-                yield batch
-
-        node.run_batches = counting_batches
-        for child in node.children():
-            instrument_node(child)
-        subplan = getattr(node, "subplan", None)
-        if subplan is not None:
-            instrument_subplan(subplan)
-
-    def instrument_subplan(subplan: p.QueryPlan) -> None:
-        if id(subplan) in seen:
-            return
-        seen.add(id(subplan))
-        if subplan.root is not None:
-            instrument_node(subplan.root)
-        for __, part in subplan.union_parts:
-            instrument_subplan(part)
-
-    instrument_subplan(query_plan)
+    value = float(rows)
+    if value.is_integer():
+        return str(int(value))
+    return f"{value:.2f}"
 
 
 def _render(node: p.PlanNode, lines: List[str], depth: int,
             analyze: bool = False) -> None:
     indent = "  " * depth
-    annotation = f"  (cost={node.cost:.2f} rows={max(1, round(node.rows))})"
+    annotation = f"  (cost={node.cost:.2f} rows={_fmt_estimate(node.rows)})"
     if analyze:
-        actual = getattr(node, "actual_rows", None)
-        if actual is not None:
-            annotation += f" (actual rows={actual})"
-        batches = getattr(node, "actual_batches", 0)
-        if batches:
-            annotation += f" (batches={batches})"
+        actual = node.actual_rows
+        loops = node.actual_loops
+        q = per_loop_q(node.rows, actual, loops)
+        annotation += (f" (estimated rows={_fmt_estimate(node.rows)} "
+                       f"actual rows={actual} q={q:.2f}")
+        if loops != 1:
+            annotation += f" loops={loops}"
+        annotation += ")"
+        if node.actual_batches:
+            annotation += f" (batches={node.actual_batches})"
     lines.append(f"{indent}-> {node.label()}{annotation}")
     if node.filter_conjuncts:
         text = " and ".join(expr_text(c) for c in node.filter_conjuncts)

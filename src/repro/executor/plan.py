@@ -93,6 +93,24 @@ class PlanNode:
         #: Batch-compiled filter mask (set by batch lowering; None when
         #: no conjuncts or when this node kind never applies one).
         self.bx_filter = None
+        #: Always-on actual-row/batch counters, reset per execution by
+        #: the Executor; the plan-quality loop reads them against the
+        #: optimizer's ``rows`` estimate after every statement.
+        self.actual_rows: int = 0
+        self.actual_batches: int = 0
+        #: How many times this node was (re)started — 1 for a plain
+        #: pipeline, N for the inner side of a nested-loop join that
+        #: rebinds per outer row.  Q-error compares the per-loop
+        #: estimate against ``actual_rows / actual_loops``, mirroring
+        #: MySQL's ``(rows=N loops=M)`` EXPLAIN ANALYZE semantics.
+        self.actual_loops: int = 0
+
+    def _note(self, runtime: "ExecutionRuntime",
+              batch: "RowBatch") -> "RowBatch":
+        """Account one emitted batch on this node and the runtime."""
+        self.actual_batches += 1
+        self.actual_rows += batch.length
+        return runtime.note_batch(batch)
 
     def children(self) -> Sequence["PlanNode"]:
         return ()
@@ -133,6 +151,7 @@ def _leaf_batches(node: "_LeafNode", runtime: ExecutionRuntime,
                   chunks: Iterator[List[tuple]]) -> Iterator[RowBatch]:
     """Wrap storage chunks for one table entry, applying the leaf's
     attached filter as a vectorized mask (row twin: ``check(ctx)``)."""
+    node.actual_loops += 1
     slot = node.entry_id
     mask_fn = node.bx_filter
     for chunk in chunks:
@@ -140,17 +159,17 @@ def _leaf_batches(node: "_LeafNode", runtime: ExecutionRuntime,
         if mask_fn is not None:
             batch = batch.filter_true(mask_fn(batch))
         if batch.length:
-            yield runtime.note_batch(batch)
+            yield node._note(runtime, batch)
 
 
-def _emit(acc: BatchAccumulator, mask_fn,
+def _emit(node: PlanNode, acc: BatchAccumulator, mask_fn,
           runtime: ExecutionRuntime) -> Iterator[RowBatch]:
     """Flush an accumulator through a node's attached filter mask."""
     batch = acc.flush()
     if mask_fn is not None:
         batch = batch.filter_true(mask_fn(batch))
     if batch.length:
-        yield runtime.note_batch(batch)
+        yield node._note(runtime, batch)
 
 
 # ---------------------------------------------------------------------------
@@ -177,12 +196,14 @@ class TableScanNode(_LeafNode):
         self.table_name = table_name
 
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        self.actual_loops += 1
         ctx = runtime.ctx
         slot = self.entry_id
         check = self.filter_fn
         for row in runtime.storage.table_scan(self.table_name):
             ctx[slot] = row
             if check(ctx) is True:
+                self.actual_rows += 1
                 yield
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
@@ -212,6 +233,7 @@ class IndexRangeScanNode(_LeafNode):
         self.high_inclusive = high_inclusive
 
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        self.actual_loops += 1
         ctx = runtime.ctx
         slot = self.entry_id
         check = self.filter_fn
@@ -221,6 +243,7 @@ class IndexRangeScanNode(_LeafNode):
         for row in rows:
             ctx[slot] = row
             if check(ctx) is True:
+                self.actual_rows += 1
                 yield
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
@@ -253,6 +276,7 @@ class IndexLookupNode(_LeafNode):
         self.key_fns = key_fns
 
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        self.actual_loops += 1
         ctx = runtime.ctx
         slot = self.entry_id
         check = self.filter_fn
@@ -264,6 +288,7 @@ class IndexLookupNode(_LeafNode):
         for row in rows:
             ctx[slot] = row
             if check(ctx) is True:
+                self.actual_rows += 1
                 yield
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
@@ -297,6 +322,7 @@ class IndexOrderedScanNode(_LeafNode):
         self.descending = descending
 
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        self.actual_loops += 1
         ctx = runtime.ctx
         slot = self.entry_id
         check = self.filter_fn
@@ -305,6 +331,7 @@ class IndexOrderedScanNode(_LeafNode):
         for row in rows:
             ctx[slot] = row
             if check(ctx) is True:
+                self.actual_rows += 1
                 yield
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
@@ -334,6 +361,7 @@ class DerivedMaterializeNode(_LeafNode):
         self.correlation_sources = correlation_sources
 
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        self.actual_loops += 1
         ctx = runtime.ctx
         slot = self.entry_id
         check = self.filter_fn
@@ -354,6 +382,7 @@ class DerivedMaterializeNode(_LeafNode):
         for row in rows:
             ctx[slot] = row
             if check(ctx) is True:
+                self.actual_rows += 1
                 yield
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
@@ -409,12 +438,14 @@ class CteScanNode(_LeafNode):
         if rows is None:
             rows = list(self.subplan.run(runtime))
             runtime.cte_rows[self.cte_id] = rows
+        self.actual_loops += 1
         ctx = runtime.ctx
         slot = self.entry_id
         check = self.filter_fn
         for row in rows:
             ctx[slot] = row
             if check(ctx) is True:
+                self.actual_rows += 1
                 yield
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
@@ -451,6 +482,7 @@ class NestedLoopJoinNode(PlanNode):
         return (self.outer, self.inner)
 
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        self.actual_loops += 1
         ctx = runtime.ctx
         condition = self.condition_fn
         check = self.filter_fn
@@ -465,20 +497,24 @@ class NestedLoopJoinNode(PlanNode):
                 if kind is JoinKind.SEMI or kind is JoinKind.ANTI:
                     break
                 if check(ctx) is True:
+                    self.actual_rows += 1
                     yield
             if kind is JoinKind.SEMI:
                 if matched and check(ctx) is True:
+                    self.actual_rows += 1
                     yield
             elif kind is JoinKind.ANTI:
                 if not matched:
                     for entry_id in inner_entries:
                         ctx[entry_id] = None
                     if check(ctx) is True:
+                        self.actual_rows += 1
                         yield
             elif kind is JoinKind.LEFT and not matched:
                 for entry_id in inner_entries:
                     ctx[entry_id] = None
                 if check(ctx) is True:
+                    self.actual_rows += 1
                     yield
 
     def _outer_states(self, runtime: ExecutionRuntime) -> Iterator[None]:
@@ -508,6 +544,7 @@ class NestedLoopJoinNode(PlanNode):
         filters); the inner side re-runs per outer row through the row
         interpreter (it may read outer context slots — index lookups,
         pushed-down correlated predicates)."""
+        self.actual_loops += 1
         ctx = runtime.ctx
         condition = self.condition_fn
         check = self.filter_fn
@@ -523,20 +560,24 @@ class NestedLoopJoinNode(PlanNode):
                 if kind is JoinKind.SEMI or kind is JoinKind.ANTI:
                     break
                 if check(ctx) is True:
+                    self.actual_rows += 1
                     yield
             if kind is JoinKind.SEMI:
                 if matched and check(ctx) is True:
+                    self.actual_rows += 1
                     yield
             elif kind is JoinKind.ANTI:
                 if not matched:
                     for entry_id in inner_entries:
                         ctx[entry_id] = None
                     if check(ctx) is True:
+                        self.actual_rows += 1
                         yield
             elif kind is JoinKind.LEFT and not matched:
                 for entry_id in inner_entries:
                     ctx[entry_id] = None
                 if check(ctx) is True:
+                    self.actual_rows += 1
                     yield
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
@@ -547,11 +588,15 @@ class NestedLoopJoinNode(PlanNode):
         ctx = runtime.ctx
         acc = BatchAccumulator(self.produced_entries())
         add_ctx = acc.add_ctx
+        # actual_rows is charged inside run_ctx (where fused NL chains
+        # stream); only the batch count is accounted here.
         for __ in self.run_ctx(runtime):
             add_ctx(ctx)
             if acc.full:
+                self.actual_batches += 1
                 yield runtime.note_batch(acc.flush())
         if acc.length:
+            self.actual_batches += 1
             yield runtime.note_batch(acc.flush())
 
     def label(self) -> str:
@@ -595,6 +640,7 @@ class HashJoinNode(PlanNode):
         return (self.probe, self.build)
 
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        self.actual_loops += 1
         ctx = runtime.ctx
         build_entries = self._build_entries
         table: Dict[tuple, List[tuple]] = {}
@@ -624,20 +670,24 @@ class HashJoinNode(PlanNode):
                 if kind is JoinKind.SEMI or kind is JoinKind.ANTI:
                     break
                 if check(ctx) is True:
+                    self.actual_rows += 1
                     yield
             if kind is JoinKind.SEMI:
                 if matched and check(ctx) is True:
+                    self.actual_rows += 1
                     yield
             elif kind is JoinKind.ANTI:
                 if not matched:
                     for entry_id in build_entries:
                         ctx[entry_id] = None
                     if check(ctx) is True:
+                        self.actual_rows += 1
                         yield
             elif kind is JoinKind.LEFT and not matched:
                 for entry_id in build_entries:
                     ctx[entry_id] = None
                 if check(ctx) is True:
+                    self.actual_rows += 1
                     yield
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
@@ -646,6 +696,7 @@ class HashJoinNode(PlanNode):
         Residual (non-equi) conjuncts — rare — are evaluated per
         candidate pair through the row-compiled ``residual_fn`` under
         temporary context writes, exactly like the row engine."""
+        self.actual_loops += 1
         ctx = runtime.ctx
         build_entries = self._build_entries
         # Single-key joins (the common case) hash the bare scalar; the
@@ -702,7 +753,7 @@ class HashJoinNode(PlanNode):
                         for saved in bucket:
                             append(probe_values + saved)
                         if len(out_rows) >= BATCH_SIZE:
-                            yield from _emit(acc, mask_fn, runtime)
+                            yield from _emit(self, acc, mask_fn, runtime)
                             out_rows = acc.rows
                             append = out_rows.append
                 continue
@@ -730,7 +781,7 @@ class HashJoinNode(PlanNode):
                         break
                     acc.add_values(probe_values + saved)
                     if acc.full:
-                        yield from _emit(acc, mask_fn, runtime)
+                        yield from _emit(self, acc, mask_fn, runtime)
                 if kind is JoinKind.SEMI:
                     if matched:
                         acc.add_values(probe_values + last_saved)
@@ -740,9 +791,9 @@ class HashJoinNode(PlanNode):
                 elif kind is JoinKind.LEFT and not matched:
                     acc.add_values(probe_values + nulls)
                 if acc.full:
-                    yield from _emit(acc, mask_fn, runtime)
+                    yield from _emit(self, acc, mask_fn, runtime)
         if acc.length:
-            yield from _emit(acc, mask_fn, runtime)
+            yield from _emit(self, acc, mask_fn, runtime)
 
     def label(self) -> str:
         keys = ", ".join(
@@ -777,19 +828,22 @@ class FilterNode(PlanNode):
         return (self.child,)
 
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        self.actual_loops += 1
         condition = self.condition_fn
         ctx = runtime.ctx
         for __ in self.child.run(runtime):
             if condition(ctx) is True:
+                self.actual_rows += 1
                 yield
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        self.actual_loops += 1
         condition = self.bx_condition
         for batch in self.child.run_batches(runtime):
             if condition is not None:
                 batch = batch.filter_true(condition(batch))
             if batch.length:
-                yield runtime.note_batch(batch)
+                yield self._note(runtime, batch)
 
     def label(self) -> str:
         text = " and ".join(_expr_text(c) for c in self.conjuncts)
@@ -811,6 +865,7 @@ class SortNode(PlanNode):
         return (self.child,)
 
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        self.actual_loops += 1
         ctx = runtime.ctx
         live = self.live_entries
         captured: List[Tuple[tuple, tuple]] = []
@@ -821,9 +876,11 @@ class SortNode(PlanNode):
         for __, saved in captured:
             for entry_id, row in zip(live, saved):
                 ctx[entry_id] = row
+            self.actual_rows += 1
             yield
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        self.actual_loops += 1
         captured: List[Tuple[tuple, tuple]] = []
         entries: Optional[List[int]] = None
         for batch in self.child.run_batches(runtime):
@@ -850,7 +907,7 @@ class SortNode(PlanNode):
             transposed = list(zip(*(saved for __, saved in chunk)))
             columns = {entry: list(column) for entry, column
                        in zip(entries, transposed)}
-            yield runtime.note_batch(RowBatch(columns, len(chunk)))
+            yield self._note(runtime, RowBatch(columns, len(chunk)))
 
     def label(self) -> str:
         parts = []
@@ -925,12 +982,14 @@ class AggregateNode(PlanNode):
         return [self.output_entry_id]
 
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        self.actual_loops += 1
         if self.strategy is AggregateStrategy.STREAM:
             yield from self._run_stream(runtime)
         else:
             yield from self._run_hash(runtime)
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        self.actual_loops += 1
         if self.strategy is AggregateStrategy.STREAM:
             yield from self._run_stream_batches(runtime)
         else:
@@ -1005,9 +1064,9 @@ class AggregateNode(PlanNode):
             acc.add_values(
                 (key + tuple(a.result() for a in groups[key]),))
             if acc.full:
-                yield runtime.note_batch(acc.flush())
+                yield self._note(runtime, acc.flush())
         if acc.length:
-            yield runtime.note_batch(acc.flush())
+            yield self._note(runtime, acc.flush())
 
     def _run_stream_batches(self, runtime: ExecutionRuntime
                             ) -> Iterator[RowBatch]:
@@ -1037,7 +1096,7 @@ class AggregateNode(PlanNode):
                         acc.add_values((current_key + tuple(
                             a.result() for a in accumulators),))
                         if acc.full:
-                            yield runtime.note_batch(acc.flush())
+                            yield self._note(runtime, acc.flush())
                     current_key = key
                     accumulators = [_Accumulator(spec) for spec in specs]
                 seg_len = pos - start
@@ -1054,7 +1113,7 @@ class AggregateNode(PlanNode):
             acc.add_values(
                 (tuple(a.result() for a in accumulators),))
         if acc.length:
-            yield runtime.note_batch(acc.flush())
+            yield self._note(runtime, acc.flush())
 
     def _run_hash(self, runtime: ExecutionRuntime) -> Iterator[None]:
         ctx = runtime.ctx
@@ -1076,6 +1135,7 @@ class AggregateNode(PlanNode):
         slot = self.output_entry_id
         for key in order:
             ctx[slot] = key + tuple(a.result() for a in groups[key])
+            self.actual_rows += 1
             yield
 
     def _run_stream(self, runtime: ExecutionRuntime) -> Iterator[None]:
@@ -1093,6 +1153,7 @@ class AggregateNode(PlanNode):
             elif key != current_key:
                 ctx[slot] = current_key + tuple(
                     a.result() for a in accumulators)
+                self.actual_rows += 1
                 yield
                 current_key = key
                 accumulators = [_Accumulator(spec) for spec in self.specs]
@@ -1100,10 +1161,12 @@ class AggregateNode(PlanNode):
                 accumulator.add(ctx)
         if saw_input:
             ctx[slot] = current_key + tuple(a.result() for a in accumulators)
+            self.actual_rows += 1
             yield
         elif not self.group_fns:
             accumulators = [_Accumulator(spec) for spec in self.specs]
             ctx[slot] = tuple(a.result() for a in accumulators)
+            self.actual_rows += 1
             yield
 
     def label(self) -> str:
@@ -1238,6 +1301,7 @@ class WindowNode(PlanNode):
         return produced
 
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        self.actual_loops += 1
         ctx = runtime.ctx
         live = self.live_entries
         rows: List[tuple] = []
@@ -1251,6 +1315,7 @@ class WindowNode(PlanNode):
             for entry_id, value in zip(live, row):
                 ctx[entry_id] = value
             ctx[slot] = tuple(out)
+            self.actual_rows += 1
             yield
 
     def label(self) -> str:
@@ -1372,6 +1437,7 @@ class LimitNode(PlanNode):
         return (self.child,)
 
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        self.actual_loops += 1
         produced = 0
         skipped = 0
         for __ in self.child.run(runtime):
@@ -1381,9 +1447,11 @@ class LimitNode(PlanNode):
             if produced >= self.count:
                 return
             produced += 1
+            self.actual_rows += 1
             yield
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        self.actual_loops += 1
         to_skip = self.offset
         remaining = self.count
         for batch in self.child.run_batches(runtime):
@@ -1397,7 +1465,7 @@ class LimitNode(PlanNode):
                 batch = batch.slice(0, remaining)
             remaining -= batch.length
             if batch.length:
-                yield runtime.note_batch(batch)
+                yield self._note(runtime, batch)
             if remaining <= 0:
                 return
 
@@ -1581,6 +1649,42 @@ def _limited(rows: Iterator[tuple], limit: Optional[int],
             return
         produced += 1
         yield row
+
+
+# ---------------------------------------------------------------------------
+# Plan-tree traversal
+# ---------------------------------------------------------------------------
+
+def walk_plan_nodes(query_plan: "QueryPlan") -> Iterator[PlanNode]:
+    """Every node reachable from a query plan, each exactly once.
+
+    Covers union parts and the sub-plans of derived tables and CTEs —
+    the full set of nodes whose ``actual_rows`` counters one execution
+    can touch.
+    """
+    seen: set = set()
+
+    def visit_plan(plan: "QueryPlan") -> Iterator[PlanNode]:
+        if id(plan) in seen:
+            return
+        seen.add(id(plan))
+        if plan.root is not None:
+            yield from visit_node(plan.root)
+        for __, part in plan.union_parts:
+            yield from visit_plan(part)
+
+    def visit_node(node: PlanNode) -> Iterator[PlanNode]:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        yield node
+        for child in node.children():
+            yield from visit_node(child)
+        subplan = getattr(node, "subplan", None)
+        if subplan is not None:
+            yield from visit_plan(subplan)
+
+    yield from visit_plan(query_plan)
 
 
 # ---------------------------------------------------------------------------

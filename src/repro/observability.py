@@ -49,6 +49,7 @@ skipped optimize stages are the saving being traced.  The
 from __future__ import annotations
 
 import random
+import re
 import time
 from typing import Callable, Dict, Iterator, List, Optional
 
@@ -429,6 +430,35 @@ class MetricsRegistry:
                            in sorted(self._histograms.items())},
         }
 
+    def to_prometheus(self, prefix: str = "repro_") -> str:
+        """The whole registry in Prometheus text exposition format.
+
+        Counters export as monotonic counters (``_total`` suffix),
+        gauges as gauges, and streaming histograms as summaries
+        (``quantile`` labels plus ``_sum`` / ``_count``).  Dots and any
+        other invalid characters in registry names become underscores.
+        """
+        lines: List[str] = []
+        for name, value in sorted(self._counters.items()):
+            metric = _prometheus_name(name, prefix) + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_prometheus_value(value)}")
+        for name, value in sorted(self._gauges.items()):
+            metric = _prometheus_name(name, prefix)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_prometheus_value(value)}")
+        for name, histogram in sorted(self._histograms.items()):
+            metric = _prometheus_name(name, prefix)
+            lines.append(f"# TYPE {metric} summary")
+            for q in ("0.5", "0.95", "0.99"):
+                value = histogram.quantile(float(q))
+                lines.append(f'{metric}{{quantile="{q}"}} '
+                             f"{_prometheus_value(value)}")
+            lines.append(
+                f"{metric}_sum {_prometheus_value(histogram.total)}")
+            lines.append(f"{metric}_count {histogram.count}")
+        return "\n".join(lines) + "\n" if lines else ""
+
     def report(self) -> str:
         lines: List[str] = []
         if self._counters:
@@ -456,3 +486,17 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(name: str, prefix: str) -> str:
+    return prefix + _PROM_INVALID.sub("_", name)
+
+
+def _prometheus_value(value: float) -> str:
+    number = float(value)
+    if number.is_integer():
+        return str(int(number))
+    return repr(number)

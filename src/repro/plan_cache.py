@@ -153,6 +153,20 @@ class PlanCache:
             self._entries.popitem(last=False)
             self._count("evictions")
 
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry (counted as an invalidation) if present.
+
+        The plan-quality feedback loop calls this when a statement's
+        Q-error stays above threshold for a full breach streak: the
+        cached plan was built from estimates that reality keeps
+        contradicting, so the next execution must re-optimize.
+        """
+        if key not in self._entries:
+            return False
+        del self._entries[key]
+        self._count("invalidations")
+        return True
+
     def invalidate_all(self) -> int:
         """Drop every entry (counted as invalidations); returns how many."""
         dropped = len(self._entries)

@@ -239,7 +239,8 @@ class StorageEngine:
         heap = self.heap(table_name)
         schema = heap.schema
         unique_columns = schema.unique_columns()
-        statistics = TableStatistics(row_count=heap.row_count)
+        statistics = TableStatistics(row_count=heap.row_count,
+                                     analyzed=True)
         for column in schema.columns:
             values = heap.column_values(column.name)
             statistics.columns[column.name] = ColumnStatistics.from_values(

@@ -96,3 +96,35 @@ def test_batch_engine_runs_with_live_counters(smoke_dbs, number):
     assert db.metrics.count("exec.compiled_exprs") > before_exprs
     # ... and produced the row engine's exact result multiset.
     assert sorted(map(repr, batch.rows)) == sorted(map(repr, row.rows))
+
+
+@pytest.mark.parametrize("number", SMOKE_QUERIES)
+def test_plan_quality_counters_advance(smoke_dbs, number):
+    """Every executed statement feeds the plan-quality loop: the
+    ``planq.*`` counters advance and the per-statement snapshot carries
+    a finite Q-error for every plan node."""
+    db, __ = smoke_dbs
+    sql = TPCH_QUERIES[number]
+    before = db.metrics.count("planq.statements")
+    result = db.run(sql)
+    assert db.metrics.count("planq.statements") == before + 1
+    quality = result.plan_quality
+    assert quality is not None and quality.nodes
+    assert quality.root_q >= 1.0
+    assert quality.max_q >= max(quality.root_q, 1.0)
+    histogram = db.metrics.histogram("planq.max_q")
+    assert histogram is not None and histogram.count >= 1
+    assert histogram.max >= quality.max_q or histogram.count > 1
+
+
+def test_plan_quality_export_surfaces(smoke_dbs):
+    """After a workload the quality aggregates are exportable: the
+    ledger holds entries and the Prometheus text carries planq series."""
+    db, __ = smoke_dbs
+    db.run(TPCH_QUERIES[SMOKE_QUERIES[0]])
+    assert len(db.misestimation_ledger) >= 1
+    report = db.plan_quality_report()
+    assert report["worst_fingerprints"]
+    export = db.metrics_export()
+    assert "repro_planq_statements_total" in export
+    assert "repro_planq_max_q_count" in export
