@@ -18,6 +18,11 @@ optimizers and the bridge the paper describes between them:
 * :mod:`repro.resilience` — fault containment for the detour: fallback
   reason taxonomy, compile budgets, per-statement circuit breaker,
   fallback telemetry, and seedable fault injection;
+* :mod:`repro.governor` — execution-stage resource governance: per-
+  statement wall-clock deadlines (``run(sql, timeout_seconds=...)``),
+  cooperative cancellation (``db.cancel(statement_id)`` /
+  :class:`repro.CancelToken`), and tracked operator-memory limits with
+  a graceful streaming-aggregation degradation;
 * :mod:`repro.observability` — per-statement span tracing
   (``db.run(sql, trace=True)``), the process-wide metrics registry
   (``db.metrics_report()``), and EXPLAIN ANALYZE stage breakdowns;
@@ -38,7 +43,14 @@ Quickstart::
 """
 
 from repro.database import Database, DatabaseConfig, StatementResult
-from repro.errors import ReproError
+from repro.errors import (
+    DeadlineExceededError,
+    GovernorError,
+    ReproError,
+    ResourceExhaustedError,
+    StatementCancelledError,
+)
+from repro.governor import CancelToken, ExecutionGovernor
 from repro.observability import MetricsRegistry, Span, Tracer
 from repro.resilience import (
     CircuitBreaker,
@@ -52,16 +64,22 @@ from repro.resilience import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CancelToken",
     "CircuitBreaker",
     "CompileBudget",
     "Database",
     "DatabaseConfig",
+    "DeadlineExceededError",
+    "ExecutionGovernor",
     "FallbackLog",
     "FallbackReason",
     "FaultInjector",
+    "GovernorError",
     "MetricsRegistry",
     "ReproError",
+    "ResourceExhaustedError",
     "Span",
+    "StatementCancelledError",
     "StatementResult",
     "Tracer",
     "statement_fingerprint",

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.database import Database
+from repro.errors import DeadlineExceededError, ExecutionError
 
 
 @dataclass
@@ -233,7 +234,13 @@ class _RunOutcome:
 
 def _timed_run(db: Database, sql: str, optimizer: str,
                timeout_seconds: float, trace: bool = False) -> _RunOutcome:
-    """Run one query with a soft timeout (SIGALRM where available).
+    """Run one query with a per-query timeout.
+
+    The timeout is the execution governor's statement deadline
+    (``db.run(sql, timeout_seconds=...)``), which aborts cooperatively
+    at the next checkpoint; a SIGALRM backstop at several times the
+    deadline (where the platform has one) still fires if a statement
+    hard-hangs between checkpoints.
 
     All wall-clock numbers come from ``time.perf_counter()`` — the
     monotonic clock — never the wall-clock ``time.time`` API, which can
@@ -257,10 +264,12 @@ def _timed_run(db: Database, sql: str, optimizer: str,
     use_alarm = hasattr(signal, "SIGALRM")
     if use_alarm:
         previous = signal.signal(signal.SIGALRM, _raise_timeout)
-        signal.setitimer(signal.ITIMER_REAL, timeout_seconds)
+        signal.setitimer(signal.ITIMER_REAL,
+                         max(timeout_seconds * 5, timeout_seconds + 1.0))
     try:
         result = db.run(sql, optimizer=optimizer, trace=trace,
-                        use_plan_cache=False)
+                        use_plan_cache=False,
+                        timeout_seconds=timeout_seconds)
         rows = result.rows
         optimize_seconds = result.compile_seconds
         execute_seconds = result.execute_seconds
@@ -272,7 +281,13 @@ def _timed_run(db: Database, sql: str, optimizer: str,
             worst_operator = result.plan_quality.worst_operator
         if result.fallback_reason is not None:
             fallback_reason = result.fallback_reason.value
-    except _SoftTimeout:
+    except (DeadlineExceededError, _SoftTimeout):
+        timed_out = True
+    except ExecutionError as exc:
+        # The SIGALRM backstop can fire inside the executor, where the
+        # Database wraps foreign exceptions; unwrap it back to a timeout.
+        if not isinstance(exc.__cause__, _SoftTimeout):
+            raise
         timed_out = True
     finally:
         if use_alarm:

@@ -54,9 +54,14 @@ class OrcaRouter:
 
     def __init__(self, catalog: Catalog, config,
                  orca_config: Optional[OrcaConfig] = None,
-                 tracer=None, metrics=None) -> None:
+                 tracer=None, metrics=None, governor=None) -> None:
         self.catalog = catalog
         self.config = config
+        #: Per-statement :class:`repro.governor.ExecutionGovernor` (or
+        #: None).  The detour honours it two ways: the compile budget is
+        #: capped to the statement's remaining deadline, and cooperative
+        #: cancellation fires at the budget's own check sites.
+        self.governor = governor
         if orca_config is not None:
             self.orca_config = orca_config
         else:
@@ -105,6 +110,14 @@ class OrcaRouter:
     def _optimize(self, block: QueryBlock,
                   context: StatementContext) -> SkeletonPlan:
         budget = CompileBudget.from_config(self.config)
+        if self.governor is not None:
+            # The optimize stage must not spend wall-clock the
+            # statement deadline no longer has: whichever bound is
+            # tighter becomes the compile budget, so an overrun aborts
+            # the detour (BUDGET_EXCEEDED -> MySQL fallback) before the
+            # statement's own deadline fires mid-search.
+            budget = self.governor.cap_compile_budget(budget)
+            self.governor.checkpoint(stage="orca_detour")
         injector = getattr(self.config, "fault_injector", None)
         provider = MySQLMetadataProvider(self.catalog,
                                          fault_injector=injector,

@@ -28,12 +28,18 @@ import datetime
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import TableSchema
-from repro.errors import ReproError
+from repro.errors import (
+    ExecutionError,
+    GovernorError,
+    ReproError,
+    ResourceExhaustedError,
+)
 from repro.executor.executor import Executor
+from repro.governor import CancelToken, ExecutionGovernor
 from repro.executor.explain import explain_plan
 from repro.mysql_optimizer.optimizer import MySQLOptimizer
 from repro.mysql_optimizer.refinement import PlanBuilder
@@ -65,6 +71,7 @@ from repro.resilience import (
     FallbackLog,
     FallbackReason,
     FaultInjector,
+    classify_execution_exception,
     statement_fingerprint,
 )
 from repro.sql import ast as sql_ast
@@ -76,6 +83,15 @@ from repro.storage.engine import StorageEngine
 #: Valid values for ``DatabaseConfig.routing``.
 ROUTING_POLICIES = ("threshold", "cost_based")
 EXECUTOR_MODES = ("batch", "row")
+
+#: Metric counter bumped per abort reason (satellite: the governor's
+#: metric names are part of the documented contract).
+_ABORT_COUNTERS = {
+    FallbackReason.DEADLINE_EXCEEDED: "governor.deadline_exceeded",
+    FallbackReason.STATEMENT_CANCELLED: "governor.cancelled",
+    FallbackReason.RESOURCE_EXHAUSTED: "governor.mem_breaches",
+    FallbackReason.EXEC_RUNTIME_ERROR: "governor.exec_errors",
+}
 
 
 @dataclass
@@ -155,6 +171,30 @@ class DatabaseConfig:
     #: Total statement latency (compile + execute seconds) above which
     #: a statement is logged.
     slow_query_log_threshold_seconds: float = 0.25
+    #: Default per-statement wall-clock deadline in seconds; ``None`` =
+    #: unbounded.  Overridable per statement via
+    #: ``run(sql, timeout_seconds=...)``; breaches abort with
+    #: :class:`repro.errors.DeadlineExceededError`.
+    statement_timeout_seconds: Optional[float] = None
+    #: Default per-statement cap on tracked operator memory (bytes
+    #: charged by hash join builds, hash aggregates, sorts, and
+    #: materialisations); ``None`` = unbounded.  Overridable via
+    #: ``run(sql, memory_limit_bytes=...)``.
+    statement_memory_limit_bytes: Optional[int] = None
+    #: Create an :class:`repro.governor.ExecutionGovernor` for every
+    #: statement (required for ``db.cancel(statement_id)`` to reach
+    #: in-flight statements).  With False a governor exists only when a
+    #: bound or cancel token is passed explicitly — the pre-governor
+    #: zero-overhead path, used to baseline checkpoint overhead.
+    governor_enabled: bool = True
+    #: Rows between cooperative checkpoints on row-mode paths (batch
+    #: mode checkpoints per batch regardless).
+    governor_check_interval: int = 256
+    #: Graceful degradation: a statement whose hash aggregate breaches
+    #: the memory cap retries once with aggregation forced to
+    #: sort+stream (the sort's charges spill instead of raising) before
+    #: the breach is surfaced.
+    governor_stream_agg_retry: bool = True
 
     def __post_init__(self) -> None:
         if self.routing not in ROUTING_POLICIES:
@@ -178,6 +218,14 @@ class DatabaseConfig:
         if self.slow_query_log_threshold_seconds < 0.0:
             raise ReproError(
                 "slow_query_log_threshold_seconds must be >= 0")
+        if self.statement_timeout_seconds is not None \
+                and self.statement_timeout_seconds < 0.0:
+            raise ReproError("statement_timeout_seconds must be >= 0")
+        if self.statement_memory_limit_bytes is not None \
+                and self.statement_memory_limit_bytes < 1:
+            raise ReproError("statement_memory_limit_bytes must be >= 1")
+        if self.governor_check_interval < 1:
+            raise ReproError("governor_check_interval must be >= 1")
 
 
 @dataclass
@@ -206,6 +254,16 @@ class StatementResult:
     #: Per-node estimated/actual/Q-error snapshot of this execution;
     #: ``None`` only for DML (no plan tree to compare against).
     plan_quality: Optional[StatementQuality] = None
+    #: Monotonic id of this statement within the Database instance —
+    #: the handle ``db.cancel(statement_id)`` takes.
+    statement_id: int = 0
+    #: Snapshot of the execution governor (peak tracked bytes, deadline
+    #: budget used, checkpoints); ``None`` when the statement ran
+    #: ungoverned.
+    governor_stats: Optional[dict] = None
+    #: True when a hash-agg memory breach degraded this statement to
+    #: the reduced-memory streaming retry (results are still exact).
+    low_memory_retry: bool = False
 
     def trace_export(self) -> List[dict]:
         """Flat JSON trace: one dict per span (name, start, duration,
@@ -256,6 +314,17 @@ class Database:
         #: inspect its bridge components (e.g. ``last_accessor.stats()``
         #: for the metadata-cache hit ratio of one statement).
         self.last_router = None
+        #: In-flight statements: statement_id -> (sql, governor).  The
+        #: registry exists so ``cancel(statement_id)`` can reach a
+        #: statement's cancel token from another thread; entries are
+        #: removed in ``run()``'s finally regardless of outcome.
+        self._active_statements: Dict[int, Tuple[str, ExecutionGovernor]] \
+            = {}
+        self._next_statement_id = 1
+        # Declared up front so metrics_export() shows the governor
+        # histogram from statement one — and so the empty-histogram
+        # hardening has a permanent in-tree exercise.
+        self.metrics.declare_histogram("governor.peak_bytes")
 
     # -- DDL / DML ---------------------------------------------------------------
 
@@ -271,7 +340,8 @@ class Database:
 
     # -- compilation -------------------------------------------------------------
 
-    def _compile(self, sql: str, optimizer: str
+    def _compile(self, sql: str, optimizer: str,
+                 governor: Optional[ExecutionGovernor] = None
                  ) -> Tuple[Executor, str, Optional[FallbackReason],
                             SkeletonPlan]:
         """Parse, prepare, optimize, and refine.
@@ -283,16 +353,24 @@ class Database:
         if not isinstance(stmt, sql_ast.SelectStmt):
             raise ReproError("only SELECT statements can be compiled; "
                              "DML executes directly")
-        return self._compile_select(stmt, optimizer, sql)
+        return self._compile_select(stmt, optimizer, sql,
+                                    governor=governor)
 
     def _compile_select(self, stmt, optimizer: str, sql: str,
-                        cache_status: Optional[str] = None
+                        cache_status: Optional[str] = None,
+                        governor: Optional[ExecutionGovernor] = None
                         ) -> Tuple[Executor, str, Optional[FallbackReason],
                                    SkeletonPlan]:
         tracer = self.tracer
         with tracer.span("prepare"):
             block, context = Resolver(self.catalog).resolve(stmt)
             prepare(block)
+        if governor is not None:
+            # Stage-boundary checkpoint: a cancelled/expired statement
+            # aborts before any optimizer work starts.  Within the Orca
+            # detour itself the governor additionally shrinks the
+            # CompileBudget to the remaining deadline (see OrcaRouter).
+            governor.checkpoint(stage="prepare")
 
         with tracer.span("route") as route_span:
             route = self._route(stmt, optimizer)
@@ -312,7 +390,7 @@ class Database:
             top_cost = skeleton.skeleton_for(block).total_cost
             if top_cost >= self.config.mysql_cost_threshold:
                 orca_skeleton, fallback_reason = self._guarded_detour(
-                    stmt, block, context, sql)
+                    stmt, block, context, sql, governor)
                 if orca_skeleton is not None:
                     # On fallback the greedy skeleton computed above is
                     # reused as-is — no recompute.
@@ -320,18 +398,23 @@ class Database:
                     used = "orca"
         elif route == "orca":
             skeleton, fallback_reason = self._guarded_detour(
-                stmt, block, context, sql)
+                stmt, block, context, sql, governor)
             used = "orca" if skeleton is not None else "mysql"
         if skeleton is None:
             with tracer.span("mysql_optimize"):
                 skeleton = MySQLOptimizer(self.catalog).optimize(
                     block, context)
+        if governor is not None:
+            governor.checkpoint(stage="optimize")
         with tracer.span("refine"):
             executor = PlanBuilder(skeleton, self.catalog,
                                    self.storage).build()
+        if governor is not None:
+            governor.checkpoint(stage="refine")
         return executor, used, fallback_reason, skeleton
 
-    def _guarded_detour(self, stmt, block, context, sql: str
+    def _guarded_detour(self, stmt, block, context, sql: str,
+                        governor: Optional[ExecutionGovernor] = None
                         ) -> Tuple[Optional[SkeletonPlan],
                                    Optional[FallbackReason]]:
         """Enter the Orca detour under containment.
@@ -354,7 +437,8 @@ class Database:
                          fallback_reason=FallbackReason.CIRCUIT_OPEN.value)
                 return None, FallbackReason.CIRCUIT_OPEN
             router = OrcaRouter(self.catalog, self.config,
-                                tracer=self.tracer, metrics=self.metrics)
+                                tracer=self.tracer, metrics=self.metrics,
+                                governor=governor)
             self.last_router = router
             self.fallback_log.record_detour_entry()
             outcome = router.optimize_guarded(stmt, block, context)
@@ -400,11 +484,19 @@ class Database:
 
     # -- DML ---------------------------------------------------------------------
 
-    def _execute_dml(self, stmt, start: float) -> StatementResult:
+    def _execute_dml(self, stmt, start: float,
+                     governor: Optional[ExecutionGovernor] = None
+                     ) -> StatementResult:
         """Run INSERT/DELETE/UPDATE directly (never routed — Section 4.1)."""
         from repro import dml
 
         compiled = time.perf_counter()
+        if governor is not None:
+            # DML mutates storage in one shot, so the only safe abort
+            # point is *before* the write — a cancellation landing here
+            # leaves storage untouched; after this checkpoint the
+            # statement runs to completion.
+            governor.checkpoint(stage="dml")
         with self.tracer.span("execute"):
             if isinstance(stmt, sql_ast.InsertStmt):
                 affected = dml.execute_insert(self.storage, stmt)
@@ -426,10 +518,57 @@ class Database:
     def execute(self, sql: str, optimizer: str = "auto") -> List[tuple]:
         return self.run(sql, optimizer).rows
 
+    # -- governance --------------------------------------------------------------
+
+    def _make_governor(self, timeout_seconds: Optional[float],
+                       memory_limit_bytes: Optional[int],
+                       cancel_token: Optional[CancelToken]
+                       ) -> Optional[ExecutionGovernor]:
+        """The per-statement governor: explicit bounds beat config
+        defaults; None when governance is off and nothing was asked."""
+        config = self.config
+        timeout = timeout_seconds if timeout_seconds is not None \
+            else config.statement_timeout_seconds
+        limit = memory_limit_bytes if memory_limit_bytes is not None \
+            else config.statement_memory_limit_bytes
+        if not config.governor_enabled and timeout is None \
+                and limit is None and cancel_token is None:
+            return None
+        return ExecutionGovernor(
+            timeout_seconds=timeout,
+            memory_limit_bytes=limit,
+            cancel_token=cancel_token,
+            fault_injector=config.fault_injector,
+            check_interval=config.governor_check_interval)
+
+    def cancel(self, statement_id: int,
+               reason: str = "cancelled by client") -> bool:
+        """Request cooperative cancellation of an in-flight statement.
+
+        Returns True when the statement is still running — it will
+        abort with :class:`repro.errors.StatementCancelledError` at its
+        next governor checkpoint — and False when the id is unknown or
+        the statement already finished.  Safe to call from another
+        thread (it only sets a flag).
+        """
+        entry = self._active_statements.get(statement_id)
+        if entry is None:
+            return False
+        entry[1].cancel(reason)
+        return True
+
+    def active_statements(self) -> Dict[int, str]:
+        """statement_id -> SQL text of every in-flight statement."""
+        return {sid: sql
+                for sid, (sql, __) in self._active_statements.items()}
+
     def run(self, sql: str, optimizer: str = "auto",
             explain: bool = False, trace: bool = False,
             use_plan_cache: bool = True,
-            executor_mode: Optional[str] = None) -> StatementResult:
+            executor_mode: Optional[str] = None,
+            timeout_seconds: Optional[float] = None,
+            memory_limit_bytes: Optional[int] = None,
+            cancel_token: Optional[CancelToken] = None) -> StatementResult:
         """Execute with timing breakdown (used by the benchmark harness).
 
         DML statements return a single row holding the affected-row
@@ -443,113 +582,266 @@ class Database:
         this statement only (no lookup, no store).
         ``executor_mode="batch"|"row"`` overrides
         ``config.executor_mode`` for this statement only.
+
+        ``timeout_seconds`` / ``memory_limit_bytes`` override the
+        config-default statement bounds for this statement;
+        ``cancel_token`` installs a caller-owned
+        :class:`repro.governor.CancelToken`.  A breached bound aborts
+        the statement with the matching typed
+        :class:`repro.errors.GovernorError` subclass and leaves
+        storage, the plan cache, metrics streaks, and the misestimation
+        ledger exactly as if the statement never ran — one exception:
+        a hash-aggregate memory breach first retries once in streaming
+        mode (see ``config.governor_stream_agg_retry``).
         """
         if executor_mode is not None and executor_mode not in EXECUTOR_MODES:
             raise ReproError(
                 f"unknown executor_mode {executor_mode!r}; valid "
                 f"choices: {', '.join(EXECUTOR_MODES)}")
+        governor = self._make_governor(timeout_seconds, memory_limit_bytes,
+                                       cancel_token)
+        statement_id = self._next_statement_id
+        self._next_statement_id += 1
+        if governor is not None:
+            self._active_statements[statement_id] = (sql, governor)
         previous = self.tracer
         if trace and not previous.enabled:
             self.tracer = Tracer()
         try:
             result = self._run(sql, optimizer, explain, use_plan_cache,
-                               executor_mode)
+                               executor_mode, governor, statement_id)
             if self.tracer.enabled:
                 result.trace = self.tracer.last_root
             self._log_slow_query(sql, result)
             return result
         finally:
+            self._active_statements.pop(statement_id, None)
             self.tracer = previous
 
     def _run(self, sql: str, optimizer: str, explain: bool,
              use_plan_cache: bool = True,
-             executor_mode: Optional[str] = None) -> StatementResult:
+             executor_mode: Optional[str] = None,
+             governor: Optional[ExecutionGovernor] = None,
+             statement_id: int = 0) -> StatementResult:
         tracer = self.tracer
         self.metrics.inc("statements.total")
         start = time.perf_counter()
         with tracer.span("statement", sql=sql,
                          optimizer=optimizer) as stmt_span:
-            with tracer.span("parse"):
-                stmt = parse_statement(sql)
-            if not isinstance(stmt, sql_ast.SelectStmt):
-                result = self._execute_dml(stmt, start)
-                stmt_span.set(optimizer_used=result.optimizer_used)
-                return result
-            self.metrics.inc("statements.select")
-            cache_enabled = use_plan_cache and \
-                self.config.plan_cache_enabled
-            cache_key = statement_cache_key(sql, optimizer)
-            cached = self.plan_cache.lookup(
-                cache_key, self.catalog.version) if cache_enabled else None
-            fallback_reason: Optional[FallbackReason] = None
-            if cached is not None:
-                # Hit: the refined executable plan is reused as-is; the
-                # whole optimize pipeline (prepare, route, detour or
-                # MySQL optimization, refine) is skipped.
-                executor = cached.executor
-                used = cached.optimizer_used
-                with tracer.span("route") as route_span:
-                    route_span.set(plan_cache="hit", route=used,
-                                   policy=self.config.routing)
-            else:
-                status = "miss" if cache_enabled else "bypass"
-                executor, used, fallback_reason, skeleton = \
-                    self._compile_select(stmt, optimizer, sql,
-                                         cache_status=status)
-                if cache_enabled and fallback_reason is None:
-                    # Never cache a statement whose detour fell back
-                    # (circuit open, budget overrun, crash): each run
-                    # must re-attempt routing and keep feeding the
-                    # breaker.
-                    self.plan_cache.store(cache_key, PlanCacheEntry(
-                        executor=executor,
-                        skeleton=skeleton,
-                        optimizer_used=used,
-                        catalog_version=self.catalog.version,
-                        fingerprint=statement_fingerprint(sql)))
-            explain_text = explain_plan(executor.top_plan) \
-                if explain else None
-            mode = executor_mode or self.config.executor_mode
-            compiled = time.perf_counter()
-            with tracer.span("execute") as exec_span:
-                rows = executor.execute(mode=mode, metrics=self.metrics)
-                exec_span.set(executor_mode=executor.last_mode)
-                if executor.last_mode == "batch":
-                    runtime = executor.last_runtime
-                    exec_span.set(batches=runtime.batches,
-                                  batch_rows=runtime.batch_rows)
-            done = time.perf_counter()
-            quality = statement_quality(executor)
-            self._record_plan_quality(sql, cache_key, quality, used,
-                                      cached is not None, exec_span)
-            if mode == "batch" and executor.last_mode == "row":
-                # The batch engine refused this plan; record the
-                # degradation through the same taxonomy as detour
-                # fallbacks so operators see it in one report.
-                self.fallback_log.record_fallback(FallbackEvent(
-                    fingerprint=statement_fingerprint(sql),
-                    reason=FallbackReason.EXEC_BATCH_UNSUPPORTED,
-                    error_message=executor.batch_unsupported_reason,
-                    sql=sql))
-            self.metrics.inc(f"statements.{used}")
-            self.metrics.observe("statement.compile_seconds",
-                                 compiled - start)
-            self.metrics.observe("statement.execute_seconds",
-                                 done - compiled)
-            stmt_span.set(optimizer_used=used, rows=len(rows),
-                          plan_cache_hit=cached is not None,
-                          executor_mode=executor.last_mode)
-            return StatementResult(
-                rows=rows,
+            try:
+                return self._run_governed(sql, optimizer, explain,
+                                          use_plan_cache, executor_mode,
+                                          governor, statement_id, start,
+                                          stmt_span)
+            except (GovernorError, ExecutionError) as exc:
+                # An aborted statement: classify, count, and unwind.
+                # Deliberately skipped: the plan-cache store, the
+                # misestimation ledger's streak, planq metrics, and the
+                # compile/execute latency observations — the statement
+                # must leave the Database as if it never ran.
+                self._record_abort(sql, exc, governor, stmt_span)
+                raise
+
+    def _run_governed(self, sql: str, optimizer: str, explain: bool,
+                      use_plan_cache: bool,
+                      executor_mode: Optional[str],
+                      governor: Optional[ExecutionGovernor],
+                      statement_id: int, start: float,
+                      stmt_span) -> StatementResult:
+        tracer = self.tracer
+        with tracer.span("parse"):
+            stmt = parse_statement(sql)
+        if governor is not None:
+            governor.checkpoint(stage="parse")
+        if not isinstance(stmt, sql_ast.SelectStmt):
+            result = self._execute_dml(stmt, start, governor)
+            stmt_span.set(optimizer_used=result.optimizer_used)
+            result.statement_id = statement_id
+            return result
+        self.metrics.inc("statements.select")
+        cache_enabled = use_plan_cache and \
+            self.config.plan_cache_enabled
+        cache_key = statement_cache_key(sql, optimizer)
+        cached = self.plan_cache.lookup(
+            cache_key, self.catalog.version) if cache_enabled else None
+        fallback_reason: Optional[FallbackReason] = None
+        if cached is not None:
+            # Hit: the refined executable plan is reused as-is; the
+            # whole optimize pipeline (prepare, route, detour or
+            # MySQL optimization, refine) is skipped.
+            executor = cached.executor
+            used = cached.optimizer_used
+            skeleton = cached.skeleton
+            with tracer.span("route") as route_span:
+                route_span.set(plan_cache="hit", route=used,
+                               policy=self.config.routing)
+        else:
+            status = "miss" if cache_enabled else "bypass"
+            executor, used, fallback_reason, skeleton = \
+                self._compile_select(stmt, optimizer, sql,
+                                     cache_status=status,
+                                     governor=governor)
+        explain_text = explain_plan(executor.top_plan) \
+            if explain else None
+        mode = executor_mode or self.config.executor_mode
+        compiled = time.perf_counter()
+        with tracer.span("execute") as exec_span:
+            rows, executor, governor, low_memory_retry = \
+                self._execute_governed(executor, skeleton, mode,
+                                       governor, sql)
+            exec_span.set(executor_mode=executor.last_mode)
+            if executor.last_mode == "batch":
+                runtime = executor.last_runtime
+                exec_span.set(batches=runtime.batches,
+                              batch_rows=runtime.batch_rows)
+        done = time.perf_counter()
+        quality = statement_quality(executor)
+        self._record_plan_quality(sql, cache_key, quality, used,
+                                  cached is not None, exec_span)
+        if cached is None and cache_enabled and fallback_reason is None \
+                and not low_memory_retry:
+            # Deferred store — only a statement that *executed to
+            # completion* enters the cache.  Never cache a fallen-back
+            # detour (circuit open, budget overrun, crash: each run
+            # must re-attempt routing and keep feeding the breaker),
+            # an aborted statement (the except path above never gets
+            # here), or a reduced-memory retry plan (the forced-stream
+            # shape is a degradation, not the optimizer's choice).
+            self.plan_cache.store(cache_key, PlanCacheEntry(
+                executor=executor,
+                skeleton=skeleton,
                 optimizer_used=used,
-                compile_seconds=compiled - start,
-                execute_seconds=done - compiled,
-                explain=explain_text,
-                fallback_reason=fallback_reason,
-                plan_cache_hit=cached is not None,
-                executor_mode=executor.last_mode,
-                plan_quality=quality,
-            )
+                catalog_version=self.catalog.version,
+                fingerprint=statement_fingerprint(sql)))
+        if mode == "batch" and executor.last_mode == "row":
+            # The batch engine refused this plan; record the
+            # degradation through the same taxonomy as detour
+            # fallbacks so operators see it in one report.
+            self.fallback_log.record_fallback(FallbackEvent(
+                fingerprint=statement_fingerprint(sql),
+                reason=FallbackReason.EXEC_BATCH_UNSUPPORTED,
+                error_message=executor.batch_unsupported_reason,
+                sql=sql))
+        self.metrics.inc(f"statements.{used}")
+        self.metrics.observe("statement.compile_seconds",
+                             compiled - start)
+        self.metrics.observe("statement.execute_seconds",
+                             done - compiled)
+        governor_stats = None
+        if governor is not None:
+            governor_stats = governor.stats()
+            self.metrics.observe("governor.peak_bytes",
+                                 governor.memory.peak_bytes)
+        stmt_span.set(optimizer_used=used, rows=len(rows),
+                      plan_cache_hit=cached is not None,
+                      executor_mode=executor.last_mode)
+        return StatementResult(
+            rows=rows,
+            optimizer_used=used,
+            compile_seconds=compiled - start,
+            execute_seconds=done - compiled,
+            explain=explain_text,
+            fallback_reason=fallback_reason,
+            plan_cache_hit=cached is not None,
+            executor_mode=executor.last_mode,
+            plan_quality=quality,
+            statement_id=statement_id,
+            governor_stats=governor_stats,
+            low_memory_retry=low_memory_retry,
+        )
+
+    def _execute_governed(self, executor: Executor,
+                          skeleton: Optional[SkeletonPlan], mode: str,
+                          governor: Optional[ExecutionGovernor],
+                          sql: str):
+        """Run the plan under the governor, with one degradation path.
+
+        A hash-aggregate memory breach — and only that breach — retries
+        the statement once with aggregation forced to sort+stream under
+        a fresh governor carrying the remaining deadline and the same
+        cancel token.  The inserted sorts charge as *spillable* so the
+        retry cannot be killed by the operator the degradation added.
+        Returns ``(rows, executor, governor, low_memory_retry)``; the
+        retry executor replaces the original for quality reporting.
+        """
+        injector = self.config.fault_injector
+        try:
+            rows = self._execute_wrapped(executor, mode, governor,
+                                         injector)
+            return rows, executor, governor, False
+        except ResourceExhaustedError as exc:
+            if exc.operator != "hash_agg" \
+                    or not self.config.governor_stream_agg_retry \
+                    or skeleton is None or governor is None:
+                raise
+            self.metrics.inc("governor.stream_agg_retries")
+            self.metrics.inc("governor.mem_breaches")
+            self.fallback_log.record_fallback(FallbackEvent(
+                fingerprint=statement_fingerprint(sql),
+                reason=FallbackReason.RESOURCE_EXHAUSTED,
+                error_type=type(exc).__name__,
+                error_message=(f"{exc} — degraded to streaming "
+                               f"aggregation and retried"),
+                sql=sql))
+            retry_governor = ExecutionGovernor(
+                timeout_seconds=governor.remaining_seconds(),
+                memory_limit_bytes=governor.memory.limit_bytes,
+                cancel_token=governor.cancel_token,
+                check_interval=governor.check_interval,
+                spill_sorts=True, low_memory=True)
+            with self.tracer.span("low_memory_retry"):
+                retry_executor = PlanBuilder(
+                    skeleton, self.catalog, self.storage,
+                    force_stream_agg=True).build()
+                # The retry runs without fault injection: an armed
+                # alloc-spike would re-breach the degraded plan too and
+                # turn every chaos spike into a hard failure.
+                rows = self._execute_wrapped(retry_executor, mode,
+                                             retry_governor, None)
+            return rows, retry_executor, retry_governor, True
+
+    def _execute_wrapped(self, executor: Executor, mode: str,
+                         governor: Optional[ExecutionGovernor],
+                         injector) -> List[tuple]:
+        """Execute, wrapping non-typed escapes as ExecutionError.
+
+        Anything that is not already a ReproError (an injected crash, a
+        storage bug) is chained into a typed ExecutionError so every
+        abort maps onto the FallbackReason taxonomy."""
+        try:
+            return executor.execute(mode=mode, metrics=self.metrics,
+                                    governor=governor, injector=injector)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise ExecutionError(
+                f"execution failed: {type(exc).__name__}: {exc}") from exc
+
+    def _record_abort(self, sql: str, exc: ReproError,
+                      governor: Optional[ExecutionGovernor],
+                      stmt_span) -> None:
+        """Bookkeeping for an aborted statement.
+
+        Records a FallbackEvent with the execution-stage reason and
+        bumps the governor counters; deliberately does NOT touch the
+        plan cache or the misestimation ledger's streaks (the abort
+        must not poison either — the ledger only counts it).
+        """
+        reason = classify_execution_exception(exc)
+        self.fallback_log.record_fallback(FallbackEvent(
+            fingerprint=statement_fingerprint(sql),
+            reason=reason,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            sql=sql))
+        self.metrics.inc(_ABORT_COUNTERS[reason])
+        self.metrics.inc("statements.aborted")
+        self.misestimation_ledger.note_aborted()
+        if governor is not None:
+            self.metrics.observe("governor.peak_bytes",
+                                 governor.memory.peak_bytes)
+        stmt_span.set(aborted=True, abort_reason=reason.value,
+                      error_type=type(exc).__name__)
 
     def _record_plan_quality(self, sql: str, cache_key: str,
                              quality: StatementQuality, used: str,
@@ -612,16 +904,18 @@ class Database:
         if mode not in EXECUTOR_MODES:
             raise ReproError(f"unknown executor mode {mode!r}; "
                              f"expected one of {EXECUTOR_MODES}")
+        governor = self._make_governor(None, None, None)
         previous = self.tracer
         if not previous.enabled:
             self.tracer = Tracer()
         try:
             with self.tracer.span("statement", sql=sql) as root:
                 start = time.perf_counter()
-                executor, used, __, __ = self._compile(sql, optimizer)
+                executor, used, __, __ = self._compile(sql, optimizer,
+                                                       governor)
                 compiled = time.perf_counter()
                 with self.tracer.span("execute"):
-                    executor.execute(mode=mode)
+                    executor.execute(mode=mode, governor=governor)
                 done = time.perf_counter()
         finally:
             self.tracer = previous
@@ -644,6 +938,8 @@ class Database:
             batches=executor.last_runtime.batches,
             batch_rows=executor.last_runtime.batch_rows,
             compiled_exprs=executor.compiled_expr_count,
+            governor_stats=governor.stats()
+            if governor is not None else None,
         )
         # Copy rebind counts (Section 7, Orca change 3) onto the
         # materialise nodes so the rendering can show them.

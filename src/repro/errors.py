@@ -103,3 +103,57 @@ class InvalidOidError(MetadataProviderError):
 
 class ExecutionError(ReproError):
     """Raised during plan execution."""
+
+
+class GovernorError(ReproError):
+    """Base class for execution-governor aborts.
+
+    Raised at a cooperative checkpoint when a per-statement bound
+    (deadline, cancellation, memory cap) is breached.  The Database
+    facade maps each subclass onto a :class:`repro.resilience.FallbackReason`
+    member, records the abort, and unwinds without mutating storage, the
+    plan cache, or the misestimation ledger.
+    """
+
+
+class DeadlineExceededError(GovernorError):
+    """Raised when a statement overruns its wall-clock deadline."""
+
+    def __init__(self, elapsed: float, budget: float,
+                 stage: str = None) -> None:
+        where = f" during {stage}" if stage else ""
+        super().__init__(
+            f"statement deadline exceeded{where}: {elapsed:.3f}s elapsed "
+            f"(budget {budget:.3f}s)")
+        self.elapsed = elapsed
+        self.budget = budget
+        self.stage = stage
+
+
+class StatementCancelledError(GovernorError):
+    """Raised at the first checkpoint after a CancelToken is set."""
+
+    def __init__(self, reason: str = "cancelled",
+                 stage: str = None) -> None:
+        where = f" during {stage}" if stage else ""
+        super().__init__(f"statement cancelled{where}: {reason}")
+        self.reason = reason
+        self.stage = stage
+
+
+class ResourceExhaustedError(GovernorError):
+    """Raised when tracked operator memory exceeds the statement cap.
+
+    Carries the charging operator (``hash_join_build``, ``hash_agg``,
+    ``sort``, ``materialize``) so the facade can pick a degradation
+    path — a breached hash aggregate retries once in streaming mode.
+    """
+
+    def __init__(self, operator: str, tracked_bytes: int,
+                 limit_bytes: int) -> None:
+        super().__init__(
+            f"statement memory limit exceeded in {operator}: "
+            f"{tracked_bytes} tracked bytes (limit {limit_bytes})")
+        self.operator = operator
+        self.tracked_bytes = tracked_bytes
+        self.limit_bytes = limit_bytes

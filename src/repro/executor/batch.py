@@ -35,6 +35,13 @@ Layout of a generated evaluator for ``o_totalprice > 100 AND o_status =
         return _out
 
 One function call per batch, zero per-row interpreter dispatch.
+
+Governance checkpoint cadence: every batch an operator emits flows
+through ``ExecutionRuntime.note_batch``, which doubles as the batch
+engine's cooperative checkpoint — the per-statement
+:class:`repro.governor.ExecutionGovernor` (deadline / cancellation) and
+the ``mid_batch`` fault-injection site both hook there, so reaction
+latency in batch mode is bounded by one batch (≤ ``BATCH_SIZE`` rows).
 """
 
 from __future__ import annotations

@@ -45,6 +45,9 @@ class Executor:
         self.batch_unsupported_reason: Optional[str] = None
         #: Mode the most recent execute() actually ran in.
         self.last_mode = "row"
+        #: Governor of the most recent execute(), for post-execution
+        #: reporting (EXPLAIN ANALYZE footer, StatementResult stats).
+        self.last_governor = None
 
     # -- plan registry -----------------------------------------------------------
 
@@ -113,16 +116,21 @@ class Executor:
         return self._batch_lowered
 
     def execute(self, mode: str = "row",
-                metrics=None) -> List[tuple]:
+                metrics=None, governor=None, injector=None) -> List[tuple]:
         """Run the statement and return all output rows.
 
         ``mode`` is the *requested* executor mode; ``last_mode`` reports
         what actually ran (batch requests degrade per-statement to the
-        row engine when lowering refuses the plan)."""
+        row engine when lowering refuses the plan).  ``governor`` is the
+        per-statement :class:`repro.governor.ExecutionGovernor` (or
+        None for unbounded execution) and ``injector`` an optional
+        execution-stage fault injector; both ride on the runtime."""
         if self.top_plan is None:
             raise ExecutionError("no top-level plan registered")
         self.reset_actuals()
-        runtime = ExecutionRuntime(self.storage, self.context.entry_count)
+        runtime = ExecutionRuntime(self.storage, self.context.entry_count,
+                                   governor=governor, injector=injector)
+        self.last_governor = governor
         previous = self.current_runtime
         self.current_runtime = runtime
         #: Kept for post-execution inspection (EXPLAIN ANALYZE rebinds).

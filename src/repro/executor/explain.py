@@ -125,7 +125,8 @@ def format_stage_footer(optimizer_used: str, optimize_seconds: float,
                         executor_mode: Optional[str] = None,
                         batches: int = 0,
                         batch_rows: int = 0,
-                        compiled_exprs: int = 0) -> str:
+                        compiled_exprs: int = 0,
+                        governor_stats: Optional[dict] = None) -> str:
     """The EXPLAIN ANALYZE "stage breakdown" footer.
 
     Shows the optimize-vs-execute wall-clock split, the per-stage trace
@@ -134,7 +135,10 @@ def format_stage_footer(optimizer_used: str, optimize_seconds: float,
     numbers into MySQL's EXPLAIN (Section 6 / Listing 7).  When
     ``executor_mode`` is given, an executor line reports which engine
     ran and — for the batch engine — its batch and compiled-expression
-    counts.
+    counts.  ``governor_stats`` (an
+    :meth:`repro.governor.ExecutionGovernor.stats` snapshot) adds a
+    resource-governance line: peak tracked operator memory, deadline
+    budget used, and checkpoints hit.
     """
     total = optimize_seconds + execute_seconds
     share = 100.0 * optimize_seconds / total if total > 0 else 0.0
@@ -161,6 +165,20 @@ def format_stage_footer(optimizer_used: str, optimize_seconds: float,
         if memo_pruned:
             memo_line += f", {memo_pruned} candidates pruned"
         lines.append(memo_line)
+    if governor_stats is not None:
+        peak = governor_stats.get("peak_tracked_bytes", 0)
+        gov_line = (f"governor: peak tracked memory "
+                    f"{peak / 1024.0:.1f} KiB")
+        used = governor_stats.get("deadline_used_fraction")
+        if used is not None:
+            gov_line += f", deadline budget used {100.0 * used:.1f}%"
+        gov_line += (f", checkpoints "
+                     f"{governor_stats.get('checkpoints', 0)}")
+        if governor_stats.get("spill_events"):
+            gov_line += f", spills {governor_stats['spill_events']}"
+        if governor_stats.get("low_memory"):
+            gov_line += " (low-memory retry)"
+        lines.append(gov_line)
     return "\n".join(lines)
 
 

@@ -27,6 +27,11 @@ from repro.executor.batch import (
     BatchUnsupported,
     RowBatch,
 )
+from repro.governor import (
+    ACCUMULATOR_BYTES,
+    BUCKET_OVERHEAD_BYTES,
+    approx_row_bytes,
+)
 from repro.sql import ast
 from repro.sql.blocks import QueryBlock
 
@@ -50,8 +55,15 @@ class AccessMethod(enum.Enum):
 class ExecutionRuntime:
     """Per-execution state shared across the whole plan tree."""
 
-    def __init__(self, storage, context_size: int) -> None:
+    def __init__(self, storage, context_size: int, governor=None,
+                 injector=None) -> None:
         self.storage = storage
+        #: Per-statement :class:`repro.governor.ExecutionGovernor` (or
+        #: None): deadline/cancel checkpoints and memory charging.
+        self.governor = governor
+        #: Execution-stage :class:`repro.resilience.FaultInjector` (or
+        #: None): scan_io / mid_batch / alloc_spike chaos sites.
+        self.injector = injector
         self.ctx: List = [None] * context_size
         #: cte_id -> materialised rows (single execution per statement,
         #: like MySQL's one-producer-executes model).
@@ -77,6 +89,13 @@ class ExecutionRuntime:
     def note_batch(self, batch: "RowBatch") -> "RowBatch":
         self.batches += 1
         self.batch_rows += batch.length
+        # The batch engine's governor checkpoint: every operator-emitted
+        # batch (≤1024 rows) passes through here, which bounds how long
+        # a deadline or cancel can go unnoticed in batch mode.
+        if self.injector is not None:
+            self.injector.fire("mid_batch")
+        if self.governor is not None:
+            self.governor.checkpoint()
         return batch
 
 
@@ -147,11 +166,40 @@ def _iter_chunks(rows: List[tuple]) -> Iterator[List[tuple]]:
         yield rows[start:start + BATCH_SIZE]
 
 
+def _leaf_rows(node: "_LeafNode", runtime: ExecutionRuntime,
+               rows) -> Iterator[tuple]:
+    """Row-mode leaf instrumentation shared by every access path.
+
+    Fires the ``scan_io`` injection site once per scan start and, under
+    a governor, wraps the storage iterator so a checkpoint runs every
+    ``check_interval`` rows — the row engine's only periodic bound in
+    plans with no batches."""
+    if runtime.injector is not None:
+        runtime.injector.fire("scan_io")
+    if runtime.governor is not None:
+        return runtime.governor.wrap_rows(rows)
+    return rows
+
+
+def _charge_materialized(runtime: ExecutionRuntime,
+                         rows: List[tuple]) -> None:
+    """Charge a freshly materialised row buffer (derived table / CTE).
+
+    Charged for the lifetime of the statement — materialisations are
+    cached on the runtime and die with it, so there is no release."""
+    gov = runtime.governor
+    if gov is not None and rows:
+        gov.charge(len(rows) * (approx_row_bytes(rows[0]) + 16),
+                   "materialize")
+
+
 def _leaf_batches(node: "_LeafNode", runtime: ExecutionRuntime,
                   chunks: Iterator[List[tuple]]) -> Iterator[RowBatch]:
     """Wrap storage chunks for one table entry, applying the leaf's
     attached filter as a vectorized mask (row twin: ``check(ctx)``)."""
     node.actual_loops += 1
+    if runtime.injector is not None:
+        runtime.injector.fire("scan_io")
     slot = node.entry_id
     mask_fn = node.bx_filter
     for chunk in chunks:
@@ -200,7 +248,9 @@ class TableScanNode(_LeafNode):
         ctx = runtime.ctx
         slot = self.entry_id
         check = self.filter_fn
-        for row in runtime.storage.table_scan(self.table_name):
+        rows = _leaf_rows(self, runtime,
+                          runtime.storage.table_scan(self.table_name))
+        for row in rows:
             ctx[slot] = row
             if check(ctx) is True:
                 self.actual_rows += 1
@@ -237,9 +287,9 @@ class IndexRangeScanNode(_LeafNode):
         ctx = runtime.ctx
         slot = self.entry_id
         check = self.filter_fn
-        rows = runtime.storage.index_range_rows(
+        rows = _leaf_rows(self, runtime, runtime.storage.index_range_rows(
             self.table_name, self.index_name, self.low, self.high,
-            self.low_inclusive, self.high_inclusive)
+            self.low_inclusive, self.high_inclusive))
         for row in rows:
             ctx[slot] = row
             if check(ctx) is True:
@@ -326,8 +376,8 @@ class IndexOrderedScanNode(_LeafNode):
         ctx = runtime.ctx
         slot = self.entry_id
         check = self.filter_fn
-        rows = runtime.storage.index_ordered_rows(
-            self.table_name, self.index_name, self.descending)
+        rows = _leaf_rows(self, runtime, runtime.storage.index_ordered_rows(
+            self.table_name, self.index_name, self.descending))
         for row in rows:
             ctx[slot] = row
             if check(ctx) is True:
@@ -374,6 +424,7 @@ class DerivedMaterializeNode(_LeafNode):
         if rows is None:
             rows = list(self.subplan.run(runtime))
             by_key[key] = rows
+            _charge_materialized(runtime, rows)
             # Rebind accounting (the paper's Section 7, Orca change 3,
             # concerns exactly these counts): one rebind per distinct
             # outer-row snapshot that forces a re-materialisation.
@@ -396,6 +447,7 @@ class DerivedMaterializeNode(_LeafNode):
             for chunk in self.subplan.run_batches(runtime):
                 rows.extend(chunk)
             by_key[None] = rows
+            _charge_materialized(runtime, rows)
             runtime.rebind_counts[id(self)] = \
                 runtime.rebind_counts.get(id(self), 0) + 1
         yield from _leaf_batches(self, runtime, _iter_chunks(rows))
@@ -438,6 +490,7 @@ class CteScanNode(_LeafNode):
         if rows is None:
             rows = list(self.subplan.run(runtime))
             runtime.cte_rows[self.cte_id] = rows
+            _charge_materialized(runtime, rows)
         self.actual_loops += 1
         ctx = runtime.ctx
         slot = self.entry_id
@@ -455,6 +508,7 @@ class CteScanNode(_LeafNode):
             for chunk in self.subplan.run_batches(runtime):
                 rows.extend(chunk)
             runtime.cte_rows[self.cte_id] = rows
+            _charge_materialized(runtime, rows)
         yield from _leaf_batches(self, runtime, _iter_chunks(rows))
 
     def label(self) -> str:
@@ -488,7 +542,13 @@ class NestedLoopJoinNode(PlanNode):
         check = self.filter_fn
         kind = self.kind
         inner_entries = self._inner_entries
+        gov = runtime.governor
         for __ in self.outer.run(runtime):
+            # One tick per outer row: NL chains can spin for a long time
+            # without emitting anything (anti/semi joins especially), so
+            # progress is bounded here rather than only at emission.
+            if gov is not None:
+                gov.tick()
             matched = False
             for __ in self.inner.run(runtime):
                 if condition(ctx) is not True:
@@ -551,7 +611,10 @@ class NestedLoopJoinNode(PlanNode):
         kind = self.kind
         inner = self.inner
         inner_entries = self._inner_entries
+        gov = runtime.governor
         for __ in self._outer_states(runtime):
+            if gov is not None:
+                gov.tick()
             matched = False
             for __ in inner.run(runtime):
                 if condition(ctx) is not True:
@@ -639,18 +702,60 @@ class HashJoinNode(PlanNode):
     def children(self) -> Sequence[PlanNode]:
         return (self.probe, self.build)
 
-    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
-        self.actual_loops += 1
+    def _build_table_rows(self, runtime: ExecutionRuntime
+                          ) -> Tuple[Dict[tuple, List[tuple]], int]:
+        """Materialise the build side, charging the governor as it grows.
+
+        The per-row byte width is sampled from the first saved tuple;
+        charges go out in 128-row chunks to stay off the hot path.
+        Returns the table plus the total charged bytes (released by the
+        caller when the probe finishes or the generator is closed)."""
         ctx = runtime.ctx
         build_entries = self._build_entries
         table: Dict[tuple, List[tuple]] = {}
         build_fns = self.build_key_fns
+        gov = runtime.governor
+        charged = 0
+        row_bytes = 0
+        pending = 0
         for __ in self.build.run(runtime):
             key = tuple(fn(ctx) for fn in build_fns)
             if any(part is None for part in key):
                 continue
-            table.setdefault(key, []).append(
-                tuple(ctx[entry_id] for entry_id in build_entries))
+            saved = tuple(ctx[entry_id] for entry_id in build_entries)
+            table.setdefault(key, []).append(saved)
+            if gov is not None:
+                if row_bytes == 0:
+                    row_bytes = approx_row_bytes(saved) \
+                        + BUCKET_OVERHEAD_BYTES
+                pending += 1
+                if pending >= 128:
+                    delta = pending * row_bytes
+                    gov.charge(delta, "hash_join_build")
+                    charged += delta
+                    pending = 0
+        if gov is not None and pending:
+            delta = pending * row_bytes
+            gov.charge(delta, "hash_join_build")
+            charged += delta
+        return table, charged
+
+    def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
+        self.actual_loops += 1
+        ctx = runtime.ctx
+        build_entries = self._build_entries
+        table, charged = self._build_table_rows(runtime)
+        gov = runtime.governor
+        try:
+            yield from self._probe_rows(runtime, table)
+        finally:
+            if gov is not None and charged:
+                gov.release(charged)
+
+    def _probe_rows(self, runtime: ExecutionRuntime,
+                    table: Dict[tuple, List[tuple]]) -> Iterator[None]:
+        ctx = runtime.ctx
+        build_entries = self._build_entries
         probe_fns = self.probe_key_fns
         residual = self.residual_fn
         check = self.filter_fn
@@ -690,21 +795,16 @@ class HashJoinNode(PlanNode):
                     self.actual_rows += 1
                     yield
 
-    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
-        """Build and probe per batch with vectorized key evaluation.
-
-        Residual (non-equi) conjuncts — rare — are evaluated per
-        candidate pair through the row-compiled ``residual_fn`` under
-        temporary context writes, exactly like the row engine."""
-        self.actual_loops += 1
-        ctx = runtime.ctx
+    def _build_table_batches(self, runtime: ExecutionRuntime
+                             ) -> Tuple[Dict[object, List[tuple]], int]:
+        """Batch twin of :meth:`_build_table_rows` (charge per batch)."""
         build_entries = self._build_entries
-        # Single-key joins (the common case) hash the bare scalar; the
-        # dict equality matches 1-tuple keys exactly, without the
-        # per-row tuple build.
         single_key = len(self.bx_build_keys) == 1
         table: Dict[object, List[tuple]] = {}
         setdefault = table.setdefault
+        gov = runtime.governor
+        charged = 0
+        row_bytes = 0
         for build_batch in self.build.run_batches(runtime):
             key_cols = [fn(build_batch) for fn in self.bx_build_keys]
             saved_cols = [build_batch.columns[e] for e in build_entries]
@@ -720,6 +820,41 @@ class HashJoinNode(PlanNode):
                 for key, saved in zip(build_keys, saved_rows):
                     if None not in key:
                         setdefault(key, []).append(saved)
+            if gov is not None and build_batch.length:
+                if row_bytes == 0:
+                    sample = tuple(col[0] for col in saved_cols) \
+                        if saved_cols else ()
+                    row_bytes = approx_row_bytes(sample) \
+                        + BUCKET_OVERHEAD_BYTES
+                delta = build_batch.length * row_bytes
+                gov.charge(delta, "hash_join_build")
+                charged += delta
+        return table, charged
+
+    def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        """Build and probe per batch with vectorized key evaluation.
+
+        Residual (non-equi) conjuncts — rare — are evaluated per
+        candidate pair through the row-compiled ``residual_fn`` under
+        temporary context writes, exactly like the row engine."""
+        self.actual_loops += 1
+        # Single-key joins (the common case) hash the bare scalar; the
+        # dict equality matches 1-tuple keys exactly, without the
+        # per-row tuple build.
+        table, charged = self._build_table_batches(runtime)
+        gov = runtime.governor
+        try:
+            yield from self._probe_batches(runtime, table)
+        finally:
+            if gov is not None and charged:
+                gov.release(charged)
+
+    def _probe_batches(self, runtime: ExecutionRuntime,
+                       table: Dict[object, List[tuple]]
+                       ) -> Iterator[RowBatch]:
+        ctx = runtime.ctx
+        build_entries = self._build_entries
+        single_key = len(self.bx_build_keys) == 1
         residual = self.residual_fn
         has_residual = bool(self.residual_conjuncts)
         kind = self.kind
@@ -869,45 +1004,89 @@ class SortNode(PlanNode):
         ctx = runtime.ctx
         live = self.live_entries
         captured: List[Tuple[tuple, tuple]] = []
-        for __ in self.child.run(runtime):
-            keys = tuple(fn(ctx) for fn in self.key_fns)
-            captured.append((keys, tuple(ctx[e] for e in live)))
-        sort_rows(captured, self.order_items)
-        for __, saved in captured:
-            for entry_id, row in zip(live, saved):
-                ctx[entry_id] = row
-            self.actual_rows += 1
-            yield
+        gov = runtime.governor
+        # Under the reduced-memory retry the sort a forced streaming
+        # aggregate inserted must not re-breach the cap it is there to
+        # relieve: its charges spill (counted) instead of raising.
+        spillable = gov.spill_sorts if gov is not None else False
+        row_bytes = 0
+        pending = 0
+        charged = 0
+        try:
+            for __ in self.child.run(runtime):
+                keys = tuple(fn(ctx) for fn in self.key_fns)
+                captured.append((keys, tuple(ctx[e] for e in live)))
+                if gov is not None:
+                    if row_bytes == 0:
+                        first = captured[0]
+                        row_bytes = approx_row_bytes(first[0]) \
+                            + approx_row_bytes(first[1])
+                    pending += 1
+                    if pending >= 256:
+                        delta = pending * row_bytes
+                        gov.charge(delta, "sort", spillable)
+                        charged += delta
+                        pending = 0
+            if gov is not None and pending:
+                delta = pending * row_bytes
+                gov.charge(delta, "sort", spillable)
+                charged += delta
+            sort_rows(captured, self.order_items)
+            for __, saved in captured:
+                for entry_id, row in zip(live, saved):
+                    ctx[entry_id] = row
+                self.actual_rows += 1
+                yield
+        finally:
+            if gov is not None and charged:
+                gov.release(charged)
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
         self.actual_loops += 1
         captured: List[Tuple[tuple, tuple]] = []
         entries: Optional[List[int]] = None
-        for batch in self.child.run_batches(runtime):
+        gov = runtime.governor
+        spillable = gov.spill_sorts if gov is not None else False
+        row_bytes = 0
+        charged = 0
+        try:
+            for batch in self.child.run_batches(runtime):
+                if entries is None:
+                    # Live entries the child actually produces in batch
+                    # form (a post-aggregate sort's live list can include
+                    # pre-agg entries the row engine merely leaves stale
+                    # in ctx).
+                    entries = [e for e in self.live_entries
+                               if e in batch.columns]
+                key_cols = [fn(batch) for fn in self.bx_keys]
+                live_cols = [batch.columns[e] for e in entries]
+                # Row-wise (key tuple, live tuple) pairs built by zip at
+                # C speed; empty-column edge cases fall back to repeat().
+                keys = zip(*key_cols) if key_cols else \
+                    iter([()] * batch.length)
+                saved = zip(*live_cols) if live_cols else \
+                    iter([()] * batch.length)
+                captured.extend(zip(keys, saved))
+                if gov is not None and batch.length:
+                    if row_bytes == 0:
+                        first = captured[0]
+                        row_bytes = approx_row_bytes(first[0]) \
+                            + approx_row_bytes(first[1])
+                    delta = batch.length * row_bytes
+                    gov.charge(delta, "sort", spillable)
+                    charged += delta
             if entries is None:
-                # Live entries the child actually produces in batch form
-                # (a post-aggregate sort's live list can include pre-agg
-                # entries the row engine merely leaves stale in ctx).
-                entries = [e for e in self.live_entries
-                           if e in batch.columns]
-            key_cols = [fn(batch) for fn in self.bx_keys]
-            live_cols = [batch.columns[e] for e in entries]
-            # Row-wise (key tuple, live tuple) pairs built by zip at C
-            # speed; empty-column edge cases fall back to repeat().
-            keys = zip(*key_cols) if key_cols else \
-                iter([()] * batch.length)
-            saved = zip(*live_cols) if live_cols else \
-                iter([()] * batch.length)
-            captured.extend(zip(keys, saved))
-        if entries is None:
-            return
-        sort_rows(captured, self.order_items)
-        for start in range(0, len(captured), BATCH_SIZE):
-            chunk = captured[start:start + BATCH_SIZE]
-            transposed = list(zip(*(saved for __, saved in chunk)))
-            columns = {entry: list(column) for entry, column
-                       in zip(entries, transposed)}
-            yield self._note(runtime, RowBatch(columns, len(chunk)))
+                return
+            sort_rows(captured, self.order_items)
+            for start in range(0, len(captured), BATCH_SIZE):
+                chunk = captured[start:start + BATCH_SIZE]
+                transposed = list(zip(*(saved for __, saved in chunk)))
+                columns = {entry: list(column) for entry, column
+                           in zip(entries, transposed)}
+                yield self._note(runtime, RowBatch(columns, len(chunk)))
+        finally:
+            if gov is not None and charged:
+                gov.release(charged)
 
     def label(self) -> str:
         parts = []
@@ -1021,52 +1200,70 @@ class AggregateNode(PlanNode):
         groups: Dict[tuple, List[_Accumulator]] = {}
         order: List[tuple] = []
         specs = self.specs
-        for batch in self._child_batches(runtime):
-            group_cols, arg_cols = self._input_columns(batch)
-            length = batch.length
-            if group_cols:
-                keys = list(zip(*group_cols))
-            else:
-                keys = [()] * length
-            # Gather each key's row indexes, then fold the gathered
-            # argument slices in bulk; within a key the row order (and
-            # so the float fold order) matches the row engine's.
-            index_map: Dict[tuple, List[int]] = {}
-            batch_order: List[tuple] = []
-            for i, key in enumerate(keys):
-                idxs = index_map.get(key)
-                if idxs is None:
-                    index_map[key] = [i]
-                    batch_order.append(key)
+        gov = runtime.governor
+        group_bytes = 0
+        charged = 0
+        try:
+            for batch in self._child_batches(runtime):
+                group_cols, arg_cols = self._input_columns(batch)
+                length = batch.length
+                if group_cols:
+                    keys = list(zip(*group_cols))
                 else:
-                    idxs.append(i)
-            for key in batch_order:
-                idxs = index_map[key]
-                accumulators = groups.get(key)
-                if accumulators is None:
-                    accumulators = [_Accumulator(spec) for spec in specs]
-                    groups[key] = accumulators
-                    order.append(key)
-                whole = len(idxs) == length
-                for accumulator, column in zip(accumulators, arg_cols):
-                    if column is None:  # COUNT(*)
-                        accumulator.count += len(idxs)
-                    elif whole:
-                        accumulator.add_many(column)
+                    keys = [()] * length
+                # Gather each key's row indexes, then fold the gathered
+                # argument slices in bulk; within a key the row order (and
+                # so the float fold order) matches the row engine's.
+                index_map: Dict[tuple, List[int]] = {}
+                batch_order: List[tuple] = []
+                for i, key in enumerate(keys):
+                    idxs = index_map.get(key)
+                    if idxs is None:
+                        index_map[key] = [i]
+                        batch_order.append(key)
                     else:
-                        accumulator.add_many([column[i] for i in idxs])
-        if not groups and not self.group_fns:
-            # Scalar aggregation over empty input yields one row.
-            groups[()] = [_Accumulator(spec) for spec in self.specs]
-            order.append(())
-        acc = BatchAccumulator([self.output_entry_id])
-        for key in order:
-            acc.add_values(
-                (key + tuple(a.result() for a in groups[key]),))
-            if acc.full:
+                        idxs.append(i)
+                created = 0
+                for key in batch_order:
+                    idxs = index_map[key]
+                    accumulators = groups.get(key)
+                    if accumulators is None:
+                        accumulators = [_Accumulator(spec)
+                                        for spec in specs]
+                        groups[key] = accumulators
+                        order.append(key)
+                        created += 1
+                    whole = len(idxs) == length
+                    for accumulator, column in zip(accumulators, arg_cols):
+                        if column is None:  # COUNT(*)
+                            accumulator.count += len(idxs)
+                        elif whole:
+                            accumulator.add_many(column)
+                        else:
+                            accumulator.add_many([column[i] for i in idxs])
+                # Charge per batch for the groups it created (same
+                # per-group estimate as the row engine's hash path).
+                if gov is not None and created:
+                    if group_bytes == 0:
+                        group_bytes = self._group_bytes(order[0])
+                    delta = created * group_bytes
+                    gov.charge(delta, "hash_agg")
+                    charged += delta
+            if not groups and not self.group_fns:
+                # Scalar aggregation over empty input yields one row.
+                groups[()] = [_Accumulator(spec) for spec in self.specs]
+                order.append(())
+            acc = BatchAccumulator([self.output_entry_id])
+            for key in order:
+                acc.add_values(
+                    (key + tuple(a.result() for a in groups[key]),))
+                if acc.full:
+                    yield self._note(runtime, acc.flush())
+            if acc.length:
                 yield self._note(runtime, acc.flush())
-        if acc.length:
-            yield self._note(runtime, acc.flush())
+        finally:
+            if gov is not None and charged:
+                gov.release(charged)
 
     def _run_stream_batches(self, runtime: ExecutionRuntime
                             ) -> Iterator[RowBatch]:
@@ -1115,28 +1312,52 @@ class AggregateNode(PlanNode):
         if acc.length:
             yield self._note(runtime, acc.flush())
 
+    def _group_bytes(self, key: tuple) -> int:
+        """Per-group charge estimate: key + one accumulator per spec."""
+        return (approx_row_bytes(key)
+                + ACCUMULATOR_BYTES * len(self.specs)
+                + BUCKET_OVERHEAD_BYTES)
+
     def _run_hash(self, runtime: ExecutionRuntime) -> Iterator[None]:
         ctx = runtime.ctx
         groups: Dict[tuple, List[_Accumulator]] = {}
         order: List[tuple] = []
-        for __ in self._child_states(runtime):
-            key = tuple(fn(ctx) for fn in self.group_fns)
-            accumulators = groups.get(key)
-            if accumulators is None:
-                accumulators = [_Accumulator(spec) for spec in self.specs]
-                groups[key] = accumulators
-                order.append(key)
-            for accumulator in accumulators:
-                accumulator.add(ctx)
-        if not groups and not self.group_fns:
-            # Scalar aggregation over empty input yields one row.
-            groups[()] = [_Accumulator(spec) for spec in self.specs]
-            order.append(())
-        slot = self.output_entry_id
-        for key in order:
-            ctx[slot] = key + tuple(a.result() for a in groups[key])
-            self.actual_rows += 1
-            yield
+        gov = runtime.governor
+        group_bytes = 0
+        charged = 0
+        try:
+            for __ in self._child_states(runtime):
+                key = tuple(fn(ctx) for fn in self.group_fns)
+                accumulators = groups.get(key)
+                if accumulators is None:
+                    accumulators = [_Accumulator(spec)
+                                    for spec in self.specs]
+                    groups[key] = accumulators
+                    order.append(key)
+                    # Charged per *group*, not per row: the hash table
+                    # grows with distinct keys, which is exactly what a
+                    # memory cap must bound.  A breach here is the one
+                    # governed abort with a degradation path (the facade
+                    # retries once with a forced streaming aggregate).
+                    if gov is not None:
+                        if group_bytes == 0:
+                            group_bytes = self._group_bytes(key)
+                        gov.charge(group_bytes, "hash_agg")
+                        charged += group_bytes
+                for accumulator in accumulators:
+                    accumulator.add(ctx)
+            if not groups and not self.group_fns:
+                # Scalar aggregation over empty input yields one row.
+                groups[()] = [_Accumulator(spec) for spec in self.specs]
+                order.append(())
+            slot = self.output_entry_id
+            for key in order:
+                ctx[slot] = key + tuple(a.result() for a in groups[key])
+                self.actual_rows += 1
+                yield
+        finally:
+            if gov is not None and charged:
+                gov.release(charged)
 
     def _run_stream(self, runtime: ExecutionRuntime) -> Iterator[None]:
         ctx = runtime.ctx

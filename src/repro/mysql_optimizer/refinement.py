@@ -71,12 +71,17 @@ class PlanBuilder:
     """Builds an executable :class:`Executor` from a skeleton plan."""
 
     def __init__(self, skeleton: SkeletonPlan, catalog: Catalog,
-                 storage) -> None:
+                 storage, force_stream_agg: bool = False) -> None:
         self.skeleton = skeleton
         self.catalog = catalog
         self.context = skeleton.context
         self.executor = Executor(storage, self.context)
         self.compiler = ExpressionCompiler(self.executor)
+        #: The reduced-memory retry path: every aggregate builds as
+        #: STREAM (sort-then-stream) regardless of the skeleton's
+        #: choice, trading the hash table's footprint for a sort whose
+        #: charges the retry governor treats as spillable.
+        self.force_stream_agg = force_stream_agg
 
     def build(self) -> Executor:
         top = self.skeleton.top_block
@@ -409,7 +414,8 @@ class PlanBuilder:
         block.agg_entry = agg_entry
 
         strategy = AggregateStrategy.STREAM \
-            if sk.agg_strategy is AggStrategy.STREAM \
+            if (sk.agg_strategy is AggStrategy.STREAM
+                or self.force_stream_agg) \
             else AggregateStrategy.HASH
         if root is not None and group_exprs and \
                 strategy is AggregateStrategy.STREAM:

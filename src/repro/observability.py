@@ -406,6 +406,19 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Optional[StreamingHistogram]:
         return self._histograms.get(name)
 
+    def declare_histogram(self, name: str) -> StreamingHistogram:
+        """Register a histogram before any observation arrives.
+
+        Exports must tolerate the empty histogram this creates: a
+        zero-sample reservoir has no quantiles, so ``to_prometheus``
+        emits only ``_sum``/``_count`` and ``report`` marks it empty
+        instead of printing fabricated zeros (or raising)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = StreamingHistogram()
+            self._histograms[name] = histogram
+        return histogram
+
     # -- derived ----------------------------------------------------------------
 
     def ratio(self, numerator: str, denominator: str) -> float:
@@ -450,10 +463,14 @@ class MetricsRegistry:
         for name, histogram in sorted(self._histograms.items()):
             metric = _prometheus_name(name, prefix)
             lines.append(f"# TYPE {metric} summary")
-            for q in ("0.5", "0.95", "0.99"):
-                value = histogram.quantile(float(q))
-                lines.append(f'{metric}{{quantile="{q}"}} '
-                             f"{_prometheus_value(value)}")
+            # A declared-but-unobserved histogram has no reservoir to
+            # interpolate over; a summary with no quantile lines is
+            # valid exposition, a fabricated 0.0 quantile is not.
+            if histogram.count > 0:
+                for q in ("0.5", "0.95", "0.99"):
+                    value = histogram.quantile(float(q))
+                    lines.append(f'{metric}{{quantile="{q}"}} '
+                                 f"{_prometheus_value(value)}")
             lines.append(
                 f"{metric}_sum {_prometheus_value(histogram.total)}")
             lines.append(f"{metric}_count {histogram.count}")
@@ -473,6 +490,9 @@ class MetricsRegistry:
         if self._histograms:
             lines.append("histograms (count / p50 / p95 / p99 / max):")
             for name, histogram in sorted(self._histograms.items()):
+                if histogram.count == 0:
+                    lines.append(f"  {name + ':':<32}      0 / (empty)")
+                    continue
                 s = histogram.summary()
                 lines.append(
                     f"  {name + ':':<32} {s['count']:>6} / "

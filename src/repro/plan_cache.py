@@ -33,6 +33,15 @@ when compilation finished without a fallback, so circuit-broken
 fingerprints, budget overruns, and contained crashes always re-enter
 the normal (guarded) compilation path.
 
+The store is also *deferred past execution*: the facade inserts an
+entry only after the statement ran to completion.  A statement aborted
+by the execution governor (deadline, cancellation, memory breach) or by
+a runtime error therefore never enters the cache — an abort must leave
+the Database exactly as if the statement never ran — and the degraded
+plan of a reduced-memory streaming retry is likewise never cached
+(the forced shape is a one-off degradation, not the optimizer's
+choice).
+
 Observability
 -------------
 

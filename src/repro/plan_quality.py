@@ -238,6 +238,7 @@ class MisestimationLedger:
         self.evictions = 0
         self.total_breaches = 0
         self.total_invalidations = 0
+        self.total_aborted = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -315,6 +316,17 @@ class MisestimationLedger:
         return [{"operator": name, **stats}
                 for name, stats in ranked[:limit]]
 
+    def note_aborted(self) -> None:
+        """Count a statement aborted mid-execution (deadline, cancel,
+        memory breach, runtime error).
+
+        An aborted execution produces no trustworthy actual row counts
+        — its operators stopped early — so it must NOT advance or reset
+        any entry's breach streak, and it is deliberately not recorded
+        per-statement; only the total is kept for the report.
+        """
+        self.total_aborted += 1
+
     def stats(self) -> dict:
         return {
             "size": len(self._entries),
@@ -324,6 +336,7 @@ class MisestimationLedger:
             "evictions": self.evictions,
             "breaches": self.total_breaches,
             "invalidations": self.total_invalidations,
+            "aborted": self.total_aborted,
         }
 
 

@@ -40,9 +40,14 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import (
     BudgetExceededError,
+    DeadlineExceededError,
+    ExecutionError,
+    GovernorError,
     OrcaError,
     ReproError,
+    ResourceExhaustedError,
     SkeletonInvalidError,
+    StatementCancelledError,
 )
 
 
@@ -68,6 +73,19 @@ class FallbackReason(enum.Enum):
     #: materialisation, window frames, subquery expressions, ...); the
     #: statement degraded to the row-at-a-time engine.
     EXEC_BATCH_UNSUPPORTED = "exec_batch_unsupported"
+    #: The statement overran its wall-clock deadline and was aborted at
+    #: a governor checkpoint (execution-stage; the optimize-stage
+    #: analogue is BUDGET_EXCEEDED).
+    DEADLINE_EXCEEDED = "deadline_exceeded"
+    #: The statement's CancelToken was set (``db.cancel()``) and the
+    #: abort surfaced at the next cooperative checkpoint.
+    STATEMENT_CANCELLED = "statement_cancelled"
+    #: A pipeline-breaking operator charged past the statement memory
+    #: cap and no degradation path could absorb the breach.
+    RESOURCE_EXHAUSTED = "resource_exhausted"
+    #: Execution failed with a runtime error (injected scan I/O fault,
+    #: storage error, contained executor bug) — aborted cleanly, typed.
+    EXEC_RUNTIME_ERROR = "exec_runtime_error"
 
 
 # -- statement fingerprinting ------------------------------------------------------
@@ -174,6 +192,22 @@ def classify_exception(exc: BaseException) -> FallbackReason:
     return FallbackReason.UNEXPECTED_EXCEPTION
 
 
+def classify_execution_exception(exc: BaseException) -> FallbackReason:
+    """Map an execution-stage abort onto the taxonomy.
+
+    The governor's typed errors each have a dedicated member; anything
+    else that escaped execution (storage faults, injected crashes
+    wrapped by the facade) is an ``EXEC_RUNTIME_ERROR``.
+    """
+    if isinstance(exc, DeadlineExceededError):
+        return FallbackReason.DEADLINE_EXCEEDED
+    if isinstance(exc, StatementCancelledError):
+        return FallbackReason.STATEMENT_CANCELLED
+    if isinstance(exc, ResourceExhaustedError):
+        return FallbackReason.RESOURCE_EXHAUSTED
+    return FallbackReason.EXEC_RUNTIME_ERROR
+
+
 class DetourGuard:
     """Runs the detour and contains everything it throws.
 
@@ -188,6 +222,12 @@ class DetourGuard:
     def run(self, detour: Callable[[], object]) -> DetourOutcome:
         try:
             return DetourOutcome(skeleton=detour())
+        except GovernorError:
+            # Statement-level bounds (cancellation, deadline) are not
+            # detour failures: containment here would turn a cancel into
+            # a silent MySQL fallback and feed the circuit breaker.
+            # They propagate and abort the whole statement.
+            raise
         except Exception as exc:  # noqa: BLE001 — containment is the point
             reason = classify_exception(exc)
             if reason is FallbackReason.UNEXPECTED_EXCEPTION \
@@ -348,16 +388,29 @@ class FallbackLog:
 
 # -- fault injection -------------------------------------------------------------------
 
-#: The named injection points wired into the bridge components.
-INJECTION_SITES = (
+#: Injection points wired into the bridge (optimize-stage) components.
+BRIDGE_INJECTION_SITES = (
     "metadata_provider",
     "parse_tree_converter",
     "optimizer",
     "plan_converter",
 )
 
+#: Execution-stage injection points: leaf scans (``scan_io``), the
+#: batch accounting hook (``mid_batch``), and the memory accountant's
+#: charge path (``alloc_spike`` — fires through :meth:`fire_spike`,
+#: inflating a charge instead of raising).
+EXECUTION_INJECTION_SITES = (
+    "scan_io",
+    "mid_batch",
+    "alloc_spike",
+)
+
+#: All named injection points.
+INJECTION_SITES = BRIDGE_INJECTION_SITES + EXECUTION_INJECTION_SITES
+
 #: Supported fault actions at each site.
-INJECTION_ACTIONS = ("typed", "crash", "sleep")
+INJECTION_ACTIONS = ("typed", "crash", "sleep", "spike")
 
 
 @dataclass
@@ -366,6 +419,7 @@ class _ArmedFault:
     times: int
     sleep_seconds: float
     probability: float
+    spike_bytes: int = 0
 
 
 class FaultInjector:
@@ -374,10 +428,14 @@ class FaultInjector:
     Arm a site with an action; when the component reaches its injection
     point it calls :meth:`fire`, and the armed fault happens:
 
-    * ``"typed"`` — raise :class:`OrcaError` (the paper's deliberate
-      abort path);
-    * ``"crash"`` — raise ``KeyError`` (an unexpected, non-Orca bug);
-    * ``"sleep"`` — sleep ``sleep_seconds`` so a compile budget trips.
+    * ``"typed"`` — raise the stage's deliberate abort: an
+      :class:`OrcaError` at bridge sites, an :class:`ExecutionError`
+      (an injected I/O fault) at execution sites;
+    * ``"crash"`` — raise ``KeyError`` (an unexpected, non-typed bug);
+    * ``"sleep"`` — sleep ``sleep_seconds`` so a compile budget or a
+      statement deadline trips;
+    * ``"spike"`` — only at ``alloc_spike``: inflate the next memory
+      charge by ``spike_bytes`` so a memory cap breaches on demand.
 
     ``times`` bounds how often the fault fires (-1 = every time) and
     ``probability`` (checked against a seeded PRNG) makes chaos runs
@@ -397,7 +455,8 @@ class FaultInjector:
 
     def arm(self, site: str, action: str = "typed", times: int = -1,
             sleep_seconds: float = 0.05,
-            probability: float = 1.0) -> "FaultInjector":
+            probability: float = 1.0,
+            spike_bytes: int = 64 * 1024 * 1024) -> "FaultInjector":
         if site not in INJECTION_SITES:
             raise ReproError(
                 f"unknown injection site {site!r}; valid sites: "
@@ -406,8 +465,12 @@ class FaultInjector:
             raise ReproError(
                 f"unknown injection action {action!r}; valid actions: "
                 f"{', '.join(INJECTION_ACTIONS)}")
+        if (action == "spike") != (site == "alloc_spike"):
+            raise ReproError(
+                "the 'spike' action and the 'alloc_spike' site go "
+                "together: arm('alloc_spike', 'spike', spike_bytes=...)")
         self._armed[site] = _ArmedFault(action, times, sleep_seconds,
-                                        probability)
+                                        probability, spike_bytes)
         return self
 
     def disarm(self, site: Optional[str] = None) -> None:
@@ -416,20 +479,41 @@ class FaultInjector:
         else:
             self._armed.pop(site, None)
 
-    def fire(self, site: str) -> None:
-        """Called by a component at its injection point."""
+    def _draw(self, site: str) -> Optional[_ArmedFault]:
+        """Shared gating: armed, times remaining, probability draw."""
         self.reached[site] = self.reached.get(site, 0) + 1
         fault = self._armed.get(site)
         if fault is None or fault.times == 0:
-            return
+            return None
         if fault.probability < 1.0 \
                 and self._rng.random() >= fault.probability:
-            return
+            return None
         if fault.times > 0:
             fault.times -= 1
         self.fired[site] = self.fired.get(site, 0) + 1
+        return fault
+
+    def fire(self, site: str) -> None:
+        """Called by a component at its injection point."""
+        fault = self._draw(site)
+        if fault is None or fault.action == "spike":
+            return
         if fault.action == "typed":
+            if site in EXECUTION_INJECTION_SITES:
+                raise ExecutionError(f"injected I/O fault at {site}")
             raise OrcaError(f"injected typed abort at {site}")
         if fault.action == "crash":
             raise KeyError(f"injected crash at {site}")
         time.sleep(fault.sleep_seconds)
+
+    def fire_spike(self, site: str = "alloc_spike") -> int:
+        """Bytes to add to the next memory charge (0 when unarmed).
+
+        Called by :meth:`repro.governor.ExecutionGovernor.charge`; a
+        non-spike fault armed at the site is ignored here (spikes never
+        raise — they inflate the accountant so the *governor* raises).
+        """
+        fault = self._draw(site)
+        if fault is None or fault.action != "spike":
+            return 0
+        return fault.spike_bytes

@@ -16,7 +16,7 @@ from repro.bench.report import summarize
 from repro.errors import BudgetExceededError, ReproError
 from repro.mysql_optimizer.optimizer import MySQLOptimizer
 from repro.resilience import (
-    INJECTION_SITES,
+    BRIDGE_INJECTION_SITES,
     CircuitBreaker,
     CompileBudget,
     DetourGuard,
@@ -46,7 +46,7 @@ class TestInjectedFaultsAreContained:
     returns MySQL-optimized rows identical to ``optimizer="mysql"`` and
     the FallbackLog records the correct reason."""
 
-    @pytest.mark.parametrize("site", INJECTION_SITES)
+    @pytest.mark.parametrize("site", BRIDGE_INJECTION_SITES)
     def test_typed_abort_falls_back(self, db, site):
         expected = db.execute(SQL, optimizer="mysql")
         db.config.fault_injector = FaultInjector().arm(site, "typed")
@@ -56,7 +56,7 @@ class TestInjectedFaultsAreContained:
         assert result.rows == expected
         assert db.fallback_log.count(FallbackReason.TYPED_ABORT) == 1
 
-    @pytest.mark.parametrize("site", INJECTION_SITES)
+    @pytest.mark.parametrize("site", BRIDGE_INJECTION_SITES)
     def test_keyerror_crash_is_contained(self, db, site):
         expected = db.execute(SQL, optimizer="mysql")
         db.config.fault_injector = FaultInjector().arm(site, "crash")
@@ -69,7 +69,7 @@ class TestInjectedFaultsAreContained:
         assert event.error_type == "KeyError"
         assert site in event.error_message
 
-    @pytest.mark.parametrize("site", INJECTION_SITES)
+    @pytest.mark.parametrize("site", BRIDGE_INJECTION_SITES)
     def test_sleep_past_budget_aborts_compile(self, db, site):
         expected = db.execute(SQL, optimizer="mysql")
         db.config.orca_compile_budget_seconds = 0.01
