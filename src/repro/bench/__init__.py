@@ -1,5 +1,6 @@
 """Benchmark harness reproducing the paper's tables and figures."""
 
+from repro.bench.drift import measure_tracking_overhead, run_drift_scenario
 from repro.bench.harness import (
     BenchmarkResult,
     QueryTiming,
@@ -31,9 +32,11 @@ __all__ = [
     "format_plan_cache_report",
     "format_plan_quality_bench",
     "format_table1",
+    "measure_tracking_overhead",
     "plan_cache_report",
     "results_match",
     "run_compile_suite",
+    "run_drift_scenario",
     "run_executor_comparison",
     "run_suite",
     "summarize",

@@ -75,6 +75,9 @@ class BenchmarkResult:
 
     name: str
     timings: List[QueryTiming] = field(default_factory=list)
+    #: The explicit reproducibility seed the suite ran with (threaded
+    #: to the fault injector by ``run_suite``), or None.
+    seed: Optional[int] = None
 
     @property
     def total_mysql(self) -> float:
@@ -146,7 +149,8 @@ def run_suite(db: Database, queries: Dict[int, str], name: str,
               progress: Optional[Callable[[str], None]] = None,
               collect_stages: bool = False,
               collect_plan_quality: bool = False,
-              emit_json: Optional[str] = None) -> BenchmarkResult:
+              emit_json: Optional[str] = None,
+              seed: Optional[int] = None) -> BenchmarkResult:
     """Run every query under both optimizers; returns all timings.
 
     Timings include optimization time (compile + execute), matching the
@@ -169,8 +173,16 @@ def run_suite(db: Database, queries: Dict[int, str], name: str,
     optimizers' root and worst per-node Q-error (estimate accuracy,
     from the executor's always-on counters) — the comparison behind
     ``BENCH_planquality``.
+
+    ``seed`` makes the suite reproducible run-to-run: the configured
+    fault injector (if any) is re-seeded before the first query, so
+    probabilistic faults land on the same statements regardless of what
+    executed earlier in the process, and the seed is recorded on the
+    result for the report artifact.
     """
-    result = BenchmarkResult(name)
+    result = BenchmarkResult(name, seed=seed)
+    if seed is not None and db.config.fault_injector is not None:
+        db.config.fault_injector.reseed(seed)
     for number in sorted(queries):
         sql = queries[number]
         mysql = _timed_run(db, sql, "mysql", timeout_seconds)

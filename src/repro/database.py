@@ -75,6 +75,13 @@ from repro.resilience import (
     statement_fingerprint,
 )
 from repro.sql import ast as sql_ast
+from repro.workload import (
+    Advisor,
+    WorkloadRepository,
+    compute_plan_hash,
+    extract_column_touches,
+    format_workload_report,
+)
 from repro.sql.parser import parse_statement
 from repro.sql.prepare import prepare
 from repro.sql.resolver import Resolver
@@ -195,6 +202,29 @@ class DatabaseConfig:
     #: sort+stream (the sort's charges spill instead of raising) before
     #: the breach is surfaced.
     governor_stream_agg_retry: bool = True
+    #: Workload intelligence: aggregate every completed statement into
+    #: the per-fingerprint :class:`repro.workload.WorkloadRepository`
+    #: (latency quantiles, plan hash, column touches).  The kill switch
+    #: exists so the bookkeeping overhead itself can be measured.
+    workload_tracking_enabled: bool = True
+    #: Maximum fingerprints the workload repository keeps (LRU beyond).
+    workload_repository_capacity: int = 512
+    #: Minimum predicate/join executions on an unindexed column before
+    #: the advisor emits an index recommendation.
+    workload_index_min_usage: int = 8
+    #: A plan change counts as a regression when the new plan's p95
+    #: latency exceeds this multiple of the previous plan's p95.
+    workload_regression_factor: float = 1.5
+    #: Latency samples required on *both* sides of a plan change before
+    #: the regression check runs.
+    workload_regression_min_samples: int = 3
+    #: Opt-in apply hook: every ``advisor_interval_statements``
+    #: statements, pending re-ANALYZE recommendations are applied
+    #: automatically (ANALYZE bumps the catalog version, so cached
+    #: plans recompile against the fresh statistics).
+    advisor_auto_analyze: bool = False
+    #: Statements between auto-apply sweeps.
+    advisor_interval_statements: int = 32
 
     def __post_init__(self) -> None:
         if self.routing not in ROUTING_POLICIES:
@@ -226,6 +256,17 @@ class DatabaseConfig:
             raise ReproError("statement_memory_limit_bytes must be >= 1")
         if self.governor_check_interval < 1:
             raise ReproError("governor_check_interval must be >= 1")
+        if self.workload_repository_capacity < 1:
+            raise ReproError("workload_repository_capacity must be >= 1")
+        if self.workload_index_min_usage < 1:
+            raise ReproError("workload_index_min_usage must be >= 1")
+        if self.workload_regression_factor <= 1.0:
+            raise ReproError("workload_regression_factor must be > 1.0")
+        if self.workload_regression_min_samples < 1:
+            raise ReproError(
+                "workload_regression_min_samples must be >= 1")
+        if self.advisor_interval_statements < 1:
+            raise ReproError("advisor_interval_statements must be >= 1")
 
 
 @dataclass
@@ -264,6 +305,10 @@ class StatementResult:
     #: True when a hash-agg memory breach degraded this statement to
     #: the reduced-memory streaming retry (results are still exact).
     low_memory_retry: bool = False
+    #: Literal-free digest of the executable plan's shape (see
+    #: :func:`repro.workload.compute_plan_hash`); ``None`` for DML and
+    #: when workload tracking is disabled.
+    plan_hash: Optional[str] = None
 
     def trace_export(self) -> List[dict]:
         """Flat JSON trace: one dict per span (name, start, duration,
@@ -310,6 +355,21 @@ class Database:
             capacity=self.config.planq_ledger_capacity,
             q_threshold=self.config.planq_q_threshold,
             consecutive_threshold=self.config.planq_consecutive_breaches)
+        #: Per-fingerprint statement history + column usage; feeds the
+        #: advisor (see the workload module docstring).
+        self.workload = WorkloadRepository(
+            capacity=self.config.workload_repository_capacity,
+            regression_factor=self.config.workload_regression_factor,
+            regression_min_samples=(
+                self.config.workload_regression_min_samples),
+            metrics=self.metrics)
+        #: Ranked recommendations over the repository; ``apply()`` is
+        #: the opt-in mutation path (auto-driven only when
+        #: ``config.advisor_auto_analyze`` is set).
+        self.advisor = Advisor(
+            repository=self.workload, catalog=self.catalog,
+            storage=self.storage, plan_cache=self.plan_cache,
+            config=self.config, metrics=self.metrics)
         #: The router of the most recent Orca detour, kept so callers can
         #: inspect its bridge components (e.g. ``last_accessor.stats()``
         #: for the metadata-cache hit ratio of one statement).
@@ -325,6 +385,19 @@ class Database:
         # histogram from statement one — and so the empty-histogram
         # hardening has a permanent in-tree exercise.
         self.metrics.declare_histogram("governor.peak_bytes")
+        # Export-time gauges: ratios derived from live objects are
+        # computed only when a scrape/report actually reads them.
+        self.metrics.register_gauge(
+            "plan_cache.hit_ratio", lambda: self.plan_cache.hit_ratio)
+        self.metrics.register_gauge(
+            "mdcache.hit_ratio", self._mdcache_hit_ratio)
+        self.metrics.register_gauge(
+            "workload.fingerprints", lambda: len(self.workload))
+
+    def _mdcache_hit_ratio(self) -> float:
+        hits = self.metrics.count("mdcache.hits")
+        requests = hits + self.metrics.count("mdcache.misses")
+        return hits / requests if requests else 0.0
 
     # -- DDL / DML ---------------------------------------------------------------
 
@@ -698,6 +771,9 @@ class Database:
         quality = statement_quality(executor)
         self._record_plan_quality(sql, cache_key, quality, used,
                                   cached is not None, exec_span)
+        plan_hash = self._record_workload(
+            sql, executor, used, cached is not None, fallback_reason,
+            quality, done - start, len(rows))
         if cached is None and cache_enabled and fallback_reason is None \
                 and not low_memory_retry:
             # Deferred store — only a statement that *executed to
@@ -748,7 +824,48 @@ class Database:
             statement_id=statement_id,
             governor_stats=governor_stats,
             low_memory_retry=low_memory_retry,
+            plan_hash=plan_hash,
         )
+
+    def _record_workload(self, sql: str, executor: Executor, used: str,
+                         plan_cache_hit: bool,
+                         fallback_reason: Optional[FallbackReason],
+                         quality: StatementQuality,
+                         latency_seconds: float,
+                         rows: int) -> Optional[str]:
+        """Fold one completed statement into the workload repository.
+
+        The plan hash and column touches are properties of the compiled
+        plan, not the execution, so they are computed once and cached on
+        the executor — plan-cache hits pay only the aggregate updates.
+        Returns the plan hash (None when tracking is off).
+        """
+        if not self.config.workload_tracking_enabled:
+            return None
+        plan_hash = getattr(executor, "workload_plan_hash", None)
+        if plan_hash is None:
+            plan_hash = compute_plan_hash(executor)
+            executor.workload_plan_hash = plan_hash
+            executor.workload_touches = extract_column_touches(executor)
+        self.workload.record(
+            fingerprint=statement_fingerprint(sql),
+            sql=sql,
+            plan_hash=plan_hash,
+            touches=executor.workload_touches,
+            latency_seconds=latency_seconds,
+            rows=rows,
+            optimizer_used=used,
+            executor_mode=executor.last_mode,
+            plan_cache_hit=plan_cache_hit,
+            breached=quality.max_q > self.misestimation_ledger.q_threshold,
+            fallback=fallback_reason is not None,
+        )
+        if self.config.advisor_auto_analyze and \
+                self.workload.recorded \
+                % self.config.advisor_interval_statements == 0:
+            with self.tracer.span("advisor_auto_apply"):
+                self.advisor.apply(kinds=("reanalyze",))
+        return plan_hash
 
     def _execute_governed(self, executor: Executor,
                           skeleton: Optional[SkeletonPlan], mode: str,
@@ -837,6 +954,8 @@ class Database:
         self.metrics.inc(_ABORT_COUNTERS[reason])
         self.metrics.inc("statements.aborted")
         self.misestimation_ledger.note_aborted()
+        if self.config.workload_tracking_enabled:
+            self.workload.record_abort(statement_fingerprint(sql), sql)
         if governor is not None:
             self.metrics.observe("governor.peak_bytes",
                                  governor.memory.peak_bytes)
@@ -995,6 +1114,7 @@ class Database:
             "ts": datetime.datetime.now().isoformat(),
             "sql": sql,
             "fingerprint": statement_fingerprint(sql),
+            "plan_hash": result.plan_hash,
             "optimizer": result.optimizer_used,
             "executor_mode": result.executor_mode,
             "plan_cache_hit": result.plan_cache_hit,
@@ -1054,6 +1174,30 @@ class Database:
     def plan_quality_report_text(self) -> str:
         """``plan_quality_report()`` rendered as plain text."""
         return format_plan_quality_report(self.plan_quality_report())
+
+    def workload_report(self, limit: int = 20) -> dict:
+        """The workload-intelligence surface, as one payload:
+
+        * ``repository`` — per-fingerprint statement history (execution
+          counts, latency p50/p95/p99, plan-cache hit ratio, plan hash
+          and phases, confirmed regressions) plus per-column usage;
+        * ``recommendations`` — the advisor's ranked advice
+          (``reanalyze`` / ``index`` / ``plan_regression``), each with
+          a score, a human reason, and machine-readable details;
+        * ``advisor`` — apply totals.
+
+        Render with :func:`repro.workload.format_workload_report`.
+        """
+        return {
+            "repository": self.workload.snapshot(limit=limit),
+            "recommendations": [
+                rec.to_dict() for rec in self.advisor.recommendations()],
+            "advisor": {"applied_total": self.advisor.applied_total},
+        }
+
+    def workload_report_text(self, limit: int = 20) -> str:
+        """``workload_report()`` rendered as plain text."""
+        return format_workload_report(self.workload_report(limit=limit))
 
     def metrics_report(self) -> str:
         """One text report answering "what happened and why": routing

@@ -48,6 +48,13 @@ class Executor:
         #: Governor of the most recent execute(), for post-execution
         #: reporting (EXPLAIN ANALYZE footer, StatementResult stats).
         self.last_governor = None
+        #: Workload-intelligence facts of the compiled plan, computed
+        #: once and cached here because the plan cache shares one
+        #: Executor across executions: the literal-free shape hash and
+        #: the (table, column, kind) column touches.  None until the
+        #: Database's workload layer first sees this executor.
+        self.workload_plan_hash: Optional[str] = None
+        self.workload_touches: tuple = ()
 
     # -- plan registry -----------------------------------------------------------
 

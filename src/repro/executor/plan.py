@@ -153,6 +153,18 @@ class PlanNode:
         """
         raise BatchUnsupported(f"plan node {type(self).__name__}")
 
+    def touch_exprs(self) -> List[Tuple[str, ast.Expr]]:
+        """``(kind, expr)`` pairs of the columns this node touches.
+
+        Kinds: ``predicate`` (filters and range/lookup conditions),
+        ``join`` (join keys and join conditions — the workload layer
+        downgrades a "join" conjunct to ``predicate`` when all of its
+        columns come from one table), ``group``, and ``sort``.  Both
+        optimizers' plans expose the same hooks, so column-usage
+        tracking sees one vocabulary regardless of routing.
+        """
+        return [("predicate", expr) for expr in self.filter_conjuncts]
+
     def label(self) -> str:
         raise NotImplementedError
 
@@ -353,6 +365,10 @@ class IndexLookupNode(_LeafNode):
             self.table_name, self.index_name, key)
         yield from _leaf_batches(self, runtime, _iter_chunks(rows))
 
+    def touch_exprs(self) -> List[Tuple[str, ast.Expr]]:
+        return super().touch_exprs() \
+            + [("join", expr) for expr in self.key_exprs]
+
     def label(self) -> str:
         keys = ", ".join(_expr_text(expr) for expr in self.key_exprs)
         return (f"Index lookup on {self.alias} using {self.index_name} "
@@ -535,6 +551,10 @@ class NestedLoopJoinNode(PlanNode):
     def children(self) -> Sequence[PlanNode]:
         return (self.outer, self.inner)
 
+    def touch_exprs(self) -> List[Tuple[str, ast.Expr]]:
+        return super().touch_exprs() \
+            + [("join", expr) for expr in self.conjuncts]
+
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
         self.actual_loops += 1
         ctx = runtime.ctx
@@ -701,6 +721,12 @@ class HashJoinNode(PlanNode):
 
     def children(self) -> Sequence[PlanNode]:
         return (self.probe, self.build)
+
+    def touch_exprs(self) -> List[Tuple[str, ast.Expr]]:
+        return super().touch_exprs() \
+            + [("join", expr) for expr in self.probe_key_exprs] \
+            + [("join", expr) for expr in self.build_key_exprs] \
+            + [("join", expr) for expr in self.residual_conjuncts]
 
     def _build_table_rows(self, runtime: ExecutionRuntime
                           ) -> Tuple[Dict[tuple, List[tuple]], int]:
@@ -999,6 +1025,10 @@ class SortNode(PlanNode):
     def children(self) -> Sequence[PlanNode]:
         return (self.child,)
 
+    def touch_exprs(self) -> List[Tuple[str, ast.Expr]]:
+        return super().touch_exprs() \
+            + [("sort", item.expr) for item in self.order_items]
+
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
         self.actual_loops += 1
         ctx = runtime.ctx
@@ -1156,6 +1186,10 @@ class AggregateNode(PlanNode):
 
     def children(self) -> Sequence[PlanNode]:
         return (self.child,) if self.child is not None else ()
+
+    def touch_exprs(self) -> List[Tuple[str, ast.Expr]]:
+        return super().touch_exprs() \
+            + [("group", expr) for expr in self.group_exprs]
 
     def produced_entries(self) -> List[int]:
         return [self.output_entry_id]

@@ -377,6 +377,7 @@ class MetricsRegistry:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, StreamingHistogram] = {}
+        self._gauge_callbacks: Dict[str, Callable[[], float]] = {}
 
     # -- counters ---------------------------------------------------------------
 
@@ -392,7 +393,24 @@ class MetricsRegistry:
         self._gauges[name] = value
 
     def gauge(self, name: str) -> float:
+        self._materialize_gauges()
         return self._gauges.get(name, 0.0)
+
+    def register_gauge(self, name: str,
+                       callback: Callable[[], float]) -> None:
+        """Register a gauge computed at export time.
+
+        Derived values (hit ratios, live sizes) would need a recompute
+        on every event if stored eagerly; a callback is evaluated only
+        when an export (``to_dict`` / ``to_prometheus`` / ``report`` /
+        ``gauge``) actually wants the number.  Registrations survive
+        :meth:`reset` — they describe live objects, not samples.
+        """
+        self._gauge_callbacks[name] = callback
+
+    def _materialize_gauges(self) -> None:
+        for name, callback in self._gauge_callbacks.items():
+            self._gauges[name] = float(callback())
 
     # -- histograms -------------------------------------------------------------
 
@@ -435,6 +453,7 @@ class MetricsRegistry:
     # -- export -----------------------------------------------------------------
 
     def to_dict(self) -> dict:
+        self._materialize_gauges()
         return {
             "counters": dict(sorted(self._counters.items())),
             "gauges": dict(sorted(self._gauges.items())),
@@ -451,6 +470,7 @@ class MetricsRegistry:
         (``quantile`` labels plus ``_sum`` / ``_count``).  Dots and any
         other invalid characters in registry names become underscores.
         """
+        self._materialize_gauges()
         lines: List[str] = []
         for name, value in sorted(self._counters.items()):
             metric = _prometheus_name(name, prefix) + "_total"
@@ -477,6 +497,7 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n" if lines else ""
 
     def report(self) -> str:
+        self._materialize_gauges()
         lines: List[str] = []
         if self._counters:
             lines.append("counters:")

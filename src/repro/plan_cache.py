@@ -176,6 +176,21 @@ class PlanCache:
         self._count("invalidations")
         return True
 
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every entry whose resilience fingerprint matches.
+
+        A fingerprint covers every literal variant of a statement shape,
+        so when the workload advisor confirms a plan regression for a
+        shape it must purge all of that shape's cached plans, not just
+        the one cache key that happened to trip the detector.
+        """
+        keys = [key for key, entry in self._entries.items()
+                if entry.fingerprint == fingerprint]
+        for key in keys:
+            del self._entries[key]
+            self._count("invalidations")
+        return len(keys)
+
     def invalidate_all(self) -> int:
         """Drop every entry (counted as invalidations); returns how many."""
         dropped = len(self._entries)

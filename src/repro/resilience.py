@@ -479,6 +479,21 @@ class FaultInjector:
         else:
             self._armed.pop(site, None)
 
+    def reseed(self, seed: int) -> "FaultInjector":
+        """Re-seed the probability PRNG and zero the site counters.
+
+        The bench harness calls this when a suite is run with an
+        explicit ``seed`` so probabilistic faults fire on the same
+        statements run-to-run regardless of what executed before the
+        suite started.  Armed faults stay armed.
+        """
+        import random
+
+        self._rng = random.Random(seed)
+        self.fired = {site: 0 for site in INJECTION_SITES}
+        self.reached = {site: 0 for site in INJECTION_SITES}
+        return self
+
     def _draw(self, site: str) -> Optional[_ArmedFault]:
         """Shared gating: armed, times remaining, probability draw."""
         self.reached[site] = self.reached.get(site, 0) + 1

@@ -1,0 +1,365 @@
+"""Workload intelligence: the statement repository, column-usage
+tracking, plan-change/regression detection, and the advisor.
+
+Covers the repository's LRU eviction under fingerprint churn (with the
+monotonic column-usage aggregates surviving it), the plan-phase folding
+and p95-regression rule, advisor determinism (the same history must
+produce byte-identical recommendations), the what-if index probe, the
+auto-ANALYZE hook, the export surfaces (``workload_report``, hit-ratio
+gauges, ``plan_hash`` in the slow-query log), and the ``run_suite``
+seed threading.
+"""
+
+import json
+
+import pytest
+
+from repro import Database, DatabaseConfig
+from repro.errors import ReproError
+from repro.resilience import FaultInjector, statement_fingerprint
+from repro.workload import Advisor, WorkloadRepository
+from tests.conftest import build_mini_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_mini_db(seed=41, orders=200)
+
+
+def _history(repo: WorkloadRepository, fingerprint: str, sql: str,
+             plan_hash: str, touches=(), latency: float = 0.002,
+             runs: int = 1, **kwargs) -> None:
+    """Fold ``runs`` identical executions into ``repo``."""
+    defaults = dict(rows=10, optimizer_used="mysql", executor_mode="row",
+                    plan_cache_hit=False, breached=False, fallback=False)
+    defaults.update(kwargs)
+    for __ in range(runs):
+        repo.record(fingerprint, sql, plan_hash, tuple(touches),
+                    latency, **defaults)
+
+
+# ---------------------------------------------------------------------------
+# Repository: LRU eviction under fingerprint churn
+# ---------------------------------------------------------------------------
+
+class TestRepositoryEviction:
+    def test_capacity_bounds_entries_under_churn(self):
+        repo = WorkloadRepository(capacity=4)
+        for i in range(25):
+            _history(repo, f"fp{i:02d}", f"SELECT {i}", "aaaa",
+                     touches=(("orders", "o_custkey", "join"),))
+        assert len(repo) == 4
+        assert repo.evictions == 21
+        # Strict LRU: only the four most recent fingerprints survive.
+        assert [e.fingerprint for e in repo.entries()] == \
+            ["fp21", "fp22", "fp23", "fp24"]
+
+    def test_reexecution_refreshes_lru_position(self):
+        repo = WorkloadRepository(capacity=2)
+        _history(repo, "old", "SELECT 1", "aaaa")
+        _history(repo, "mid", "SELECT 2", "bbbb")
+        _history(repo, "old", "SELECT 1", "aaaa")  # touch -> MRU
+        _history(repo, "new", "SELECT 3", "cccc")  # evicts "mid"
+        assert repo.entry("old") is not None
+        assert repo.entry("mid") is None
+        assert repo.entry("new") is not None
+
+    def test_column_usage_survives_eviction(self):
+        repo = WorkloadRepository(capacity=1)
+        for i in range(10):
+            _history(repo, f"fp{i}", f"SELECT {i}", "aaaa",
+                     touches=(("orders", "o_totalprice", "predicate"),),
+                     breached=(i % 2 == 0))
+        assert len(repo) == 1
+        usage = repo.usage_for("orders", "o_totalprice")
+        assert usage == {"predicate": 10}
+        # Breach attribution is workload-level too: 5 of 10 breached.
+        assert repo.table_breach_rate("orders") == 0.5
+
+    def test_stats_and_snapshot_shapes(self):
+        repo = WorkloadRepository(capacity=8)
+        _history(repo, "fp", "SELECT 1", "aaaa", runs=3,
+                 touches=(("orders", "o_custkey", "join"),))
+        stats = repo.stats()
+        assert stats["size"] == 1 and stats["recorded"] == 3
+        snap = repo.snapshot()
+        assert snap["statements"][0]["executions"] == 3
+        assert snap["column_usage"][0]["executions"] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadRepository(capacity=0)
+        with pytest.raises(ValueError):
+            WorkloadRepository(regression_factor=1.0)
+        with pytest.raises(ValueError):
+            WorkloadRepository(regression_min_samples=0)
+
+
+# ---------------------------------------------------------------------------
+# Plan phases and regression detection
+# ---------------------------------------------------------------------------
+
+class TestPlanRegression:
+    def test_plan_change_without_slowdown_is_not_a_regression(self):
+        repo = WorkloadRepository()
+        _history(repo, "fp", "Q", "aaaa", latency=0.010, runs=4)
+        _history(repo, "fp", "Q", "bbbb", latency=0.011, runs=4)
+        assert repo.entry("fp").plan_changes == 1
+        assert repo.unresolved_regressions() == []
+
+    def test_p95_jump_past_factor_flags_once(self):
+        repo = WorkloadRepository(regression_factor=1.5,
+                                  regression_min_samples=3)
+        _history(repo, "fp", "Q", "aaaa", latency=0.010, runs=4)
+        _history(repo, "fp", "Q", "bbbb", latency=0.030, runs=6)
+        pending = repo.unresolved_regressions()
+        assert len(pending) == 1
+        regression = pending[0]
+        assert regression.from_hash == "aaaa"
+        assert regression.to_hash == "bbbb"
+        assert regression.factor == pytest.approx(3.0)
+
+    def test_needs_min_samples_on_both_sides(self):
+        repo = WorkloadRepository(regression_min_samples=3)
+        _history(repo, "fp", "Q", "aaaa", latency=0.010, runs=2)
+        _history(repo, "fp", "Q", "bbbb", latency=0.090, runs=10)
+        # Old phase closed with only 2 samples: never checked.
+        assert repo.unresolved_regressions() == []
+
+    def test_resolve_marks_handled(self):
+        repo = WorkloadRepository()
+        _history(repo, "fp", "Q", "aaaa", latency=0.010, runs=3)
+        _history(repo, "fp", "Q", "bbbb", latency=0.050, runs=3)
+        assert len(repo.unresolved_regressions()) == 1
+        assert repo.resolve_regressions("fp") == 1
+        assert repo.unresolved_regressions() == []
+
+
+# ---------------------------------------------------------------------------
+# Touch extraction and plan hashing against real plans
+# ---------------------------------------------------------------------------
+
+class TestPlanFacts:
+    def test_touch_kinds_from_join_group_sort(self, db):
+        sql = ("SELECT o_status, COUNT(*) FROM orders, lineitem "
+               "WHERE o_orderkey = l_orderkey AND o_totalprice > 500 "
+               "GROUP BY o_status ORDER BY o_status")
+        db.run(sql)
+        entry = db.workload.entry(statement_fingerprint(sql))
+        touches = set(entry.touches)
+        assert ("orders", "o_totalprice", "predicate") in touches
+        assert ("orders", "o_status", "group") in touches
+        assert ("orders", "o_status", "sort") in touches
+        # Join columns keep the join kind on at least one side.
+        assert any(kind == "join" for (_, __, kind) in touches)
+
+    def test_plan_hash_is_literal_free(self, db):
+        a = db.run("SELECT * FROM orders WHERE o_totalprice > 100")
+        b = db.run("SELECT * FROM orders WHERE o_totalprice > 9999")
+        assert a.plan_hash == b.plan_hash
+        c = db.run("SELECT * FROM orders WHERE o_orderkey = 5")
+        assert c.plan_hash != a.plan_hash  # index lookup, new shape
+
+    def test_hash_and_touches_cached_on_executor(self, db):
+        sql = "SELECT COUNT(*) FROM lineitem WHERE l_quantity > 10"
+        db.run(sql)
+        result = db.run(sql)
+        assert result.plan_cache_hit
+        entry = db.workload.entry(statement_fingerprint(sql))
+        assert entry.plan_hash == result.plan_hash
+        assert entry.touches == (("lineitem", "l_quantity", "predicate"),)
+
+
+# ---------------------------------------------------------------------------
+# Advisor
+# ---------------------------------------------------------------------------
+
+def _stale_db() -> Database:
+    """A database whose orders/lineitem statistics are badly stale."""
+    db = build_mini_db(seed=13, orders=30)
+    db.analyze()
+    fresh = build_mini_db(seed=13, orders=600)
+    for name in ("orders", "lineitem"):
+        db.load(name, fresh.execute(f"SELECT * FROM {name}"))
+    return db
+
+
+class TestAdvisor:
+    def test_reanalyze_recommended_for_stale_breaching_tables(self):
+        db = _stale_db()
+        for __ in range(4):
+            db.run("SELECT COUNT(*) FROM orders WHERE o_totalprice > 0",
+                   use_plan_cache=False)
+        recs = db.advisor.recommendations()
+        reanalyze = [r for r in recs if r.kind == "reanalyze"]
+        assert any(r.target == "orders" for r in reanalyze)
+        # Breach pressure scales the score beyond bare staleness.
+        orders = next(r for r in reanalyze if r.target == "orders")
+        assert orders.details["breach_rate"] > 0
+
+    def test_index_recommendation_from_hot_unindexed_column(self, db):
+        for i in range(12):
+            db.run(f"SELECT * FROM orders WHERE o_totalprice > {i * 50}")
+        recs = db.advisor.recommendations()
+        index = [r for r in recs if r.kind == "index"]
+        assert any(r.target == "orders.o_totalprice" for r in index)
+        probe = next(r for r in index
+                     if r.target == "orders.o_totalprice").details
+        assert probe["index_lookup_cost"] < probe["table_scan_cost"]
+
+    def test_indexed_columns_never_recommended(self, db):
+        for i in range(12):
+            db.run(f"SELECT * FROM orders WHERE o_orderkey = {i + 1}")
+        recs = db.advisor.recommendations()
+        assert not any(r.kind == "index" and r.target == "orders.o_orderkey"
+                       for r in recs)
+
+    def test_determinism_same_history_same_bytes(self):
+        """Two advisors over identical histories emit identical advice."""
+        payloads = []
+        for __ in range(2):
+            db = build_mini_db(seed=13, orders=120)
+            repo = WorkloadRepository(capacity=16)
+            for i in range(10):
+                _history(repo, "fp-scan", "SELECT ...", "aaaa",
+                         touches=(("orders", "o_totalprice", "predicate"),
+                                  ("lineitem", "l_quantity", "predicate")),
+                         latency=0.004, breached=(i % 3 == 0))
+            _history(repo, "fp-reg", "SELECT ...", "hhh1",
+                     latency=0.010, runs=3)
+            _history(repo, "fp-reg", "SELECT ...", "hhh2",
+                     latency=0.040, runs=3)
+            advisor = Advisor(repository=repo, catalog=db.catalog,
+                              storage=db.storage,
+                              plan_cache=db.plan_cache,
+                              config=db.config)
+            payloads.append(json.dumps(
+                [r.to_dict() for r in advisor.recommendations()],
+                sort_keys=True))
+        assert payloads[0] == payloads[1]
+
+    def test_apply_reanalyze_refreshes_stats_and_bumps_catalog(self):
+        db = _stale_db()
+        for __ in range(4):
+            db.run("SELECT COUNT(*) FROM orders WHERE o_totalprice > 0",
+                   use_plan_cache=False)
+        version = db.catalog.version
+        actions = db.advisor.apply(kinds=("reanalyze",))
+        assert any(a["target"] == "orders" for a in actions)
+        assert db.catalog.version > version
+        stats = db.catalog.statistics("orders")
+        assert stats.row_count == db.storage.heap("orders").row_count
+        # Advice is consumed: a fresh pass no longer flags orders.
+        assert not any(r.kind == "reanalyze" and r.target == "orders"
+                       for r in db.advisor.recommendations())
+
+    def test_apply_plan_regression_purges_cached_plans(self):
+        db = build_mini_db(seed=19, orders=100)
+        sql = "SELECT COUNT(*) FROM orders WHERE o_totalprice > 1"
+        db.run(sql)  # populate the plan cache
+        fingerprint = statement_fingerprint(sql)
+        _history(db.workload, fingerprint, sql, "hhh1",
+                 latency=0.010, runs=3)
+        _history(db.workload, fingerprint, sql, "hhh2",
+                 latency=0.050, runs=3)
+        actions = db.advisor.apply(kinds=("plan_regression",))
+        assert actions and "invalidated 1 cached plans" in \
+            actions[0]["action"]
+        assert not db.run(sql).plan_cache_hit  # recompiled
+        assert db.workload.unresolved_regressions() == []
+
+    def test_index_advice_is_never_auto_applied(self, db):
+        before = {i.name for i in db.catalog.table("orders").indexes}
+        db.advisor.apply()  # default kinds exclude "index"
+        assert {i.name for i in db.catalog.table("orders").indexes} == before
+
+
+# ---------------------------------------------------------------------------
+# Database integration: auto-analyze hook, report, export surfaces
+# ---------------------------------------------------------------------------
+
+class TestDatabaseIntegration:
+    def test_auto_analyze_hook_fires_on_interval(self):
+        db = _stale_db()
+        db.config.advisor_auto_analyze = True
+        db.config.advisor_interval_statements = 4
+        for __ in range(4):
+            db.run("SELECT COUNT(*) FROM orders WHERE o_totalprice > 0",
+                   use_plan_cache=False)
+        assert db.metrics.count("advisor.applied.reanalyze") >= 1
+        stats = db.catalog.statistics("orders")
+        assert stats.row_count == db.storage.heap("orders").row_count
+
+    def test_workload_tracking_can_be_disabled(self):
+        db = build_mini_db(seed=23, orders=50)
+        db.config.workload_tracking_enabled = False
+        db.run("SELECT COUNT(*) FROM orders")
+        assert len(db.workload) == 0
+
+    def test_workload_report_round_trip(self, db):
+        report = db.workload_report()
+        assert report["repository"]["stats"]["recorded"] > 0
+        assert isinstance(report["recommendations"], list)
+        text = db.workload_report_text()
+        assert "Workload intelligence" in text
+        assert "fingerprints tracked" in text
+
+    def test_hit_ratio_gauges_computed_at_export(self, db):
+        sql = "SELECT COUNT(*) FROM customer"
+        db.run(sql)
+        db.run(sql)
+        export = db.metrics.to_dict()
+        assert 0.0 < export["gauges"]["plan_cache.hit_ratio"] <= 1.0
+        assert "mdcache.hit_ratio" in export["gauges"]
+        assert export["gauges"]["workload.fingerprints"] == \
+            len(db.workload)
+        prom = db.metrics_export()
+        assert "repro_plan_cache_hit_ratio" in prom
+        assert "repro_mdcache_hit_ratio" in prom
+        assert "repro_workload_recorded_total" in prom
+
+    def test_slow_query_log_carries_plan_hash(self, tmp_path):
+        log = tmp_path / "slow.jsonl"
+        db = build_mini_db(seed=29, orders=50)
+        db.config.slow_query_log_path = str(log)
+        db.config.slow_query_log_threshold_seconds = 0.0
+        db.run("SELECT COUNT(*) FROM orders")
+        record = json.loads(log.read_text().splitlines()[-1])
+        assert record["plan_hash"]
+        assert record["fingerprint"]
+
+    def test_config_validation(self):
+        for kwargs in ({"workload_repository_capacity": 0},
+                       {"workload_index_min_usage": 0},
+                       {"workload_regression_factor": 1.0},
+                       {"workload_regression_min_samples": 0},
+                       {"advisor_interval_statements": 0}):
+            with pytest.raises(ReproError):
+                Database(DatabaseConfig(**kwargs))
+
+
+# ---------------------------------------------------------------------------
+# run_suite seed threading
+# ---------------------------------------------------------------------------
+
+class TestSuiteSeed:
+    def test_seed_lands_in_result_and_reseeds_injector(self):
+        from repro.bench import run_suite
+
+        injector = FaultInjector(seed=1)
+        injector.fired["optimizer"] = 9
+        db = build_mini_db(seed=31, orders=40)
+        db.config.fault_injector = injector
+        result = run_suite(db, {1: "SELECT COUNT(*) FROM orders"},
+                           name="seeded", seed=77)
+        assert result.seed == 77
+        # reseed() zeroed the counters for a reproducible run.
+        assert injector.fired.get("optimizer", 0) == 0
+
+    def test_seed_defaults_to_none(self):
+        from repro.bench import run_suite
+
+        db = build_mini_db(seed=31, orders=40)
+        result = run_suite(db, {1: "SELECT COUNT(*) FROM orders"},
+                           name="unseeded")
+        assert result.seed is None
