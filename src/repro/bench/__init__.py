@@ -8,6 +8,7 @@ from repro.bench.harness import (
     results_match,
     run_compile_suite,
     run_executor_comparison,
+    run_parallel_scaling,
     run_suite,
 )
 from repro.bench.report import (
@@ -15,6 +16,7 @@ from repro.bench.report import (
     format_figure10,
     format_figure11,
     format_figure12,
+    format_parallel_report,
     format_plan_cache_report,
     format_plan_quality_bench,
     format_table1,
@@ -29,6 +31,7 @@ __all__ = [
     "format_figure10",
     "format_figure11",
     "format_figure12",
+    "format_parallel_report",
     "format_plan_cache_report",
     "format_plan_quality_bench",
     "format_table1",
@@ -38,6 +41,7 @@ __all__ = [
     "run_compile_suite",
     "run_drift_scenario",
     "run_executor_comparison",
+    "run_parallel_scaling",
     "run_suite",
     "summarize",
     "summarize_plan_quality",

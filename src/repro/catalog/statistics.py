@@ -11,7 +11,7 @@ carried alongside.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Iterable, Optional
 
 from repro.catalog.histogram import Histogram, build_histogram
 
@@ -28,14 +28,25 @@ class ColumnStatistics:
     unique: bool = False
 
     @staticmethod
-    def from_values(values: Sequence, unique: bool = False,
+    def from_values(values: Iterable, unique: bool = False,
                     with_histogram: bool = True) -> "ColumnStatistics":
-        """Compute statistics over a column's values (ANALYZE TABLE)."""
-        non_null = [value for value in values if value is not None]
+        """Compute statistics over a column's values (ANALYZE TABLE).
+
+        ``values`` may be any single-pass iterable — storage hands in
+        lazy column iterators so ANALYZE never materialises its own
+        copy of every column.
+        """
+        total = 0
+        non_null = []
+        append = non_null.append
+        for value in values:
+            total += 1
+            if value is not None:
+                append(value)
         distinct = set(non_null)
         histogram = build_histogram(non_null) if with_histogram else None
         return ColumnStatistics(
-            null_count=len(values) - len(non_null),
+            null_count=total - len(non_null),
             distinct_count=len(distinct),
             min_value=min(non_null) if non_null else None,
             max_value=max(non_null) if non_null else None,

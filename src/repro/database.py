@@ -39,6 +39,7 @@ from repro.errors import (
     ResourceExhaustedError,
 )
 from repro.executor.executor import Executor
+from repro.executor.parallel import PARALLEL_BACKENDS
 from repro.governor import CancelToken, ExecutionGovernor
 from repro.executor.explain import explain_plan
 from repro.mysql_optimizer.optimizer import MySQLOptimizer
@@ -225,6 +226,23 @@ class DatabaseConfig:
     advisor_auto_analyze: bool = False
     #: Statements between auto-apply sweeps.
     advisor_interval_statements: int = 32
+    #: Rows per batch-engine RowBatch *and* per column-store chunk (one
+    #: chunk is one morsel, so this is also the morsel size).
+    batch_size: int = 1024
+    #: Maintain the native columnar mirror (per-column arrays + zone
+    #: maps) alongside the row heap.  Off = the legacy heap-transpose
+    #: scan path, kept as a same-run baseline for benchmarks.
+    columnstore_enabled: bool = True
+    #: Default worker count for morsel-driven parallel execution; 1 =
+    #: serial.  Per-statement override: ``run(sql, executor_workers=N)``.
+    executor_workers: int = 1
+    #: Worker pool backend: "fork" (processes; real parallelism) or
+    #: "thread" (portable, GIL-bound).  Platforms without ``os.fork``
+    #: degrade to "thread" automatically.
+    parallel_backend: str = "fork"
+    #: Tables with fewer rows than this never go parallel — pool setup
+    #: would cost more than the scan.
+    parallel_min_table_rows: int = 2048
 
     def __post_init__(self) -> None:
         if self.routing not in ROUTING_POLICIES:
@@ -267,6 +285,16 @@ class DatabaseConfig:
                 "workload_regression_min_samples must be >= 1")
         if self.advisor_interval_statements < 1:
             raise ReproError("advisor_interval_statements must be >= 1")
+        if self.batch_size < 1:
+            raise ReproError("batch_size must be >= 1")
+        if self.executor_workers < 1:
+            raise ReproError("executor_workers must be >= 1")
+        if self.parallel_backend not in PARALLEL_BACKENDS:
+            raise ReproError(
+                f"unknown parallel_backend {self.parallel_backend!r}; "
+                f"valid choices: {', '.join(PARALLEL_BACKENDS)}")
+        if self.parallel_min_table_rows < 1:
+            raise ReproError("parallel_min_table_rows must be >= 1")
 
 
 @dataclass
@@ -327,7 +355,9 @@ class Database:
     def __init__(self, config: Optional[DatabaseConfig] = None) -> None:
         self.config = config or DatabaseConfig()
         self.catalog = Catalog()
-        self.storage = StorageEngine(self.catalog)
+        self.storage = StorageEngine(
+            self.catalog, batch_size=self.config.batch_size,
+            columnstore_enabled=self.config.columnstore_enabled)
         #: Process-wide counters / gauges / histograms; always on (a
         #: counter bump per statement costs nothing measurable).
         self.metrics = MetricsRegistry()
@@ -641,7 +671,8 @@ class Database:
             executor_mode: Optional[str] = None,
             timeout_seconds: Optional[float] = None,
             memory_limit_bytes: Optional[int] = None,
-            cancel_token: Optional[CancelToken] = None) -> StatementResult:
+            cancel_token: Optional[CancelToken] = None,
+            executor_workers: Optional[int] = None) -> StatementResult:
         """Execute with timing breakdown (used by the benchmark harness).
 
         DML statements return a single row holding the affected-row
@@ -666,11 +697,16 @@ class Database:
         ledger exactly as if the statement never ran — one exception:
         a hash-aggregate memory breach first retries once in streaming
         mode (see ``config.governor_stream_agg_retry``).
+
+        ``executor_workers`` overrides ``config.executor_workers`` for
+        this statement (morsel-driven parallelism; batch mode only).
         """
         if executor_mode is not None and executor_mode not in EXECUTOR_MODES:
             raise ReproError(
                 f"unknown executor_mode {executor_mode!r}; valid "
                 f"choices: {', '.join(EXECUTOR_MODES)}")
+        if executor_workers is not None and executor_workers < 1:
+            raise ReproError("executor_workers must be >= 1")
         governor = self._make_governor(timeout_seconds, memory_limit_bytes,
                                        cancel_token)
         statement_id = self._next_statement_id
@@ -682,7 +718,8 @@ class Database:
             self.tracer = Tracer()
         try:
             result = self._run(sql, optimizer, explain, use_plan_cache,
-                               executor_mode, governor, statement_id)
+                               executor_mode, governor, statement_id,
+                               executor_workers)
             if self.tracer.enabled:
                 result.trace = self.tracer.last_root
             self._log_slow_query(sql, result)
@@ -695,7 +732,8 @@ class Database:
              use_plan_cache: bool = True,
              executor_mode: Optional[str] = None,
              governor: Optional[ExecutionGovernor] = None,
-             statement_id: int = 0) -> StatementResult:
+             statement_id: int = 0,
+             executor_workers: Optional[int] = None) -> StatementResult:
         tracer = self.tracer
         self.metrics.inc("statements.total")
         start = time.perf_counter()
@@ -705,7 +743,7 @@ class Database:
                 return self._run_governed(sql, optimizer, explain,
                                           use_plan_cache, executor_mode,
                                           governor, statement_id, start,
-                                          stmt_span)
+                                          stmt_span, executor_workers)
             except (GovernorError, ExecutionError) as exc:
                 # An aborted statement: classify, count, and unwind.
                 # Deliberately skipped: the plan-cache store, the
@@ -720,7 +758,9 @@ class Database:
                       executor_mode: Optional[str],
                       governor: Optional[ExecutionGovernor],
                       statement_id: int, start: float,
-                      stmt_span) -> StatementResult:
+                      stmt_span,
+                      executor_workers: Optional[int] = None
+                      ) -> StatementResult:
         tracer = self.tracer
         with tracer.span("parse"):
             stmt = parse_statement(sql)
@@ -757,11 +797,12 @@ class Database:
         explain_text = explain_plan(executor.top_plan) \
             if explain else None
         mode = executor_mode or self.config.executor_mode
+        workers = executor_workers or self.config.executor_workers
         compiled = time.perf_counter()
         with tracer.span("execute") as exec_span:
             rows, executor, governor, low_memory_retry = \
                 self._execute_governed(executor, skeleton, mode,
-                                       governor, sql)
+                                       governor, sql, workers)
             exec_span.set(executor_mode=executor.last_mode)
             if executor.last_mode == "batch":
                 runtime = executor.last_runtime
@@ -798,6 +839,18 @@ class Database:
                 reason=FallbackReason.EXEC_BATCH_UNSUPPORTED,
                 error_message=executor.batch_unsupported_reason,
                 sql=sql))
+        elif workers > 1 and executor.last_mode == "batch" \
+                and not low_memory_retry:
+            parallel = getattr(executor, "last_parallel", None)
+            if parallel is None or parallel.ops == 0:
+                # Parallelism was requested but no operator in this
+                # plan had a parallel-safe shape (or every eligible
+                # table was too small): the statement ran serial.
+                self.fallback_log.record_fallback(FallbackEvent(
+                    fingerprint=statement_fingerprint(sql),
+                    reason=FallbackReason.EXEC_NOT_PARALLEL_SAFE,
+                    error_message="no parallel-safe operator in plan",
+                    sql=sql))
         self.metrics.inc(f"statements.{used}")
         self.metrics.observe("statement.compile_seconds",
                              compiled - start)
@@ -870,7 +923,7 @@ class Database:
     def _execute_governed(self, executor: Executor,
                           skeleton: Optional[SkeletonPlan], mode: str,
                           governor: Optional[ExecutionGovernor],
-                          sql: str):
+                          sql: str, workers: int = 1):
         """Run the plan under the governor, with one degradation path.
 
         A hash-aggregate memory breach — and only that breach — retries
@@ -884,7 +937,7 @@ class Database:
         injector = self.config.fault_injector
         try:
             rows = self._execute_wrapped(executor, mode, governor,
-                                         injector)
+                                         injector, workers)
             return rows, executor, governor, False
         except ResourceExhaustedError as exc:
             if exc.operator != "hash_agg" \
@@ -912,22 +965,28 @@ class Database:
                     force_stream_agg=True).build()
                 # The retry runs without fault injection: an armed
                 # alloc-spike would re-breach the degraded plan too and
-                # turn every chaos spike into a hard failure.
+                # turn every chaos spike into a hard failure.  It also
+                # runs serial — the degraded shape exists to shrink the
+                # memory footprint, not to go fast.
                 rows = self._execute_wrapped(retry_executor, mode,
-                                             retry_governor, None)
+                                             retry_governor, None,
+                                             workers=1)
             return rows, retry_executor, retry_governor, True
 
     def _execute_wrapped(self, executor: Executor, mode: str,
                          governor: Optional[ExecutionGovernor],
-                         injector) -> List[tuple]:
+                         injector, workers: int = 1) -> List[tuple]:
         """Execute, wrapping non-typed escapes as ExecutionError.
 
         Anything that is not already a ReproError (an injected crash, a
         storage bug) is chained into a typed ExecutionError so every
         abort maps onto the FallbackReason taxonomy."""
         try:
-            return executor.execute(mode=mode, metrics=self.metrics,
-                                    governor=governor, injector=injector)
+            return executor.execute(
+                mode=mode, metrics=self.metrics,
+                governor=governor, injector=injector, workers=workers,
+                parallel_backend=self.config.parallel_backend,
+                parallel_min_table_rows=self.config.parallel_min_table_rows)
         except ReproError:
             raise
         except Exception as exc:
@@ -1003,7 +1062,8 @@ class Database:
         return explain_plan(executor.top_plan)
 
     def explain_analyze(self, sql: str, optimizer: str = "auto",
-                        executor_mode: Optional[str] = None) -> str:
+                        executor_mode: Optional[str] = None,
+                        executor_workers: Optional[int] = None) -> str:
         """EXPLAIN ANALYZE: execute with per-operator actual row counts.
 
         The statement is executed once and rendered with
@@ -1014,7 +1074,8 @@ class Database:
         A "stage breakdown" footer shows where the statement spent its
         time (mirroring the paper's EXPLAIN cost copy-over, Section 6),
         which executor engine ran, and, for Orca plans, the memo
-        statistics.
+        statistics.  With ``executor_workers > 1``, nodes that ran
+        morsel-parallel additionally show ``workers=N``.
         """
         from repro.executor.explain import format_stage_footer
         from repro.executor.plan import DerivedMaterializeNode
@@ -1034,7 +1095,13 @@ class Database:
                                                        governor)
                 compiled = time.perf_counter()
                 with self.tracer.span("execute"):
-                    executor.execute(mode=mode, governor=governor)
+                    executor.execute(
+                        mode=mode, governor=governor,
+                        workers=(executor_workers
+                                 or self.config.executor_workers),
+                        parallel_backend=self.config.parallel_backend,
+                        parallel_min_table_rows=self.config
+                        .parallel_min_table_rows)
                 done = time.perf_counter()
         finally:
             self.tracer = previous

@@ -59,8 +59,11 @@ from repro.executor.expression import (
 )
 from repro.sql import ast
 
-#: Rows per batch.  Big enough to amortise per-batch dispatch, small
-#: enough to keep intermediate columns cache-resident.
+#: Default rows per batch.  Big enough to amortise per-batch dispatch,
+#: small enough to keep intermediate columns cache-resident.  The live
+#: value is ``DatabaseConfig.batch_size``, carried per execution on the
+#: runtime (``ExecutionRuntime.batch_size``); this module-level constant
+#: is only the default for components constructed without one.
 BATCH_SIZE = 1024
 
 
@@ -128,11 +131,13 @@ class BatchAccumulator:
     C speed.
     """
 
-    __slots__ = ("entries", "rows")
+    __slots__ = ("entries", "rows", "batch_size")
 
-    def __init__(self, entries: List[int]) -> None:
+    def __init__(self, entries: List[int],
+                 batch_size: int = BATCH_SIZE) -> None:
         self.entries = entries
         self.rows: List[tuple] = []
+        self.batch_size = batch_size
 
     def add_ctx(self, ctx) -> None:
         self.rows.append(tuple(ctx[entry] for entry in self.entries))
@@ -146,7 +151,7 @@ class BatchAccumulator:
 
     @property
     def full(self) -> bool:
-        return len(self.rows) >= BATCH_SIZE
+        return len(self.rows) >= self.batch_size
 
     def flush(self) -> RowBatch:
         rows = self.rows

@@ -13,6 +13,7 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.errors import ExecutionError
 from repro.executor.batch import BatchUnsupported, lower_executor
+from repro.executor.parallel import DEFAULT_MIN_TABLE_ROWS, ParallelContext
 from repro.executor.plan import (
     ExecutionRuntime,
     QueryPlan,
@@ -48,6 +49,10 @@ class Executor:
         #: Governor of the most recent execute(), for post-execution
         #: reporting (EXPLAIN ANALYZE footer, StatementResult stats).
         self.last_governor = None
+        #: ParallelContext of the most recent execute(), or None when it
+        #: ran serial.  ``last_parallel.ops == 0`` after a multi-worker
+        #: batch run means no plan shape was parallel-safe.
+        self.last_parallel = None
         #: Workload-intelligence facts of the compiled plan, computed
         #: once and cached here because the plan cache shares one
         #: Executor across executions: the literal-free shape hash and
@@ -105,6 +110,7 @@ class Executor:
             node.actual_rows = 0
             node.actual_batches = 0
             node.actual_loops = 0
+            node.px_workers = 0
 
     def ensure_batch_lowered(self) -> bool:
         """Lower the statement's plans for batch execution (cached).
@@ -123,7 +129,10 @@ class Executor:
         return self._batch_lowered
 
     def execute(self, mode: str = "row",
-                metrics=None, governor=None, injector=None) -> List[tuple]:
+                metrics=None, governor=None, injector=None,
+                workers: int = 1, parallel_backend: str = "fork",
+                parallel_min_table_rows: int = DEFAULT_MIN_TABLE_ROWS,
+                ) -> List[tuple]:
         """Run the statement and return all output rows.
 
         ``mode`` is the *requested* executor mode; ``last_mode`` reports
@@ -131,13 +140,23 @@ class Executor:
         row engine when lowering refuses the plan).  ``governor`` is the
         per-statement :class:`repro.governor.ExecutionGovernor` (or
         None for unbounded execution) and ``injector`` an optional
-        execution-stage fault injector; both ride on the runtime."""
+        execution-stage fault injector; both ride on the runtime.
+        ``workers > 1`` enables morsel-driven parallelism for eligible
+        operators on the batch path (row mode always runs serial)."""
         if self.top_plan is None:
             raise ExecutionError("no top-level plan registered")
         self.reset_actuals()
+        chunks_skipped_before = self.storage.counters.chunks_skipped
+        parallel = None
+        if workers > 1 and mode == "batch" and self.ensure_batch_lowered():
+            parallel = ParallelContext(
+                workers, backend=parallel_backend,
+                min_table_rows=parallel_min_table_rows)
         runtime = ExecutionRuntime(self.storage, self.context.entry_count,
-                                   governor=governor, injector=injector)
+                                   governor=governor, injector=injector,
+                                   parallel=parallel)
         self.last_governor = governor
+        self.last_parallel = parallel
         previous = self.current_runtime
         self.current_runtime = runtime
         #: Kept for post-execution inspection (EXPLAIN ANALYZE rebinds).
@@ -153,8 +172,17 @@ class Executor:
                     metrics.inc("executor.batch_rows", runtime.batch_rows)
                     metrics.inc("exec.compiled_exprs",
                                 self.compiled_expr_count)
+                    if parallel is not None and parallel.ops:
+                        metrics.inc("executor.morsels", parallel.morsels)
+                        metrics.inc("executor.parallel_workers",
+                                    parallel.workers_spawned)
                 return rows
             self.last_mode = "row"
             return list(self.top_plan.run(runtime))
         finally:
             self.current_runtime = previous
+            if metrics is not None:
+                skipped = (self.storage.counters.chunks_skipped
+                           - chunks_skipped_before)
+                if skipped:
+                    metrics.inc("storage.chunks_skipped", skipped)

@@ -210,7 +210,10 @@ def _render(node: p.PlanNode, lines: List[str], depth: int,
             annotation += f" loops={loops}"
         annotation += ")"
         if node.actual_batches:
-            annotation += f" (batches={node.actual_batches})"
+            annotation += f" (batches={node.actual_batches}"
+            if node.px_workers:
+                annotation += f" workers={node.px_workers}"
+            annotation += ")"
     lines.append(f"{indent}-> {node.label()}{annotation}")
     if node.filter_conjuncts:
         text = " and ".join(expr_text(c) for c in node.filter_conjuncts)

@@ -1,0 +1,568 @@
+"""Morsel-driven parallel execution over the column store.
+
+One :class:`ParallelContext` exists per batch-mode execution that
+requested more than one worker.  Leaf table scans are split into
+*morsels* — one column-store chunk each, so a morsel is exactly one
+RowBatch — and dispatched dynamically to a small worker pool: each
+worker pulls the next unclaimed chunk index from a shared dispenser
+(classic morsel-driven work stealing, so a slow morsel never stalls the
+others behind a static partition).  Three operator shapes run this way:
+
+* **scan** — workers apply the scan's compiled filter mask to their
+  chunks; the parent re-emits surviving batches *in chunk order*;
+* **pre-aggregation** — workers compute per-chunk, per-key partial
+  aggregate states; the parent folds them in chunk order through
+  ``_Accumulator.fold_partial``, replaying the serial float fold order
+  exactly, so results are bit-identical to a serial run;
+* **hash-join build** — workers build per-chunk key→rows fragments;
+  the parent concatenates buckets in chunk order, preserving the serial
+  build table's bucket row order.
+
+Everything nondeterministic (which worker got which morsel, completion
+order) is erased at the merge: results are keyed by chunk index and
+folded in ascending index order.
+
+Backends
+--------
+
+``fork`` (default) uses ``os.fork`` + a pipe per worker: compiled batch
+expressions are closures and cannot be pickled, but a forked child
+inherits them for free; only plain result tuples travel back through
+the pipe.  ``thread`` uses ordinary threads — portable (and what
+``fork``-less platforms degrade to) but GIL-bound, so it demonstrates
+the machinery rather than a speedup.
+
+Governance
+----------
+
+Workers run a governor checkpoint per morsel, so deadlines and
+cancellations abort mid-operator; the deadline clock
+(``time.perf_counter``) is system-wide and a :class:`CancelToken` is
+backed by fork-inheritable shared memory once parallel execution is
+requested.  A governor abort inside a forked worker is shipped back as
+a typed tuple and re-raised in the parent as the *same* exception type,
+so abort classification (deadline / cancelled / memory) is identical to
+serial execution.  Memory charging stays in the parent's merge loop —
+charging from two processes would double-count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    DeadlineExceededError,
+    ExecutionError,
+    ResourceExhaustedError,
+    StatementCancelledError,
+)
+from repro.executor.batch import RowBatch
+from repro.governor import BUCKET_OVERHEAD_BYTES, approx_row_bytes
+
+#: Backends a :class:`ParallelContext` accepts.
+PARALLEL_BACKENDS = ("fork", "thread")
+
+#: Tables smaller than this stay serial: the pool setup costs more than
+#: the scan.  Mirrors ``DatabaseConfig.parallel_min_table_rows``.
+DEFAULT_MIN_TABLE_ROWS = 2048
+
+#: Bytes read from a worker pipe per ``os.read`` call.
+_PIPE_READ_SIZE = 1 << 20
+
+
+class ParallelContext:
+    """Per-execution parallel state: pool policy plus morsel counters."""
+
+    def __init__(self, workers: int, backend: str = "fork",
+                 min_table_rows: int = DEFAULT_MIN_TABLE_ROWS) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if backend not in PARALLEL_BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {backend!r}; valid choices: "
+                f"{', '.join(PARALLEL_BACKENDS)}")
+        self.workers = workers
+        #: ``fork`` degrades to ``thread`` where fork is unavailable.
+        self.backend = backend if hasattr(os, "fork") else "thread"
+        self.min_table_rows = min_table_rows
+        #: Chunks dispatched to workers this execution.
+        self.morsels = 0
+        #: Parallel operators that actually ran (0 after a batch
+        #: execution means the plan had no parallel-safe shape — the
+        #: facade records ``FallbackReason.EXEC_NOT_PARALLEL_SAFE``).
+        self.ops = 0
+        #: Largest worker count any single operator used.
+        self.workers_spawned = 0
+
+    # -- scan eligibility -------------------------------------------------------
+
+    def _plan_scan(self, scan, runtime,
+                   predicates: Sequence[tuple]) -> Optional[tuple]:
+        """Zone-skip and morsel-plan one leaf scan.
+
+        Returns ``(store, surviving_chunk_indexes)`` or None when the
+        scan cannot run parallel (no column store, chunking misaligned
+        with the batch size, or the table is too small to be worth a
+        pool).  Charges the storage counters for *every* chunk here —
+        including skipped ones — exactly as the serial scan does.
+        """
+        storage = runtime.storage
+        store = storage.store(scan.table_name)
+        if store is None or store.chunk_size != runtime.batch_size:
+            return None
+        if store.row_count < self.min_table_rows \
+                or len(store.chunks) < 2:
+            return None
+        counters = storage.counters
+        survivors: List[int] = []
+        for index, chunk in enumerate(store.chunks):
+            counters.rows_scanned += len(chunk.rows)
+            if predicates and chunk.can_skip(predicates):
+                counters.chunks_skipped += 1
+            else:
+                survivors.append(index)
+        return store, survivors
+
+    def _note_op(self, n_morsels: int, *nodes) -> int:
+        """Account one parallel operator; returns its worker count."""
+        n_workers = min(self.workers, max(1, n_morsels))
+        self.morsels += n_morsels
+        self.ops += 1
+        if n_workers > self.workers_spawned:
+            self.workers_spawned = n_workers
+        for node in nodes:
+            node.px_workers = max(node.px_workers, n_workers)
+        return n_workers
+
+    # -- operator shapes --------------------------------------------------------
+
+    def scan_batches(self, scan, runtime,
+                     predicates: Sequence[tuple]
+                     ) -> Optional[Iterator[RowBatch]]:
+        """Parallel filtered leaf scan; None when not eligible."""
+        planned = self._plan_scan(scan, runtime, predicates)
+        if planned is None:
+            return None
+        store, survivors = planned
+        return self._scan_iter(scan, runtime, store, survivors)
+
+    def _scan_iter(self, scan, runtime, store,
+                   survivors: List[int]) -> Iterator[RowBatch]:
+        scan.actual_loops += 1
+        if runtime.injector is not None:
+            runtime.injector.fire("scan_io")
+        n_workers = self._note_op(len(survivors), scan)
+        chunks = store.chunks
+        entry_id = scan.entry_id
+        mask_fn = scan.bx_filter
+
+        def task(index: int) -> list:
+            rows = chunks[index].rows
+            batch = RowBatch({entry_id: rows}, len(rows))
+            batch = batch.filter_true(mask_fn(batch))
+            return batch.columns[entry_id] if batch.length else []
+
+        for rows in self._run_morsels(runtime, survivors, task, n_workers):
+            if rows:
+                yield scan._note(runtime,
+                                 RowBatch({entry_id: rows}, len(rows)))
+
+    def agg_merge(self, agg, scan, runtime, accumulator_cls,
+                  charge: bool = True) -> Optional[tuple]:
+        """Parallel pre-aggregation over a leaf scan.
+
+        Workers return ``(kept_rows, [(key, [per-spec partials])])`` per
+        chunk with keys in first-seen order; the parent replays the
+        serial hash-aggregate loop from those partials in chunk order —
+        same group creation order, same float fold order, same per-batch
+        governor charges.  Returns ``(groups, order, charged)`` or None
+        when the scan is not eligible.
+        """
+        planned = self._plan_scan(scan, runtime, scan.zone_predicates())
+        if planned is None:
+            return None
+        store, survivors = planned
+        scan.actual_loops += 1
+        if runtime.injector is not None:
+            runtime.injector.fire("scan_io")
+        n_workers = self._note_op(len(survivors), agg, scan)
+        chunks = store.chunks
+        entry_id = scan.entry_id
+        mask_fn = scan.bx_filter
+        specs = agg.specs
+        bx_group = agg.bx_group
+        bx_args = agg.bx_args
+        partial_of = accumulator_cls.partial_of
+
+        def task(index: int) -> tuple:
+            rows = chunks[index].rows
+            batch = RowBatch({entry_id: rows}, len(rows))
+            if mask_fn is not None:
+                batch = batch.filter_true(mask_fn(batch))
+            length = batch.length
+            if not length:
+                return 0, []
+            group_cols = [fn(batch) for fn in bx_group]
+            arg_cols = [fn(batch) if fn is not None else None
+                        for fn in bx_args]
+            if group_cols:
+                keys = list(zip(*group_cols))
+            else:
+                keys = [()] * length
+            index_map: dict = {}
+            batch_order: List[tuple] = []
+            for i, key in enumerate(keys):
+                idxs = index_map.get(key)
+                if idxs is None:
+                    index_map[key] = [i]
+                    batch_order.append(key)
+                else:
+                    idxs.append(i)
+            merged = []
+            for key in batch_order:
+                idxs = index_map[key]
+                whole = len(idxs) == length
+                partials = []
+                for spec, column in zip(specs, arg_cols):
+                    if column is None:  # COUNT(*)
+                        partials.append(len(idxs))
+                    elif whole:
+                        partials.append(partial_of(spec, column))
+                    else:
+                        partials.append(partial_of(
+                            spec, [column[i] for i in idxs]))
+                merged.append((key, partials))
+            return length, merged
+
+        results = self._run_morsels(runtime, survivors, task, n_workers)
+        groups: dict = {}
+        order: List[tuple] = []
+        gov = runtime.governor
+        group_bytes = 0
+        charged = 0
+        try:
+            for length, merged in results:
+                if length:
+                    scan.actual_batches += 1
+                    scan.actual_rows += length
+                    runtime.note_counts(length)
+                created = 0
+                for key, partials in merged:
+                    accumulators = groups.get(key)
+                    if accumulators is None:
+                        accumulators = [accumulator_cls(spec)
+                                        for spec in specs]
+                        groups[key] = accumulators
+                        order.append(key)
+                        created += 1
+                    for accumulator, partial in zip(accumulators,
+                                                    partials):
+                        accumulator.fold_partial(partial)
+                if charge and gov is not None and created:
+                    if group_bytes == 0:
+                        group_bytes = agg._group_bytes(order[0])
+                    delta = created * group_bytes
+                    gov.charge(delta, "hash_agg")
+                    charged += delta
+        except BaseException:
+            if gov is not None and charged:
+                gov.release(charged)
+            raise
+        return groups, order, charged
+
+    def join_build(self, join, scan, runtime) -> Optional[tuple]:
+        """Parallel (partitioned) hash-join build over a leaf scan.
+
+        Workers return per-chunk ``{key: [saved rows]}`` fragments; the
+        parent extends buckets in chunk order, so every bucket holds its
+        rows in exactly the order a serial build inserted them.
+        Returns ``(table, charged_bytes)`` or None when not eligible.
+        """
+        planned = self._plan_scan(scan, runtime, scan.zone_predicates())
+        if planned is None:
+            return None
+        store, survivors = planned
+        scan.actual_loops += 1
+        if runtime.injector is not None:
+            runtime.injector.fire("scan_io")
+        n_workers = self._note_op(len(survivors), join, scan)
+        chunks = store.chunks
+        entry_id = scan.entry_id
+        mask_fn = scan.bx_filter
+        build_entries = join._build_entries
+        bx_build_keys = join.bx_build_keys
+        single_key = len(bx_build_keys) == 1
+
+        def task(index: int) -> tuple:
+            rows = chunks[index].rows
+            batch = RowBatch({entry_id: rows}, len(rows))
+            if mask_fn is not None:
+                batch = batch.filter_true(mask_fn(batch))
+            length = batch.length
+            if not length:
+                return 0, None, []
+            key_cols = [fn(batch) for fn in bx_build_keys]
+            saved_cols = [batch.columns[e] for e in build_entries]
+            sample = tuple(col[0] for col in saved_cols) \
+                if saved_cols else ()
+            saved_rows = zip(*saved_cols) if saved_cols \
+                else iter([()] * length)
+            fragment: dict = {}
+            setdefault = fragment.setdefault
+            if single_key:
+                for key, saved in zip(key_cols[0], saved_rows):
+                    if key is not None:
+                        setdefault(key, []).append(saved)
+            else:
+                build_keys = zip(*key_cols) if key_cols \
+                    else iter([()] * length)
+                for key, saved in zip(build_keys, saved_rows):
+                    if None not in key:
+                        setdefault(key, []).append(saved)
+            return length, sample, list(fragment.items())
+
+        results = self._run_morsels(runtime, survivors, task, n_workers)
+        table: dict = {}
+        gov = runtime.governor
+        charged = 0
+        row_bytes = 0
+        try:
+            for length, sample, items in results:
+                if not length:
+                    continue
+                scan.actual_batches += 1
+                scan.actual_rows += length
+                runtime.note_counts(length)
+                for key, saved_list in items:
+                    bucket = table.get(key)
+                    if bucket is None:
+                        table[key] = saved_list
+                    else:
+                        bucket.extend(saved_list)
+                if gov is not None:
+                    # Same sampling as the serial build: the first
+                    # non-empty batch's first saved row, in chunk order.
+                    if row_bytes == 0:
+                        row_bytes = approx_row_bytes(sample) \
+                            + BUCKET_OVERHEAD_BYTES
+                    delta = length * row_bytes
+                    gov.charge(delta, "hash_join_build")
+                    charged += delta
+        except BaseException:
+            if gov is not None and charged:
+                gov.release(charged)
+            raise
+        return table, charged
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _run_morsels(self, runtime, indices: List[int],
+                     task: Callable[[int], object],
+                     n_workers: int) -> List[object]:
+        """Run ``task`` over every chunk index; results in index order.
+
+        Dispatch is dynamic (a shared next-morsel dispenser) but the
+        returned list is ordered like ``indices``, so every downstream
+        merge is deterministic regardless of scheduling."""
+        if n_workers <= 1 or len(indices) <= 1:
+            # Degenerate pool: run inline (still a parallel operator for
+            # accounting — eligibility, zone skips, and merges behaved
+            # identically, there was just nothing to overlap).
+            governor = runtime.governor
+            results = []
+            for index in indices:
+                if governor is not None:
+                    governor.checkpoint(stage="parallel")
+                results.append(task(index))
+            return results
+        if self.backend == "fork":
+            return self._fork_map(runtime, indices, task, n_workers)
+        return self._thread_map(runtime, indices, task, n_workers)
+
+    def _thread_map(self, runtime, indices: List[int],
+                    task: Callable[[int], object],
+                    n_workers: int) -> List[object]:
+        governor = runtime.governor
+        next_slot = [0]
+        lock = threading.Lock()
+        results: List[object] = [None] * len(indices)
+        failures: List[BaseException] = []
+
+        def worker_loop() -> None:
+            while True:
+                with lock:
+                    if failures:
+                        return
+                    slot = next_slot[0]
+                    if slot >= len(indices):
+                        return
+                    next_slot[0] = slot + 1
+                try:
+                    if governor is not None:
+                        governor.checkpoint(stage="parallel")
+                    results[slot] = task(indices[slot])
+                except BaseException as exc:  # noqa: BLE001 — shipped
+                    with lock:
+                        failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=worker_loop)
+                   for __ in range(n_workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+        return results
+
+    def _fork_map(self, runtime, indices: List[int],
+                  task: Callable[[int], object],
+                  n_workers: int) -> List[object]:
+        governor = runtime.governor
+        if governor is not None:
+            # Back the cancel flag with fork-inheritable shared memory
+            # *before* forking, so a parent-side cancel() lands in the
+            # children's next checkpoint.
+            governor.cancel_token.enable_cross_process()
+        mp = multiprocessing.get_context("fork")
+        dispenser = mp.RawValue("l", 0)
+        lock = mp.Lock()
+        pipes: List[int] = []
+        pids: List[int] = []
+        payloads: List[bytes] = []
+        try:
+            for __ in range(n_workers):
+                read_fd, write_fd = os.pipe()
+                pid = os.fork()
+                if pid == 0:
+                    # Child: compute, write one pickled payload, and
+                    # _exit without ever returning into the caller's
+                    # generator stack.
+                    status = 0
+                    try:
+                        os.close(read_fd)
+                        payload = pickle.dumps(
+                            _worker_payload(indices, dispenser, lock,
+                                            task, governor),
+                            pickle.HIGHEST_PROTOCOL)
+                        _write_all(write_fd, payload)
+                        os.close(write_fd)
+                    except BaseException:  # noqa: BLE001 — exit status
+                        status = 1
+                    finally:
+                        os._exit(status)
+                os.close(write_fd)
+                pids.append(pid)
+                pipes.append(read_fd)
+            # Read every pipe to EOF before reaping: a child blocked on
+            # a full pipe finishes as soon as its turn to be read comes.
+            for read_fd in pipes:
+                payloads.append(_read_all(read_fd))
+        finally:
+            for read_fd in pipes:
+                try:
+                    os.close(read_fd)
+                except OSError:
+                    pass
+            for pid in pids:
+                try:
+                    os.waitpid(pid, 0)
+                except ChildProcessError:
+                    pass
+        results: List[object] = [None] * len(indices)
+        errors: List[tuple] = []
+        for payload in payloads:
+            if not payload:
+                errors.append(("generic", "WorkerExit",
+                               "morsel worker exited before reporting"))
+                continue
+            worker_results, error = pickle.loads(payload)
+            for slot, value in worker_results:
+                results[slot] = value
+            if error is not None:
+                errors.append(error)
+        if errors:
+            raise _decode_error(_pick_error(errors))
+        return results
+
+
+def _worker_payload(indices: List[int], dispenser, lock,
+                    task: Callable[[int], object],
+                    governor) -> tuple:
+    """One forked worker's whole run: pull morsels until the dispenser
+    is empty or a bound trips; returns ``([(slot, result), ...], error)``
+    with the error already encoded for transport."""
+    results: List[Tuple[int, object]] = []
+    error: Optional[tuple] = None
+    total = len(indices)
+    while error is None:
+        with lock:
+            slot = dispenser.value
+            if slot >= total:
+                break
+            dispenser.value = slot + 1
+        try:
+            if governor is not None:
+                governor.checkpoint(stage="parallel")
+            results.append((slot, task(indices[slot])))
+        except BaseException as exc:  # noqa: BLE001 — shipped typed
+            error = _encode_error(exc)
+    return results, error
+
+
+def _encode_error(exc: BaseException) -> tuple:
+    """Flatten a worker exception into a picklable typed tuple.
+
+    Governor errors have multi-argument constructors, so a naive pickle
+    of the exception would not survive the trip; their state is carried
+    explicitly and rebuilt with the proper constructor in the parent."""
+    if isinstance(exc, StatementCancelledError):
+        return ("cancel", exc.reason, exc.stage)
+    if isinstance(exc, DeadlineExceededError):
+        return ("deadline", exc.elapsed, exc.budget, exc.stage)
+    if isinstance(exc, ResourceExhaustedError):
+        return ("mem", exc.operator, exc.tracked_bytes, exc.limit_bytes)
+    return ("generic", type(exc).__name__, str(exc))
+
+
+def _decode_error(encoded: tuple) -> BaseException:
+    kind = encoded[0]
+    if kind == "cancel":
+        return StatementCancelledError(encoded[1], encoded[2])
+    if kind == "deadline":
+        return DeadlineExceededError(encoded[1], encoded[2], encoded[3])
+    if kind == "mem":
+        return ResourceExhaustedError(encoded[1], encoded[2], encoded[3])
+    return ExecutionError(
+        f"parallel worker failed: {encoded[1]}: {encoded[2]}")
+
+
+#: Abort precedence when several workers failed: an explicit cancel is
+#: never misreported as a timeout (same rule as the governor itself),
+#: and typed governor aborts beat generic worker errors.
+_ERROR_PRIORITY = {"cancel": 0, "deadline": 1, "mem": 2, "generic": 3}
+
+
+def _pick_error(errors: List[tuple]) -> tuple:
+    return min(errors, key=lambda error: _ERROR_PRIORITY[error[0]])
+
+
+def _write_all(fd: int, data: bytes) -> None:
+    view = memoryview(data)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+
+
+def _read_all(fd: int) -> bytes:
+    parts: List[bytes] = []
+    while True:
+        part = os.read(fd, _PIPE_READ_SIZE)
+        if not part:
+            return b"".join(parts)
+        parts.append(part)

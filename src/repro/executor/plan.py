@@ -56,8 +56,20 @@ class ExecutionRuntime:
     """Per-execution state shared across the whole plan tree."""
 
     def __init__(self, storage, context_size: int, governor=None,
-                 injector=None) -> None:
+                 injector=None, batch_size: Optional[int] = None,
+                 parallel=None) -> None:
         self.storage = storage
+        #: Rows per batch for this execution (``DatabaseConfig.batch_size``
+        #: through the facade; falls back to the storage engine's chunk
+        #: size so batches stay aligned with column-store chunks).
+        if batch_size is None:
+            batch_size = getattr(storage, "batch_size", None) or BATCH_SIZE
+        self.batch_size = batch_size
+        #: Morsel-parallel execution context
+        #: (:class:`repro.executor.parallel.ParallelContext`) or None for
+        #: serial execution — the default and the only mode the row
+        #: engine ever uses.
+        self.parallel = parallel
         #: Per-statement :class:`repro.governor.ExecutionGovernor` (or
         #: None): deadline/cancel checkpoints and memory charging.
         self.governor = governor
@@ -98,6 +110,19 @@ class ExecutionRuntime:
             self.governor.checkpoint()
         return batch
 
+    def note_counts(self, length: int) -> None:
+        """Replay one leaf batch's accounting without the batch.
+
+        The parallel merge paths consumed the leaf's batches inside
+        workers; this keeps ``batches`` / ``batch_rows`` / checkpoint
+        cadence identical to a serial run of the same plan."""
+        self.batches += 1
+        self.batch_rows += length
+        if self.injector is not None:
+            self.injector.fire("mid_batch")
+        if self.governor is not None:
+            self.governor.checkpoint()
+
 
 class PlanNode:
     """Base class for physical plan nodes."""
@@ -123,6 +148,10 @@ class PlanNode:
         #: estimate against ``actual_rows / actual_loops``, mirroring
         #: MySQL's ``(rows=N loops=M)`` EXPLAIN ANALYZE semantics.
         self.actual_loops: int = 0
+        #: Worker count of the morsel-parallel operator that ran (part
+        #: of) this node in the most recent execution; 0 = serial.
+        #: Rendered by EXPLAIN ANALYZE as ``workers=N``.
+        self.px_workers: int = 0
 
     def _note(self, runtime: "ExecutionRuntime",
               batch: "RowBatch") -> "RowBatch":
@@ -173,9 +202,71 @@ def _always_true(ctx) -> bool:
     return True
 
 
-def _iter_chunks(rows: List[tuple]) -> Iterator[List[tuple]]:
-    for start in range(0, len(rows), BATCH_SIZE):
-        yield rows[start:start + BATCH_SIZE]
+def derive_zone_predicates(conjuncts: Sequence[ast.Expr],
+                           entry_id: int) -> List[tuple]:
+    """Extract zone-map predicates from a leaf scan's filter conjuncts.
+
+    Only shapes a chunk's min/max/null statistics can refute are kept —
+    column-vs-literal comparisons (either orientation), non-negated
+    BETWEEN, IS [NOT] NULL, and IN over literals; everything else is
+    simply not a zone predicate.  The tuples match
+    :meth:`repro.storage.columnstore.ColumnChunk.can_skip`.
+    """
+    predicates: List[tuple] = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, ast.BinaryExpr) \
+                and conjunct.op in ast.COMPARISON_OPS:
+            left, right = conjunct.left, conjunct.right
+            if isinstance(left, ast.ColumnRef) \
+                    and left.entry_id == entry_id \
+                    and isinstance(right, ast.Literal) \
+                    and right.value is not None:
+                predicates.append(("cmp", left.position,
+                                   conjunct.op.value, right.value))
+            elif isinstance(right, ast.ColumnRef) \
+                    and right.entry_id == entry_id \
+                    and isinstance(left, ast.Literal) \
+                    and left.value is not None:
+                predicates.append(
+                    ("cmp", right.position,
+                     ast.COMMUTED_COMPARISON[conjunct.op].value,
+                     left.value))
+        elif isinstance(conjunct, ast.BetweenExpr) \
+                and not conjunct.negated:
+            operand = conjunct.operand
+            if isinstance(operand, ast.ColumnRef) \
+                    and operand.entry_id == entry_id \
+                    and isinstance(conjunct.low, ast.Literal) \
+                    and conjunct.low.value is not None \
+                    and isinstance(conjunct.high, ast.Literal) \
+                    and conjunct.high.value is not None:
+                predicates.append(("cmp", operand.position, ">=",
+                                   conjunct.low.value))
+                predicates.append(("cmp", operand.position, "<=",
+                                   conjunct.high.value))
+        elif isinstance(conjunct, ast.IsNullExpr):
+            operand = conjunct.operand
+            if isinstance(operand, ast.ColumnRef) \
+                    and operand.entry_id == entry_id:
+                predicates.append(("null", operand.position,
+                                   conjunct.negated))
+        elif isinstance(conjunct, ast.InListExpr) and not conjunct.negated:
+            operand = conjunct.operand
+            if isinstance(operand, ast.ColumnRef) \
+                    and operand.entry_id == entry_id \
+                    and all(isinstance(item, ast.Literal)
+                            for item in conjunct.items):
+                values = [item.value for item in conjunct.items
+                          if item.value is not None]
+                if values:
+                    predicates.append(("in", operand.position, values))
+    return predicates
+
+
+def _iter_chunks(rows: List[tuple],
+                 batch_size: int = BATCH_SIZE) -> Iterator[List[tuple]]:
+    for start in range(0, len(rows), batch_size):
+        yield rows[start:start + batch_size]
 
 
 def _leaf_rows(node: "_LeafNode", runtime: ExecutionRuntime,
@@ -254,14 +345,31 @@ class TableScanNode(_LeafNode):
     def __init__(self, entry_id: int, table_name: str, alias: str) -> None:
         super().__init__(entry_id, alias)
         self.table_name = table_name
+        #: Cached zone predicates (None = not derived yet; filter
+        #: conjuncts are attached after construction and never change
+        #: once the plan is built, so one derivation serves every
+        #: execution of a cached plan).
+        self._zone_preds: Optional[List[tuple]] = None
+
+    def zone_predicates(self) -> List[tuple]:
+        predicates = self._zone_preds
+        if predicates is None:
+            predicates = derive_zone_predicates(self.filter_conjuncts,
+                                                self.entry_id)
+            self._zone_preds = predicates
+        return predicates
 
     def run(self, runtime: ExecutionRuntime) -> Iterator[None]:
         self.actual_loops += 1
         ctx = runtime.ctx
         slot = self.entry_id
         check = self.filter_fn
-        rows = _leaf_rows(self, runtime,
-                          runtime.storage.table_scan(self.table_name))
+        # Zone predicates come from this node's own filter conjuncts,
+        # which ``check`` applies below — skipping a provably dead chunk
+        # is semantics-preserving, and both engines consult the same
+        # store with the same predicates (counter parity).
+        rows = _leaf_rows(self, runtime, runtime.storage.table_scan(
+            self.table_name, self.zone_predicates()))
         for row in rows:
             ctx[slot] = row
             if check(ctx) is True:
@@ -269,8 +377,15 @@ class TableScanNode(_LeafNode):
                 yield
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
+        predicates = self.zone_predicates()
+        parallel = runtime.parallel
+        if parallel is not None and self.bx_filter is not None:
+            batches = parallel.scan_batches(self, runtime, predicates)
+            if batches is not None:
+                yield from batches
+                return
         chunks = runtime.storage.table_scan_batches(
-            self.table_name, BATCH_SIZE)
+            self.table_name, runtime.batch_size, predicates)
         yield from _leaf_batches(self, runtime, chunks)
 
     def label(self) -> str:
@@ -311,7 +426,7 @@ class IndexRangeScanNode(_LeafNode):
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
         chunks = runtime.storage.index_range_batches(
             self.table_name, self.index_name, self.low, self.high,
-            self.low_inclusive, self.high_inclusive, BATCH_SIZE)
+            self.low_inclusive, self.high_inclusive, runtime.batch_size)
         yield from _leaf_batches(self, runtime, chunks)
 
     def label(self) -> str:
@@ -363,7 +478,8 @@ class IndexLookupNode(_LeafNode):
             return
         rows = runtime.storage.index_lookup_rows(
             self.table_name, self.index_name, key)
-        yield from _leaf_batches(self, runtime, _iter_chunks(rows))
+        yield from _leaf_batches(self, runtime,
+                                 _iter_chunks(rows, runtime.batch_size))
 
     def touch_exprs(self) -> List[Tuple[str, ast.Expr]]:
         return super().touch_exprs() \
@@ -402,7 +518,8 @@ class IndexOrderedScanNode(_LeafNode):
 
     def run_batches(self, runtime: ExecutionRuntime) -> Iterator[RowBatch]:
         chunks = runtime.storage.index_ordered_batches(
-            self.table_name, self.index_name, self.descending, BATCH_SIZE)
+            self.table_name, self.index_name, self.descending,
+            runtime.batch_size)
         yield from _leaf_batches(self, runtime, chunks)
 
     def label(self) -> str:
@@ -466,7 +583,8 @@ class DerivedMaterializeNode(_LeafNode):
             _charge_materialized(runtime, rows)
             runtime.rebind_counts[id(self)] = \
                 runtime.rebind_counts.get(id(self), 0) + 1
-        yield from _leaf_batches(self, runtime, _iter_chunks(rows))
+        yield from _leaf_batches(self, runtime,
+                                 _iter_chunks(rows, runtime.batch_size))
 
     def label(self) -> str:
         return f"Table scan on {self.alias}"
@@ -525,7 +643,8 @@ class CteScanNode(_LeafNode):
                 rows.extend(chunk)
             runtime.cte_rows[self.cte_id] = rows
             _charge_materialized(runtime, rows)
-        yield from _leaf_batches(self, runtime, _iter_chunks(rows))
+        yield from _leaf_batches(self, runtime,
+                                 _iter_chunks(rows, runtime.batch_size))
 
     def label(self) -> str:
         return f"Table scan on {self.alias} (cte {self.cte_name})"
@@ -669,7 +788,7 @@ class NestedLoopJoinNode(PlanNode):
         The join's own filter already ran row-wise inside run_ctx, so no
         flush-time mask is needed."""
         ctx = runtime.ctx
-        acc = BatchAccumulator(self.produced_entries())
+        acc = BatchAccumulator(self.produced_entries(), runtime.batch_size)
         add_ctx = acc.add_ctx
         # actual_rows is charged inside run_ctx (where fused NL chains
         # stream); only the batch count is accounted here.
@@ -824,6 +943,11 @@ class HashJoinNode(PlanNode):
     def _build_table_batches(self, runtime: ExecutionRuntime
                              ) -> Tuple[Dict[object, List[tuple]], int]:
         """Batch twin of :meth:`_build_table_rows` (charge per batch)."""
+        parallel = runtime.parallel
+        if parallel is not None and isinstance(self.build, TableScanNode):
+            built = parallel.join_build(self, self.build, runtime)
+            if built is not None:
+                return built
         build_entries = self._build_entries
         single_key = len(self.bx_build_keys) == 1
         table: Dict[object, List[tuple]] = {}
@@ -885,7 +1009,8 @@ class HashJoinNode(PlanNode):
         has_residual = bool(self.residual_conjuncts)
         kind = self.kind
         probe_entries = self.probe.produced_entries()
-        acc = BatchAccumulator(probe_entries + list(build_entries))
+        acc = BatchAccumulator(probe_entries + list(build_entries),
+                               runtime.batch_size)
         mask_fn = self.bx_filter
         nulls = (None,) * len(build_entries)
         empty: List[tuple] = []
@@ -913,7 +1038,7 @@ class HashJoinNode(PlanNode):
                     if bucket:
                         for saved in bucket:
                             append(probe_values + saved)
-                        if len(out_rows) >= BATCH_SIZE:
+                        if len(out_rows) >= acc.batch_size:
                             yield from _emit(self, acc, mask_fn, runtime)
                             out_rows = acc.rows
                             append = out_rows.append
@@ -1108,8 +1233,9 @@ class SortNode(PlanNode):
             if entries is None:
                 return
             sort_rows(captured, self.order_items)
-            for start in range(0, len(captured), BATCH_SIZE):
-                chunk = captured[start:start + BATCH_SIZE]
+            size = runtime.batch_size
+            for start in range(0, len(captured), size):
+                chunk = captured[start:start + size]
                 transposed = list(zip(*(saved for __, saved in chunk)))
                 columns = {entry: list(column) for entry, column
                            in zip(entries, transposed)}
@@ -1229,8 +1355,52 @@ class AggregateNode(PlanNode):
                     for fn in self.bx_args]
         return group_cols, arg_cols
 
+    def _parallel_merge(self, runtime: ExecutionRuntime, charge: bool):
+        """Attempt the morsel-parallel pre-aggregation merge.
+
+        Eligible when the input is a bare table scan and no aggregate is
+        DISTINCT (first-occurrence fold order cannot be replayed from
+        per-chunk partials).  Returns ``(groups, order, charged)`` or
+        None; the workers compute per-chunk per-key partials and the
+        parent folds them in chunk order, replaying the serial float
+        fold exactly (see ``_Accumulator.partial_of``)."""
+        parallel = runtime.parallel
+        if parallel is None or not isinstance(self.child, TableScanNode) \
+                or any(spec.distinct for spec in self.specs):
+            return None
+        return parallel.agg_merge(self, self.child, runtime, _Accumulator,
+                                  charge=charge)
+
+    def _emit_merged(self, runtime: ExecutionRuntime,
+                     groups: Dict[tuple, List["_Accumulator"]],
+                     order: List[tuple], charged: int
+                     ) -> Iterator[RowBatch]:
+        """Emit parallel-merged groups exactly like the serial paths."""
+        gov = runtime.governor
+        try:
+            if not groups and not self.group_fns:
+                # Scalar aggregation over empty input yields one row.
+                groups[()] = [_Accumulator(spec) for spec in self.specs]
+                order.append(())
+            acc = BatchAccumulator([self.output_entry_id],
+                                   runtime.batch_size)
+            for key in order:
+                acc.add_values(
+                    (key + tuple(a.result() for a in groups[key]),))
+                if acc.full:
+                    yield self._note(runtime, acc.flush())
+            if acc.length:
+                yield self._note(runtime, acc.flush())
+        finally:
+            if gov is not None and charged:
+                gov.release(charged)
+
     def _run_hash_batches(self, runtime: ExecutionRuntime
                           ) -> Iterator[RowBatch]:
+        merged = self._parallel_merge(runtime, charge=True)
+        if merged is not None:
+            yield from self._emit_merged(runtime, *merged)
+            return
         groups: Dict[tuple, List[_Accumulator]] = {}
         order: List[tuple] = []
         specs = self.specs
@@ -1287,7 +1457,8 @@ class AggregateNode(PlanNode):
                 # Scalar aggregation over empty input yields one row.
                 groups[()] = [_Accumulator(spec) for spec in self.specs]
                 order.append(())
-            acc = BatchAccumulator([self.output_entry_id])
+            acc = BatchAccumulator([self.output_entry_id],
+                                   runtime.batch_size)
             for key in order:
                 acc.add_values(
                     (key + tuple(a.result() for a in groups[key]),))
@@ -1301,7 +1472,19 @@ class AggregateNode(PlanNode):
 
     def _run_stream_batches(self, runtime: ExecutionRuntime
                             ) -> Iterator[RowBatch]:
-        acc = BatchAccumulator([self.output_entry_id])
+        if not self.group_fns:
+            # Scalar streaming aggregation folds exactly like scalar
+            # hash aggregation (one bulk fold per input batch into the
+            # single () group), so the parallel merge covers both.
+            # Grouped streams stay serial: their output order depends on
+            # the input's run structure, not a hash table.  No governor
+            # charge — the serial stream path never charges either.
+            merged = self._parallel_merge(runtime, charge=False)
+            if merged is not None:
+                yield from self._emit_merged(runtime, *merged)
+                return
+        acc = BatchAccumulator([self.output_entry_id],
+                               runtime.batch_size)
         current_key: object = _NEVER
         accumulators: List[_Accumulator] = []
         saw_input = False
@@ -1490,6 +1673,62 @@ class _Accumulator:
             largest = max(non_null)
             if self.maximum is None or largest > self.maximum:
                 self.maximum = largest
+
+    @staticmethod
+    def partial_of(spec: "AggSpec", values: List) -> object:
+        """One chunk's detached partial state for the parallel merge.
+
+        Folds ``values`` exactly like :meth:`add_many` would — including
+        the left-to-right ``sum(rest, first)`` float order — but into a
+        plain ``(count, sum, sum_sq, min, max)`` tuple a morsel worker
+        can ship back; :meth:`fold_partial` replays it in the parent.
+        COUNT(*) partials are a bare int.  DISTINCT specs have no
+        partial form (first-occurrence order is global) and are excluded
+        from parallel eligibility before this is called."""
+        if spec.star:
+            return len(values)
+        non_null = [value for value in values if value is not None]
+        if not non_null:
+            return (0, None, 0.0, None, None)
+        func = spec.func
+        psum = None
+        psq = 0.0
+        if func in (ast.AggFunc.SUM, ast.AggFunc.AVG, ast.AggFunc.STDDEV):
+            psum = sum(non_null[1:], non_null[0])
+            if func is ast.AggFunc.STDDEV:
+                psq = sum(float(value) * float(value)
+                          for value in non_null)
+        return (len(non_null), psum, psq,
+                min(non_null) if func is ast.AggFunc.MIN else None,
+                max(non_null) if func is ast.AggFunc.MAX else None)
+
+    def fold_partial(self, partial) -> None:
+        """Replay one chunk's :meth:`partial_of` state (parallel merge).
+
+        Partials are folded in chunk order, so the accumulator goes
+        through the same sequence of float additions as a serial run
+        that called :meth:`add_many` once per chunk — results stay
+        bit-identical."""
+        spec = self.spec
+        if spec.star:
+            self.count += partial
+            return
+        count, psum, psq, pmin, pmax = partial
+        if not count:
+            return
+        self.count += count
+        func = spec.func
+        if func in (ast.AggFunc.SUM, ast.AggFunc.AVG, ast.AggFunc.STDDEV):
+            self.total = psum if self.total is None \
+                else self.total + psum
+            if func is ast.AggFunc.STDDEV:
+                self.total_sq += psq
+        elif func is ast.AggFunc.MIN:
+            if self.minimum is None or pmin < self.minimum:
+                self.minimum = pmin
+        elif func is ast.AggFunc.MAX:
+            if self.maximum is None or pmax > self.maximum:
+                self.maximum = pmax
 
     def add_value(self, value) -> None:
         """Fold one already-evaluated argument value (batch path)."""

@@ -111,7 +111,7 @@ class CancelToken:
     checkpoint — no threads or timing needed.
     """
 
-    __slots__ = ("_cancelled", "_cancel_after_checks", "reason")
+    __slots__ = ("_cancelled", "_cancel_after_checks", "reason", "_shared")
 
     def __init__(self, cancel_after_checks: Optional[int] = None,
                  reason: str = "cancelled") -> None:
@@ -120,15 +120,36 @@ class CancelToken:
         self._cancelled = False
         self._cancel_after_checks = cancel_after_checks
         self.reason = reason
+        #: Fork-inheritable shared flag, created lazily by
+        #: :meth:`enable_cross_process` when parallel execution forks
+        #: workers: a plain attribute set in the parent after the fork
+        #: would be invisible to the children.
+        self._shared = None
 
     @property
     def cancelled(self) -> bool:
-        return self._cancelled
+        if self._cancelled:
+            return True
+        shared = self._shared
+        if shared is not None and shared.value:
+            self._cancelled = True
+            return True
+        return False
 
     def cancel(self, reason: Optional[str] = None) -> None:
         if reason is not None:
             self.reason = reason
         self._cancelled = True
+        if self._shared is not None:
+            self._shared.value = 1
+
+    def enable_cross_process(self) -> None:
+        """Back the flag with shared memory before forking workers."""
+        if self._shared is None:
+            import multiprocessing
+
+            self._shared = multiprocessing.get_context("fork").RawValue(
+                "b", 1 if self._cancelled else 0)
 
     def _note_check(self) -> None:
         """Called by the governor once per checkpoint (test support)."""
@@ -268,6 +289,9 @@ class ExecutionGovernor:
         token = self.cancel_token
         if token._cancel_after_checks is not None:
             token._note_check()
+        if not token._cancelled and token._shared is not None \
+                and token._shared.value:
+            token._cancelled = True
         if token._cancelled:
             raise StatementCancelledError(token.reason, stage)
         if self.deadline_at is not None:

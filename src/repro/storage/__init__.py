@@ -2,6 +2,8 @@
 
 from repro.storage.table import HeapTable
 from repro.storage.index import OrderedIndex
+from repro.storage.columnstore import ColumnChunk, ColumnStore
 from repro.storage.engine import AccessCounters, StorageEngine
 
-__all__ = ["AccessCounters", "HeapTable", "OrderedIndex", "StorageEngine"]
+__all__ = ["AccessCounters", "ColumnChunk", "ColumnStore", "HeapTable",
+           "OrderedIndex", "StorageEngine"]

@@ -1,0 +1,233 @@
+"""Native columnar table representation with per-chunk zone maps.
+
+The heap (:class:`repro.storage.table.HeapTable`) remains the source of
+truth for row storage — DML rewrites it, indexes point into it — but the
+batch engine used to re-chunk ``heap.rows`` with a fresh list slice on
+every scan.  The :class:`ColumnStore` keeps the same rows *pre-chunked*
+into fixed-size :class:`ColumnChunk` units of ``chunk_size`` rows (the
+executor's batch size), so a batched scan hands each chunk's row list to
+a ``RowBatch`` with zero copying, plus a native per-column decomposition
+of every chunk:
+
+* ``columns[i]`` — the chunk's values for column *i* as a plain list
+  (what ANALYZE reads, column at a time, without gathering);
+* ``null_bits[i]`` — a null bitmap (bit *r* set when row *r* is NULL);
+* ``mins[i]`` / ``maxs[i]`` — the zone map: min/max over the chunk's
+  non-NULL values, ``None`` when the chunk has no non-NULL value.
+
+Zone-map maintenance contract: maps are updated incrementally on every
+insert (append-only, so min/max only widen) and rebuilt from the column
+values on ANALYZE (``rebuild_zone_maps``), which is also when a store
+that drifted from its heap (rows inserted behind the engine's back)
+resynchronises.
+
+Chunk skipping: scans pass a list of *zone predicates* — pre-extracted
+``(kind, position, ...)`` tuples derived from a scan's filter conjuncts
+— and :meth:`ColumnChunk.can_skip` reports chunks where no row can
+possibly satisfy some conjunct.  The test is deliberately conservative:
+a predicate only votes *skip* when the chunk's range/null statistics
+*prove* every row fails (SQL semantics: a NULL comparison never passes a
+filter), and any type error during the range test keeps the chunk.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+#: Default rows per chunk; mirrors the executor's default batch size so
+#: one chunk becomes exactly one RowBatch (and one parallel morsel).
+DEFAULT_CHUNK_SIZE = 1024
+
+
+class ColumnChunk:
+    """One fixed-size horizontal slice of a table, stored both ways.
+
+    ``rows`` is the batch-engine payload (row tuples, at most
+    ``chunk_size`` of them); ``columns``/``null_bits``/``mins``/``maxs``
+    are the per-column decomposition and zone map described in the
+    module docstring.
+    """
+
+    __slots__ = ("rows", "columns", "null_bits", "mins", "maxs")
+
+    def __init__(self, n_columns: int) -> None:
+        self.rows: List[tuple] = []
+        self.columns: List[list] = [[] for _ in range(n_columns)]
+        self.null_bits: List[int] = [0] * n_columns
+        self.mins: List[object] = [None] * n_columns
+        self.maxs: List[object] = [None] * n_columns
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def append(self, row: tuple) -> None:
+        """Add one row, updating columns, null bitmaps, and zone maps."""
+        bit = 1 << len(self.rows)
+        self.rows.append(row)
+        mins = self.mins
+        maxs = self.maxs
+        for position, value in enumerate(row):
+            self.columns[position].append(value)
+            if value is None:
+                self.null_bits[position] |= bit
+            else:
+                low = mins[position]
+                if low is None:
+                    mins[position] = value
+                    maxs[position] = value
+                else:
+                    if value < low:
+                        mins[position] = value
+                    if value > maxs[position]:
+                        maxs[position] = value
+
+    def null_count(self, position: int) -> int:
+        return self.null_bits[position].bit_count()
+
+    def rebuild_zone_maps(self) -> None:
+        """Recompute min/max/null bitmaps from the column values
+        (ANALYZE; insert-time maintenance keeps them fresh, this makes
+        them canonical even if values were mutated in place)."""
+        for position, column in enumerate(self.columns):
+            bits = 0
+            low = high = None
+            for offset, value in enumerate(column):
+                if value is None:
+                    bits |= 1 << offset
+                elif low is None:
+                    low = high = value
+                else:
+                    if value < low:
+                        low = value
+                    elif value > high:
+                        high = value
+            self.null_bits[position] = bits
+            self.mins[position] = low
+            self.maxs[position] = high
+
+    # -- zone-map predicate test --------------------------------------------------
+
+    def can_skip(self, predicates: Sequence[tuple]) -> bool:
+        """True when some predicate provably rejects every row here.
+
+        ``predicates`` entries (see ``plan.zone_predicates``):
+
+        * ``("cmp", position, op, value)`` — column *op* literal with
+          ``op`` one of ``= <> < <= > >=``;
+        * ``("in", position, values)`` — column IN (literals);
+        * ``("null", position, negated)`` — IS [NOT] NULL.
+        """
+        length = len(self.rows)
+        for predicate in predicates:
+            kind = predicate[0]
+            position = predicate[1]
+            if kind == "null":
+                nulls = self.null_bits[position].bit_count()
+                if predicate[2]:  # IS NOT NULL: dead when all NULL
+                    if nulls == length:
+                        return True
+                elif nulls == 0:  # IS NULL: dead when no NULLs
+                    return True
+                continue
+            low = self.mins[position]
+            if low is None:
+                # Every value is NULL: no comparison ever passes.
+                return True
+            high = self.maxs[position]
+            try:
+                if kind == "cmp":
+                    op = predicate[2]
+                    value = predicate[3]
+                    if op == "=":
+                        if value < low or value > high:
+                            return True
+                    elif op == "<":
+                        if low >= value:
+                            return True
+                    elif op == "<=":
+                        if low > value:
+                            return True
+                    elif op == ">":
+                        if high <= value:
+                            return True
+                    elif op == ">=":
+                        if high < value:
+                            return True
+                    elif op == "<>":
+                        if low == high == value:
+                            return True
+                elif kind == "in":
+                    if all(value < low or value > high
+                           for value in predicate[2]):
+                        return True
+            except TypeError:
+                # Incomparable literal (mixed types): keep the chunk.
+                continue
+        return False
+
+
+class ColumnStore:
+    """All of one table's chunks, aligned with its heap's row order.
+
+    Chunk *i* holds heap rows ``[i * chunk_size, (i + 1) * chunk_size)``
+    in insertion order, so a chunked scan visits exactly the rows a heap
+    scan would, in the same order.
+    """
+
+    __slots__ = ("chunk_size", "n_columns", "chunks")
+
+    def __init__(self, n_columns: int,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = chunk_size
+        self.n_columns = n_columns
+        self.chunks: List[ColumnChunk] = []
+
+    @property
+    def row_count(self) -> int:
+        if not self.chunks:
+            return 0
+        return (self.chunk_size * (len(self.chunks) - 1)
+                + len(self.chunks[-1]))
+
+    def append_rows(self, rows: Sequence[tuple]) -> None:
+        """Append rows, filling the last partial chunk first."""
+        size = self.chunk_size
+        chunks = self.chunks
+        chunk = chunks[-1] if chunks and len(chunks[-1]) < size else None
+        for row in rows:
+            if chunk is None or len(chunk) >= size:
+                chunk = ColumnChunk(self.n_columns)
+                chunks.append(chunk)
+            chunk.append(row)
+
+    def rebuild(self, rows: Sequence[tuple]) -> None:
+        """Replace the store's contents (DELETE/UPDATE heap rewrite)."""
+        self.chunks = []
+        self.append_rows(rows)
+
+    def rebuild_zone_maps(self) -> None:
+        for chunk in self.chunks:
+            chunk.rebuild_zone_maps()
+
+    def column_values(self, position: int) -> Iterator:
+        """All values of one column, chunk by chunk, without a gather
+        copy — the iterator-friendly ANALYZE path."""
+        for chunk in self.chunks:
+            yield from chunk.columns[position]
+
+    def scan_chunks(self, predicates: Optional[Sequence[tuple]] = None
+                    ) -> Iterator[Tuple[List[tuple], bool]]:
+        """Yield ``(chunk_rows, skipped)`` per chunk, in heap order.
+
+        A skipped chunk's rows are still yielded (the caller charges
+        ``rows_scanned`` for them to keep row/batch counter parity) but
+        flagged so the scan can avoid materialising a batch.
+        """
+        if not predicates:
+            for chunk in self.chunks:
+                yield chunk.rows, False
+            return
+        for chunk in self.chunks:
+            yield chunk.rows, chunk.can_skip(predicates)

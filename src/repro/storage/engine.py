@@ -15,6 +15,7 @@ from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Index, TableSchema
 from repro.catalog.statistics import ColumnStatistics, TableStatistics
 from repro.errors import StorageError
+from repro.storage.columnstore import DEFAULT_CHUNK_SIZE, ColumnStore
 from repro.storage.index import OrderedIndex
 from repro.storage.table import HeapTable, Row
 
@@ -38,17 +39,26 @@ class AccessCounters:
     rows_scanned: int = 0
     index_lookups: int = 0
     index_rows_read: int = 0
+    #: Chunks a scan proved dead through zone maps and never
+    #: materialised.  Skipped chunks still charge ``rows_scanned`` (the
+    #: scan logically covered them), so this counter is the *physical*
+    #: saving on top of an unchanged logical scan count — and row/batch
+    #: counter parity holds because both engines consult the same zone
+    #: maps with the same predicates.
+    chunks_skipped: int = 0
 
     def reset(self) -> None:
         self.rows_scanned = 0
         self.index_lookups = 0
         self.index_rows_read = 0
+        self.chunks_skipped = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
             "rows_scanned": self.rows_scanned,
             "index_lookups": self.index_lookups,
             "index_rows_read": self.index_rows_read,
+            "chunks_skipped": self.chunks_skipped,
         }
 
 
@@ -56,13 +66,25 @@ class StorageEngine:
     """Owns every heap table and index, keyed by lower-cased table name."""
 
     def __init__(self, catalog: Catalog,
-                 lookup_penalty: int = LOOKUP_PENALTY_LOOPS) -> None:
+                 lookup_penalty: int = LOOKUP_PENALTY_LOOPS,
+                 batch_size: int = DEFAULT_CHUNK_SIZE,
+                 columnstore_enabled: bool = True) -> None:
+        if batch_size < 1:
+            raise StorageError("batch_size must be >= 1")
         self.catalog = catalog
         self._heaps: Dict[str, HeapTable] = {}
         self._indexes: Dict[str, Dict[str, OrderedIndex]] = {}
+        #: Per-table chunked columnar mirrors of the heaps (zone maps,
+        #: zero-transposition batched scans); absent entirely when the
+        #: column store is disabled.
+        self._stores: Dict[str, ColumnStore] = {}
         self.counters = AccessCounters()
         #: Busy-loop iterations simulating one random B-tree descent.
         self.lookup_penalty = lookup_penalty
+        #: Rows per column-store chunk == the executor's batch size, so
+        #: one chunk is exactly one RowBatch (and one parallel morsel).
+        self.batch_size = batch_size
+        self.columnstore_enabled = columnstore_enabled
 
     def _charge_lookup(self) -> None:
         for __ in range(self.lookup_penalty):
@@ -77,12 +99,16 @@ class StorageEngine:
         self._heaps[key] = heap
         self._indexes[key] = {
             index.name: OrderedIndex(index, heap) for index in schema.indexes}
+        if self.columnstore_enabled:
+            self._stores[key] = ColumnStore(len(schema.columns),
+                                            self.batch_size)
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop_table(name)
         key = name.lower()
         self._heaps.pop(key, None)
         self._indexes.pop(key, None)
+        self._stores.pop(key, None)
 
     # -- DML ------------------------------------------------------------------
 
@@ -93,7 +119,13 @@ class StorageEngine:
         old row counts, so INSERT (and bulk loads) invalidate them.
         """
         heap = self.heap(table_name)
+        before = len(heap.rows)
         heap.insert_many(rows)
+        store = self._stores.get(table_name.lower())
+        if store is not None:
+            # Incremental zone-map maintenance: append exactly the rows
+            # the heap accepted (insert_many validated each width).
+            store.append_rows(heap.rows[before:])
         for index in self._indexes[table_name.lower()].values():
             index.build()
         self.catalog.bump_version()
@@ -106,6 +138,9 @@ class StorageEngine:
         """
         heap = self.heap(table_name)
         heap.rows = [tuple(row) for row in rows]
+        store = self._stores.get(table_name.lower())
+        if store is not None:
+            store.rebuild(heap.rows)
         for index in self._indexes[table_name.lower()].values():
             index.build()
         self.catalog.bump_version()
@@ -126,10 +161,47 @@ class StorageEngine:
             raise StorageError(
                 f"no index {index_name!r} on table {table_name!r}") from None
 
-    def table_scan(self, table_name: str) -> Iterator[Row]:
-        """Full scan; counts every row read."""
+    def store(self, table_name: str) -> Optional[ColumnStore]:
+        """The table's column store, resynchronised with its heap.
+
+        Returns None when the column store is disabled.  A store that
+        drifted from the heap (rows inserted behind the engine's back,
+        e.g. straight onto ``heap.rows`` in a test) is rebuilt here, so
+        scans never see a stale chunking.
+        """
+        store = self._stores.get(table_name.lower())
+        if store is None:
+            return None
+        heap = self.heap(table_name)
+        if store.row_count != len(heap.rows):
+            store.rebuild(heap.rows)
+        return store
+
+    def table_scan(self, table_name: str,
+                   zone_predicates: Optional[Sequence[tuple]] = None
+                   ) -> Iterator[Row]:
+        """Full scan; counts every row read.
+
+        With ``zone_predicates`` (pre-extracted from the scan's filter
+        conjuncts) chunks whose zone maps prove no row can pass are
+        skipped — still charged to ``rows_scanned`` (the logical scan
+        covered them) plus one ``chunks_skipped``.  The row and batch
+        engines consult the same store with the same predicates, so
+        their counters stay identical.
+        """
         heap = self.heap(table_name)
         counters = self.counters
+        if zone_predicates:
+            store = self.store(table_name)
+            if store is not None:
+                for chunk_rows, skipped in store.scan_chunks(
+                        zone_predicates):
+                    counters.rows_scanned += len(chunk_rows)
+                    if skipped:
+                        counters.chunks_skipped += 1
+                    else:
+                        yield from chunk_rows
+                return
         for row in heap.rows:
             counters.rows_scanned += 1
             yield row
@@ -179,11 +251,28 @@ class StorageEngine:
     # chunk's rows are charged when the chunk is produced, so early
     # termination (LIMIT) can over-charge by at most one batch.
 
-    def table_scan_batches(self, table_name: str,
-                           batch_size: int) -> Iterator[List[Row]]:
-        """Full scan emitting chunks of at most ``batch_size`` rows."""
-        heap = self.heap(table_name)
+    def table_scan_batches(self, table_name: str, batch_size: int,
+                           zone_predicates: Optional[Sequence[tuple]]
+                           = None) -> Iterator[List[Row]]:
+        """Full scan emitting chunks of at most ``batch_size`` rows.
+
+        When the requested batch size matches the column store's chunk
+        size (always true through the Database, where both come from
+        ``config.batch_size``), chunks are the store's pre-built row
+        lists — zero slicing or transposition — and zone maps can skip
+        dead chunks (charged as in :meth:`table_scan`).
+        """
         counters = self.counters
+        store = self.store(table_name)
+        if store is not None and store.chunk_size == batch_size:
+            for chunk_rows, skipped in store.scan_chunks(zone_predicates):
+                counters.rows_scanned += len(chunk_rows)
+                if skipped:
+                    counters.chunks_skipped += 1
+                else:
+                    yield chunk_rows
+            return
+        heap = self.heap(table_name)
         rows = heap.rows
         for start in range(0, len(rows), batch_size):
             chunk = rows[start:start + batch_size]
@@ -241,13 +330,25 @@ class StorageEngine:
         unique_columns = schema.unique_columns()
         statistics = TableStatistics(row_count=heap.row_count,
                                      analyzed=True)
+        # One pass serves both consumers: statistics read each column
+        # through an iterator (the store's native column lists when
+        # available, a lazy per-row gather otherwise — never a second
+        # materialised copy), and the zone maps are rebuilt from the
+        # same store ANALYZE just walked.
+        store = self.store(table_name)
         for column in schema.columns:
-            values = heap.column_values(column.name)
+            if store is not None:
+                values = store.column_values(
+                    schema.column_position(column.name))
+            else:
+                values = heap.column_values(column.name)
             statistics.columns[column.name] = ColumnStatistics.from_values(
                 values,
                 unique=column.name in unique_columns,
                 with_histogram=with_histograms,
             )
+        if store is not None:
+            store.rebuild_zone_maps()
         self.catalog.set_statistics(table_name, statistics)
         return statistics
 

@@ -47,7 +47,13 @@ class HeapTable:
     def row_count(self) -> int:
         return len(self.rows)
 
-    def column_values(self, column_name: str) -> List:
-        """All values of one column, for ANALYZE."""
+    def column_values(self, column_name: str) -> Iterator:
+        """All values of one column, lazily, for ANALYZE.
+
+        A generator rather than a list: ANALYZE consumes each column in
+        a single pass, and on large tables the eager gather used to
+        build a full per-column copy per consumer (statistics *and* the
+        zone-map rebuild).  Callers that need a list can materialise it
+        themselves."""
         position = self.schema.column_position(column_name)
-        return [row[position] for row in self.rows]
+        return (row[position] for row in self.rows)

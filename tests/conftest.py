@@ -66,10 +66,11 @@ def mini_catalog():
 
 
 def build_mini_db(seed: int = 0, orders: int = 300,
-                  lines_per_order: int = 4) -> Database:
+                  lines_per_order: int = 4,
+                  config: DatabaseConfig = None) -> Database:
     """A loaded database with deterministic synthetic data."""
     rng = random.Random(seed)
-    db = Database(DatabaseConfig(complex_query_threshold=3))
+    db = Database(config or DatabaseConfig(complex_query_threshold=3))
     for schema in (_orders_schema(), _lineitem_schema(),
                    _customer_schema(), _part_schema()):
         db.create_table(schema)

@@ -1,0 +1,327 @@
+"""Morsel-driven parallel execution: identical results, governed aborts.
+
+The referee for the parallel engine is the serial batch engine: for
+every query in the equivalence corpus, any worker count must produce
+*bit-identical* rows in the same order, on both optimizers and both
+pool backends.  Governor bounds must hold inside workers (a deadline,
+cancel, or memory abort mid-morsel surfaces as the same typed error a
+serial run raises), and a statement with no parallel-safe operator
+must run serial and record ``EXEC_NOT_PARALLEL_SAFE``.
+"""
+
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro import Database, DatabaseConfig
+from repro.errors import (
+    DeadlineExceededError,
+    ExecutionError,
+    ReproError,
+    ResourceExhaustedError,
+    StatementCancelledError,
+)
+from repro.executor.parallel import (
+    ParallelContext,
+    _decode_error,
+    _encode_error,
+    _pick_error,
+)
+from repro.governor import CancelToken, ExecutionGovernor
+from repro.resilience import FallbackReason
+from tests.conftest import build_mini_db
+from tests.test_executor_equivalence import CORPUS
+
+
+def parallel_config(**overrides) -> DatabaseConfig:
+    """Small chunks + a low table floor so even the mini db has many
+    morsels per scan and every pool code path actually runs."""
+    options = dict(complex_query_threshold=3, batch_size=32,
+                   parallel_min_table_rows=64)
+    options.update(overrides)
+    return DatabaseConfig(**options)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_mini_db(seed=37, orders=150, config=parallel_config())
+
+
+class TestBitIdentity:
+    """Parallel rows must equal serial rows exactly — same values, same
+    order — because the merge replays the serial fold in chunk order."""
+
+    @pytest.mark.parametrize("sql", CORPUS)
+    def test_workers_4_matches_serial(self, db, sql):
+        serial = db.run(sql, executor_mode="batch", use_plan_cache=False)
+        par = db.run(sql, executor_mode="batch", use_plan_cache=False,
+                     executor_workers=4)
+        assert par.rows == serial.rows
+        assert par.executor_mode == serial.executor_mode
+
+    @pytest.mark.parametrize("sql", CORPUS)
+    def test_both_optimizers(self, db, sql):
+        for optimizer in ("mysql", "orca"):
+            serial = db.run(sql, optimizer=optimizer,
+                            executor_mode="batch", use_plan_cache=False)
+            par = db.run(sql, optimizer=optimizer, executor_mode="batch",
+                         use_plan_cache=False, executor_workers=4)
+            assert par.rows == serial.rows, optimizer
+
+    def test_worker_counts_agree(self, db):
+        sql = ("SELECT o_status, COUNT(*), SUM(o_totalprice), "
+               "AVG(o_totalprice) FROM orders WHERE o_totalprice > 500 "
+               "GROUP BY o_status ORDER BY o_status")
+        reference = db.run(sql, executor_mode="batch",
+                           use_plan_cache=False).rows
+        for workers in (2, 3, 4, 8):
+            got = db.run(sql, executor_mode="batch", use_plan_cache=False,
+                         executor_workers=workers).rows
+            assert got == reference, workers
+
+    def test_counters_match_across_worker_counts(self, db):
+        sql = ("SELECT COUNT(*), SUM(o_totalprice) FROM orders "
+               "WHERE o_totalprice > 500")
+        db.storage.counters.reset()
+        db.run(sql, executor_mode="batch", use_plan_cache=False)
+        serial_counts = db.storage.counters.snapshot()
+        db.storage.counters.reset()
+        db.run(sql, executor_mode="batch", use_plan_cache=False,
+               executor_workers=4)
+        assert db.storage.counters.snapshot() == serial_counts
+
+
+class TestThreadBackend:
+    def test_thread_pool_matches_serial(self):
+        db = build_mini_db(seed=37, orders=150, config=parallel_config(
+            parallel_backend="thread"))
+        sql = ("SELECT o_status, COUNT(*), SUM(o_totalprice) FROM orders "
+               "GROUP BY o_status ORDER BY o_status")
+        serial = db.run(sql, executor_mode="batch", use_plan_cache=False)
+        par = db.run(sql, executor_mode="batch", use_plan_cache=False,
+                     executor_workers=4)
+        assert par.rows == serial.rows
+
+
+class TestConfigValidation:
+    def test_batch_size_floor(self):
+        with pytest.raises(ReproError, match="batch_size"):
+            DatabaseConfig(batch_size=0)
+
+    def test_workers_floor(self):
+        with pytest.raises(ReproError, match="executor_workers"):
+            DatabaseConfig(executor_workers=0)
+
+    def test_backend_choices(self):
+        with pytest.raises(ReproError, match="parallel_backend"):
+            DatabaseConfig(parallel_backend="greenlet")
+
+    def test_min_table_rows_floor(self):
+        with pytest.raises(ReproError, match="parallel_min_table_rows"):
+            DatabaseConfig(parallel_min_table_rows=0)
+
+    def test_per_statement_workers_validated(self, db):
+        with pytest.raises(ReproError, match="executor_workers"):
+            db.run("SELECT 1", executor_workers=0)
+
+    def test_context_rejects_bad_backend(self):
+        with pytest.raises(ValueError):
+            ParallelContext(2, backend="greenlet")
+
+
+class TestObservability:
+    def test_morsel_metrics(self, db):
+        before = db.metrics.count("executor.morsels")
+        result = db.run(
+            "SELECT COUNT(*) FROM orders WHERE o_totalprice > 500",
+            executor_mode="batch", use_plan_cache=False,
+            executor_workers=4)
+        assert result.executor_mode == "batch"
+        assert db.metrics.count("executor.morsels") > before
+        assert db.metrics.count("executor.parallel_workers") >= 2
+
+    def test_explain_analyze_reports_workers(self, db):
+        text = db.explain_analyze(
+            "SELECT COUNT(*), SUM(o_totalprice) FROM orders "
+            "WHERE o_totalprice > 500",
+            executor_mode="batch", executor_workers=4)
+        assert "workers=4" in text
+
+    def test_serial_explain_has_no_workers(self, db):
+        text = db.explain_analyze(
+            "SELECT COUNT(*) FROM orders WHERE o_totalprice > 500",
+            executor_mode="batch")
+        assert "workers=" not in text
+
+
+class TestNotParallelSafe:
+    def test_small_tables_record_fallback(self, db):
+        # customer/part sit under parallel_min_table_rows, so a plain
+        # scan query over them has no parallel-safe operator.
+        sql = "SELECT c_name FROM customer WHERE c_acctbal > 0"
+        before = db.fallback_log.count(
+            FallbackReason.EXEC_NOT_PARALLEL_SAFE)
+        db.run(sql, executor_mode="batch", use_plan_cache=False,
+               executor_workers=4)
+        assert db.fallback_log.count(
+            FallbackReason.EXEC_NOT_PARALLEL_SAFE) == before + 1
+
+    def test_parallel_run_does_not_record(self, db):
+        sql = "SELECT COUNT(*) FROM orders WHERE o_totalprice > 500"
+        before = db.fallback_log.count(
+            FallbackReason.EXEC_NOT_PARALLEL_SAFE)
+        db.run(sql, executor_mode="batch", use_plan_cache=False,
+               executor_workers=4)
+        assert db.fallback_log.count(
+            FallbackReason.EXEC_NOT_PARALLEL_SAFE) == before
+
+    def test_serial_run_never_records(self, db):
+        sql = "SELECT c_name FROM customer WHERE c_acctbal > 0"
+        before = db.fallback_log.count(
+            FallbackReason.EXEC_NOT_PARALLEL_SAFE)
+        db.run(sql, executor_mode="batch", use_plan_cache=False)
+        assert db.fallback_log.count(
+            FallbackReason.EXEC_NOT_PARALLEL_SAFE) == before
+
+
+class TestGovernedAborts:
+    """Bounds must hold *inside* workers and surface as the same typed
+    errors serial execution raises — never a raw pickle/OS escape."""
+
+    def test_memory_breach_mid_parallel_build(self):
+        db = build_mini_db(seed=37, orders=150, config=parallel_config())
+        # Non-key join columns force a hash join whose build side is a
+        # full lineitem scan — far over the 2 KB cap.
+        sql = ("SELECT COUNT(*) FROM lineitem l1 JOIN lineitem l2 "
+               "ON l1.l_quantity = l2.l_quantity")
+        with pytest.raises(ResourceExhaustedError):
+            db.run(sql, executor_mode="batch", use_plan_cache=False,
+                   executor_workers=4, memory_limit_bytes=2000)
+        assert db.fallback_log.count(
+            FallbackReason.RESOURCE_EXHAUSTED) >= 1
+
+    def test_cancel_token_aborts_parallel_statement(self):
+        db = build_mini_db(seed=37, orders=150, config=parallel_config())
+        sql = ("SELECT o_status, COUNT(*) FROM orders "
+               "WHERE o_totalprice > 0 GROUP BY o_status")
+        token = CancelToken(cancel_after_checks=12, reason="test abort")
+        with pytest.raises(StatementCancelledError):
+            db.run(sql, executor_mode="batch", use_plan_cache=False,
+                   executor_workers=4, cancel_token=token)
+        assert db.fallback_log.count(
+            FallbackReason.STATEMENT_CANCELLED) == 1
+
+    def test_deadline_trips_inside_fork_worker(self):
+        governor = ExecutionGovernor(timeout_seconds=0.005)
+        runtime = SimpleNamespace(governor=governor)
+        context = ParallelContext(2, backend="fork")
+
+        def slow_task(index):
+            time.sleep(0.02)
+            return index
+
+        with pytest.raises(DeadlineExceededError) as err:
+            context._run_morsels(runtime, list(range(8)), slow_task, 2)
+        assert err.value.stage == "parallel"
+
+    def test_cancel_trips_inside_fork_worker(self):
+        token = CancelToken(cancel_after_checks=2, reason="stop now")
+        governor = ExecutionGovernor(cancel_token=token)
+        runtime = SimpleNamespace(governor=governor)
+        context = ParallelContext(2, backend="fork")
+        with pytest.raises(StatementCancelledError) as err:
+            context._run_morsels(runtime, list(range(8)),
+                                 lambda index: index, 2)
+        assert err.value.reason == "stop now"
+
+    def test_worker_crash_surfaces_as_execution_error(self):
+        runtime = SimpleNamespace(governor=None)
+        context = ParallelContext(2, backend="fork")
+
+        def crash(index):
+            raise KeyError(f"morsel {index}")
+
+        with pytest.raises(ExecutionError, match="KeyError"):
+            context._run_morsels(runtime, list(range(8)), crash, 2)
+
+    def test_thread_backend_propagates_governor_errors(self):
+        token = CancelToken(cancel_after_checks=2)
+        governor = ExecutionGovernor(cancel_token=token)
+        runtime = SimpleNamespace(governor=governor)
+        context = ParallelContext(2, backend="thread")
+        with pytest.raises(StatementCancelledError):
+            context._run_morsels(runtime, list(range(8)),
+                                 lambda index: index, 2)
+
+
+class TestErrorTransport:
+    """Governor errors have multi-arg constructors; the fork pipe ships
+    them as typed tuples and rebuilds the exact type in the parent."""
+
+    def test_roundtrip_preserves_type_and_state(self):
+        cases = [
+            StatementCancelledError("user asked", "parallel"),
+            DeadlineExceededError(1.5, 1.0, "parallel"),
+            ResourceExhaustedError("hash_join_build", 4096, 1024),
+            KeyError("boom"),
+        ]
+        decoded = [_decode_error(_encode_error(exc)) for exc in cases]
+        assert isinstance(decoded[0], StatementCancelledError)
+        assert decoded[0].reason == "user asked"
+        assert isinstance(decoded[1], DeadlineExceededError)
+        assert decoded[1].budget == 1.0
+        assert isinstance(decoded[2], ResourceExhaustedError)
+        assert decoded[2].operator == "hash_join_build"
+        assert isinstance(decoded[3], ExecutionError)
+
+    def test_priority_prefers_cancel_over_timeout(self):
+        errors = [_encode_error(DeadlineExceededError(1.0, 1.0, None)),
+                  _encode_error(StatementCancelledError("stop", None)),
+                  _encode_error(KeyError("x"))]
+        assert _pick_error(errors)[0] == "cancel"
+
+
+class TestCrossProcessCancel:
+    def test_shared_flag_visible_through_property(self):
+        token = CancelToken()
+        token.enable_cross_process()
+        assert not token.cancelled
+        # Simulate a child (or sibling) setting only the shared cell.
+        token._shared.value = 1
+        assert token.cancelled
+
+    def test_cancel_sets_shared_cell(self):
+        token = CancelToken()
+        token.enable_cross_process()
+        token.cancel("bye")
+        assert token._shared.value == 1
+
+    def test_enable_after_cancel_carries_state(self):
+        token = CancelToken()
+        token.cancel()
+        token.enable_cross_process()
+        assert token._shared.value == 1
+
+
+class TestLowMemoryRetryStaysSerial:
+    def test_hash_agg_breach_retries_serial(self):
+        db = build_mini_db(seed=37, orders=150, config=parallel_config())
+        # Orca plans this as a hash aggregate (the MySQL path prefers
+        # sort+stream here), which is the one shape with a degradation
+        # path: breach -> forced-stream retry, which must run serial.
+        sql = ("SELECT l_orderkey, COUNT(*), SUM(l_quantity) "
+               "FROM lineitem GROUP BY l_orderkey")
+        assert "(hash)" in db.explain(sql, optimizer="orca")
+        plain = db.run(sql, optimizer="orca", executor_mode="batch",
+                       use_plan_cache=False)
+        baseline = db.run(sql, optimizer="orca", executor_mode="batch",
+                          use_plan_cache=False,
+                          memory_limit_bytes=10 ** 9)
+        limit = max(1000,
+                    baseline.governor_stats["peak_tracked_bytes"] // 3)
+        result = db.run(sql, optimizer="orca", executor_mode="batch",
+                        use_plan_cache=False, executor_workers=4,
+                        memory_limit_bytes=limit)
+        assert result.low_memory_retry
+        assert sorted(result.rows) == sorted(plain.rows)

@@ -128,3 +128,58 @@ def test_plan_quality_export_surfaces(smoke_dbs):
     export = db.metrics_export()
     assert "repro_planq_statements_total" in export
     assert "repro_planq_max_q_count" in export
+
+
+# -- zone maps and morsel parallelism -----------------------------------------------
+
+
+def test_zone_maps_skip_chunks_on_selective_predicate():
+    """A date-clustered table with a selective range predicate must
+    prune most chunks via zone maps — counter-based, no wall clock."""
+    import datetime
+
+    from repro.catalog import Column, Index, TableSchema
+    from repro.mysql_types import MySQLType
+
+    db = Database(DatabaseConfig(batch_size=64))
+    db.create_table(TableSchema("events", [
+        Column.of("e_id", MySQLType.LONGLONG, nullable=False),
+        Column.of("e_day", MySQLType.DATE, nullable=False),
+        Column.of("e_amount", MySQLType.DOUBLE, nullable=False),
+    ], [Index("PRIMARY", ("e_id",), primary=True)]))
+    start = datetime.date(2020, 1, 1)
+    # Insertion-ordered by day, as an append-only event table would be.
+    db.load("events", [
+        (i, start + datetime.timedelta(days=i // 8), float(i % 100))
+        for i in range(2048)])
+    db.analyze()
+    db.storage.counters.reset()
+    result = db.run(
+        "SELECT COUNT(*), SUM(e_amount) FROM events "
+        "WHERE e_day >= DATE '2020-01-01' AND e_day < DATE '2020-01-08'",
+        use_plan_cache=False)
+    assert result.rows[0][0] == 56
+    skipped = db.storage.counters.chunks_skipped
+    assert skipped > 0
+    # 2048 rows / 64 per chunk = 32 chunks; the week of data lives in
+    # the first chunk, so nearly everything is pruned.
+    assert skipped >= 28
+    assert db.metrics.count("storage.chunks_skipped") == skipped
+
+
+def test_parallel_scan_dispatches_more_morsels_than_workers():
+    db = Database(DatabaseConfig(batch_size=32,
+                                 parallel_min_table_rows=64))
+    load_tpch(db, scale=SCALE)
+    workers = 4
+    before = db.metrics.count("executor.morsels")
+    result = db.run(
+        "SELECT COUNT(*), SUM(l_quantity) FROM lineitem "
+        "WHERE l_quantity > 0",
+        use_plan_cache=False, executor_workers=workers)
+    assert result.executor_mode == "batch"
+    morsels = db.metrics.count("executor.morsels") - before
+    # Morsel-driven means many more work units than workers, so the
+    # pool load-balances instead of running one static partition each.
+    assert morsels > workers
+    assert db.metrics.count("executor.parallel_workers") >= 2

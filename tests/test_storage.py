@@ -162,3 +162,155 @@ class TestAnalyze:
         engine = make_engine()
         engine.load_rows("t", [(i, 0, 0.0) for i in range(200)])
         assert engine.page_count("t") >= 3
+
+
+# -- native column store ----------------------------------------------------------
+
+
+def make_column_engine(batch_size=8, enabled=True):
+    catalog = Catalog()
+    engine = StorageEngine(catalog, batch_size=batch_size,
+                           columnstore_enabled=enabled)
+    engine.create_table(TableSchema("t", [
+        Column.of("k", MySQLType.LONGLONG, nullable=False),
+        Column.of("grp", MySQLType.LONG),
+        Column.of("val", MySQLType.DOUBLE),
+    ], [Index("PRIMARY", ("k",), primary=True)]))
+    return engine
+
+
+class TestColumnStoreChunking:
+    def test_empty_table(self):
+        engine = make_column_engine()
+        store = engine.store("t")
+        assert store.row_count == 0
+        assert store.chunks == []
+        assert list(engine.table_scan("t")) == []
+        assert list(engine.table_scan_batches("t", 8)) == []
+
+    def test_single_row(self):
+        engine = make_column_engine()
+        engine.load_rows("t", [(1, 10, 1.5)])
+        store = engine.store("t")
+        assert len(store.chunks) == 1
+        assert store.chunks[0].rows == [(1, 10, 1.5)]
+        assert store.chunks[0].columns == [[1], [10], [1.5]]
+        assert [list(c) for c in engine.table_scan_batches("t", 8)] \
+            == [[(1, 10, 1.5)]]
+
+    def test_exact_multiple_of_batch_size(self):
+        engine = make_column_engine(batch_size=8)
+        rows = [(i, i % 3, float(i)) for i in range(24)]
+        engine.load_rows("t", rows)
+        store = engine.store("t")
+        assert [len(chunk.rows) for chunk in store.chunks] == [8, 8, 8]
+        chunks = [list(c) for c in engine.table_scan_batches("t", 8)]
+        assert [row for chunk in chunks for row in chunk] == rows
+
+    def test_partial_last_chunk_fills_first(self):
+        engine = make_column_engine(batch_size=8)
+        engine.load_rows("t", [(i, 0, 0.0) for i in range(5)])
+        engine.load_rows("t", [(i, 0, 0.0) for i in range(5, 12)])
+        store = engine.store("t")
+        assert [len(chunk.rows) for chunk in store.chunks] == [8, 4]
+        assert store.row_count == 12
+
+    def test_all_null_column_both_scan_paths(self):
+        engine = make_column_engine(batch_size=4)
+        rows = [(i, None, None) for i in range(10)]
+        engine.load_rows("t", rows)
+        chunk = engine.store("t").chunks[0]
+        assert chunk.mins[1] is None and chunk.maxs[1] is None
+        assert chunk.null_count(1) == 4
+        assert list(engine.table_scan("t")) == rows
+        batched = [row for c in engine.table_scan_batches("t", 4)
+                   for row in c]
+        assert batched == rows
+
+
+class TestZoneMaps:
+    def test_incremental_min_max(self):
+        engine = make_column_engine(batch_size=4)
+        engine.load_rows("t", [(i, i * 10, float(i)) for i in range(8)])
+        first, second = engine.store("t").chunks
+        assert (first.mins[0], first.maxs[0]) == (0, 3)
+        assert (second.mins[1], second.maxs[1]) == (40, 70)
+
+    def test_scan_skips_out_of_range_chunks(self):
+        engine = make_column_engine(batch_size=4)
+        engine.load_rows("t", [(i, i, float(i)) for i in range(16)])
+        engine.counters.reset()
+        rows = list(engine.table_scan("t", [("cmp", 0, "<", 4)]))
+        # Skipped chunks still charge rows_scanned (the serial scan
+        # contract) but are never materialised into output.
+        assert engine.counters.chunks_skipped == 3
+        assert engine.counters.rows_scanned == 16
+        assert rows == [(i, i, float(i)) for i in range(4)]
+
+    def test_batch_scan_skips_and_counts(self):
+        engine = make_column_engine(batch_size=4)
+        engine.load_rows("t", [(i, i, float(i)) for i in range(16)])
+        engine.counters.reset()
+        chunks = [list(c) for c in
+                  engine.table_scan_batches("t", 4, [("cmp", 0, ">=", 12)])]
+        assert engine.counters.chunks_skipped == 3
+        assert [row for c in chunks for row in c] \
+            == [(i, i, float(i)) for i in range(12, 16)]
+
+    def test_mismatched_batch_size_disables_store_path(self):
+        engine = make_column_engine(batch_size=4)
+        engine.load_rows("t", [(i, i, float(i)) for i in range(16)])
+        engine.counters.reset()
+        chunks = [list(c) for c in
+                  engine.table_scan_batches("t", 6, [("cmp", 0, "<", 0)])]
+        # Chunking misaligned with the requested batch size: the scan
+        # falls back to the heap and zone maps cannot apply.
+        assert engine.counters.chunks_skipped == 0
+        assert sum(len(c) for c in chunks) == 16
+
+    def test_null_predicates(self):
+        engine = make_column_engine(batch_size=4)
+        engine.load_rows("t", [(i, None if i < 4 else i, 0.0)
+                               for i in range(8)])
+        engine.counters.reset()
+        list(engine.table_scan("t", [("null", 1, False)]))
+        assert engine.counters.chunks_skipped == 1  # all-set chunk kept
+        engine.counters.reset()
+        list(engine.table_scan("t", [("null", 1, True)]))  # IS NOT NULL
+        assert engine.counters.chunks_skipped == 1
+
+    def test_analyze_rebuilds_zone_maps(self):
+        engine = make_column_engine(batch_size=4)
+        engine.load_rows("t", [(i, i, float(i)) for i in range(8)])
+        store = engine.store("t")
+        store.chunks[0].mins[0] = -999  # simulate drift
+        engine.analyze_table("t")
+        assert store.chunks[0].mins[0] == 0
+
+    def test_replace_rows_rebuilds_store(self):
+        engine = make_column_engine(batch_size=4)
+        engine.load_rows("t", [(i, i, float(i)) for i in range(8)])
+        engine.replace_rows("t", [(99, 1, 1.0)])
+        store = engine.store("t")
+        assert store.row_count == 1
+        assert store.chunks[0].mins[0] == 99
+
+    def test_store_self_heals_on_heap_drift(self):
+        engine = make_column_engine(batch_size=4)
+        engine.load_rows("t", [(i, i, float(i)) for i in range(8)])
+        # Mutate the heap behind the store's back (as row-level DML
+        # paths that bypass load_rows/replace_rows would).
+        engine.heap("t").rows.append((100, 100, 100.0))
+        store = engine.store("t")
+        assert store.row_count == 9
+        assert store.chunks[-1].maxs[0] == 100
+
+    def test_disabled_columnstore_still_scans(self):
+        engine = make_column_engine(batch_size=4, enabled=False)
+        rows = [(i, i, float(i)) for i in range(10)]
+        engine.load_rows("t", rows)
+        assert engine.store("t") is None
+        assert list(engine.table_scan("t", [("cmp", 0, "<", 2)])) == rows
+        assert [row for c in engine.table_scan_batches("t", 4)
+                for row in c] == rows
+        assert engine.counters.chunks_skipped == 0
