@@ -11,11 +11,13 @@ from repro.bench.harness import (
     run_parallel_scaling,
     run_suite,
 )
+from repro.bench.joinorder import run_joinorder_bench
 from repro.bench.report import (
     format_executor_report,
     format_figure10,
     format_figure11,
     format_figure12,
+    format_joinorder_report,
     format_parallel_report,
     format_plan_cache_report,
     format_plan_quality_bench,
@@ -31,6 +33,7 @@ __all__ = [
     "format_figure10",
     "format_figure11",
     "format_figure12",
+    "format_joinorder_report",
     "format_parallel_report",
     "format_plan_cache_report",
     "format_plan_quality_bench",
@@ -41,6 +44,7 @@ __all__ = [
     "run_compile_suite",
     "run_drift_scenario",
     "run_executor_comparison",
+    "run_joinorder_bench",
     "run_parallel_scaling",
     "run_suite",
     "summarize",

@@ -358,3 +358,78 @@ def format_parallel_report(payload: Dict[str, object]) -> str:
                  "heap-scan median (same data, columnstore disabled); "
                  "< 1.00 means the columnar path is faster.")
     return "\n".join(lines)
+
+
+def format_joinorder_report(payload: Dict[str, object]) -> str:
+    """Render a :func:`repro.bench.joinorder.run_joinorder_bench`
+    payload.
+
+    Four sections: the per-strategy optimize-time curve (one row per
+    topology x width, full DP blank past the selector cutoff), the plan
+    cost ratio versus the full-DP reference at DP-feasible widths, the
+    tight-budget wide-join runs (optimizer used, degradations — the
+    no-fallback-escape evidence), and the forced-DP versus adaptive
+    head-to-head at the comparison point.
+    """
+    title = (f"{payload['suite']}: large-join strategy selection "
+             f"(samples {payload['samples']}, scale {payload['scale']})")
+    lines = [title, "=" * len(title), ""]
+
+    lines.append("optimize-stage median (ms) per forced strategy:")
+    header = f"{'topology':>12} |"
+    for name in ("adaptive", "dp", "lindp", "goo", "greedy"):
+        header += f" {name:>9} |"
+    header += f" {'picked':>7}"
+    lines.append(header)
+    for entry in payload["curves"]:
+        rows: Dict[str, Dict[str, object]] = entry["strategies"]
+        line = f"{entry['topology']:>9}{entry['relations']:<3} |"
+        for name in ("adaptive", "dp", "lindp", "goo", "greedy"):
+            row = rows.get(name)
+            line += (f" {row['optimize_median_seconds'] * 1000:>9.1f} |"
+                     if row is not None else f" {'-':>9} |")
+        picked = rows["adaptive"]["strategy_used"] or "-"
+        line += f" {picked:>7}"
+        lines.append(line)
+
+    lines.append("")
+    lines.append("plan cost ratio vs full DP (1.00 = DP-optimal):")
+    header = f"{'topology':>12} |"
+    for name in ("lindp", "goo", "greedy"):
+        header += f" {name:>7} |"
+    lines.append(header)
+    for entry in payload["optimality"]:
+        line = f"{entry['topology']:>9}{entry['relations']:<3} |"
+        for name in ("lindp", "goo", "greedy"):
+            line += f" {entry['cost_ratio_vs_dp'][name]:>7.3f} |"
+        lines.append(line)
+
+    lines.append("")
+    lines.append(f"wide joins under a "
+                 f"{payload['budget'][0]['budget_seconds'] * 1000:.0f}ms "
+                 f"compile budget (adaptive policy):")
+    lines.append(f"{'topology':>12} | {'strategy':>8} | {'opt(ms)':>8} |"
+                 f" {'optimizer':>9} | {'degraded':>8}")
+    for row in payload["budget"]:
+        line = (f"{row['topology']:>9}{row['relations']:<3} |"
+                f" {row['strategy_used'] or '-':>8} |"
+                f" {row['optimize_median_seconds'] * 1000:>8.1f} |"
+                f" {row['optimizer_used']:>9} |"
+                f" {row['budget_degradations']:>8}")
+        if row["fallback_reason"] is not None:
+            line += f"  FALLBACK: {row['fallback_reason']}"
+        lines.append(line)
+
+    comp = payload["dp_comparison"]
+    lines.append("")
+    lines.append(
+        f"forced DP vs adaptive at "
+        f"{comp['topology']}{comp['relations']} "
+        f"({comp['dp_budget_seconds']:.1f}s budget): "
+        f"dp optimize {comp['dp_optimize_seconds'] * 1000:.0f}ms "
+        f"({comp['dp_budget_degradations']} degradations) vs adaptive "
+        f"({comp['adaptive_strategy']}) "
+        f"{comp['adaptive_optimize_seconds'] * 1000:.1f}ms -> "
+        f"{comp['speedup']:.1f}x faster to optimize; results "
+        f"{'identical' if comp['results_identical'] else 'DIFFER'}.")
+    return "\n".join(lines)

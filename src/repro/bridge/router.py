@@ -68,7 +68,13 @@ class OrcaRouter:
             self.orca_config = OrcaConfig(
                 search=_search_mode(config),
                 enable_cost_bound_pruning=getattr(
-                    config, "orca_cost_bound_pruning", True))
+                    config, "orca_cost_bound_pruning", True),
+                join_strategy=getattr(
+                    config, "orca_join_strategy", "adaptive"),
+                lindp_threshold=getattr(
+                    config, "orca_lindp_threshold", 12),
+                goo_threshold=getattr(
+                    config, "orca_goo_threshold", 25))
         if tracer is None:
             from repro.observability import NOOP_TRACER
             tracer = NOOP_TRACER

@@ -54,6 +54,7 @@ from repro.observability import (
     stage_durations,
 )
 from repro.orca.joinorder import JoinSearchMode
+from repro.orca.largejoin import STRATEGY_POLICIES
 from repro.plan_cache import (
     PlanCache,
     PlanCacheEntry,
@@ -152,6 +153,17 @@ class DatabaseConfig:
     #: ``OrcaConfig.enable_cost_bound_pruning``); off only to measure
     #: the unpruned search.
     orca_cost_bound_pruning: bool = True
+    #: Join-order strategy policy: "adaptive" selects full DP /
+    #: linearized DP / GOO / greedy per joined component by size and
+    #: remaining compile budget; "dp", "lindp", "goo", or "greedy"
+    #: forces that strategy (benchmarks, ablations).
+    orca_join_strategy: str = "adaptive"
+    #: Adaptive-selector size cutoffs: components up to
+    #: ``orca_lindp_threshold`` units run the exponential bushy/zig-zag
+    #: DP; up to ``orca_goo_threshold``, DP linearized along the IKKBZ
+    #: order; larger ones, greedy operator ordering.
+    orca_lindp_threshold: int = 12
+    orca_goo_threshold: int = 25
     #: Per-kind LRU capacity of the Orca metadata cache.
     mdcache_capacity: int = 1024
     #: Execution engine: "batch" runs the vectorized batch-at-a-time
@@ -258,6 +270,16 @@ class DatabaseConfig:
             raise ReproError(
                 f"unknown orca_search {self.orca_search!r}; "
                 f"valid choices: {valid}")
+        if self.orca_join_strategy not in STRATEGY_POLICIES:
+            raise ReproError(
+                f"unknown orca_join_strategy "
+                f"{self.orca_join_strategy!r}; valid choices: "
+                f"{', '.join(STRATEGY_POLICIES)}")
+        if self.orca_lindp_threshold < 2:
+            raise ReproError("orca_lindp_threshold must be >= 2")
+        if self.orca_goo_threshold < self.orca_lindp_threshold:
+            raise ReproError("orca_goo_threshold must be >= "
+                             "orca_lindp_threshold")
         if self.planq_q_threshold < 1.0:
             raise ReproError("planq_q_threshold must be >= 1.0 "
                              "(1.0 is a perfect estimate)")
@@ -1107,11 +1129,24 @@ class Database:
             self.tracer = previous
         stages = stage_durations(root)
         memo_groups = memo_alternatives = memo_pruned = 0
+        join_strategy = None
+        join_units = 0
+        join_degradations = 0
         for span in find_spans(root, "memo_search"):
             memo_groups += span.attributes.get("memo_groups", 0)
             memo_alternatives += span.attributes.get(
                 "memo_alternatives", 0)
             memo_pruned += span.attributes.get("pruned_candidates", 0)
+            # Report the strategy of the statement's widest joined
+            # component (sub-blocks optimize separately, each with its
+            # own memo_search span).
+            units = span.attributes.get("join_units", 0)
+            if span.attributes.get("join_strategy") is not None \
+                    and units >= join_units:
+                join_strategy = span.attributes["join_strategy"]
+                join_units = units
+            join_degradations += span.attributes.get(
+                "join_budget_degradations", 0)
         footer = format_stage_footer(
             optimizer_used=used,
             optimize_seconds=compiled - start,
@@ -1126,6 +1161,9 @@ class Database:
             compiled_exprs=executor.compiled_expr_count,
             governor_stats=governor.stats()
             if governor is not None else None,
+            join_strategy=join_strategy,
+            join_units=join_units,
+            join_budget_degradations=join_degradations,
         )
         # Copy rebind counts (Section 7, Orca change 3) onto the
         # materialise nodes so the rendering can show them.

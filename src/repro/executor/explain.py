@@ -126,7 +126,10 @@ def format_stage_footer(optimizer_used: str, optimize_seconds: float,
                         batches: int = 0,
                         batch_rows: int = 0,
                         compiled_exprs: int = 0,
-                        governor_stats: Optional[dict] = None) -> str:
+                        governor_stats: Optional[dict] = None,
+                        join_strategy: Optional[str] = None,
+                        join_units: int = 0,
+                        join_budget_degradations: int = 0) -> str:
     """The EXPLAIN ANALYZE "stage breakdown" footer.
 
     Shows the optimize-vs-execute wall-clock split, the per-stage trace
@@ -138,7 +141,10 @@ def format_stage_footer(optimizer_used: str, optimize_seconds: float,
     counts.  ``governor_stats`` (an
     :meth:`repro.governor.ExecutionGovernor.stats` snapshot) adds a
     resource-governance line: peak tracked operator memory, deadline
-    budget used, and checkpoints hit.
+    budget used, and checkpoints hit.  ``join_strategy`` adds the
+    join-order strategy the selector picked for the statement's widest
+    joined component (with its relation count and any budget
+    degradations).
     """
     total = optimize_seconds + execute_seconds
     share = 100.0 * optimize_seconds / total if total > 0 else 0.0
@@ -165,6 +171,13 @@ def format_stage_footer(optimizer_used: str, optimize_seconds: float,
         if memo_pruned:
             memo_line += f", {memo_pruned} candidates pruned"
         lines.append(memo_line)
+    if join_strategy is not None:
+        strategy_line = (f"join search: {join_strategy} "
+                         f"({join_units} relations)")
+        if join_budget_degradations:
+            strategy_line += (f", budget degradations "
+                              f"{join_budget_degradations}")
+        lines.append(strategy_line)
     if governor_stats is not None:
         peak = governor_stats.get("peak_tracked_bytes", 0)
         gov_line = (f"governor: peak tracked memory "

@@ -207,9 +207,11 @@ def derive_zone_predicates(conjuncts: Sequence[ast.Expr],
     """Extract zone-map predicates from a leaf scan's filter conjuncts.
 
     Only shapes a chunk's min/max/null statistics can refute are kept —
-    column-vs-literal comparisons (either orientation), non-negated
-    BETWEEN, IS [NOT] NULL, and IN over literals; everything else is
-    simply not a zone predicate.  The tuples match
+    column-vs-literal comparisons (either orientation), BETWEEN and
+    IN over literals (both polarities: a chunk wholly inside a NOT
+    BETWEEN window, or constant on a NOT IN value, is provably dead),
+    and IS [NOT] NULL; everything else is simply not a zone predicate.
+    The tuples match
     :meth:`repro.storage.columnstore.ColumnChunk.can_skip`.
     """
     predicates: List[tuple] = []
@@ -231,8 +233,7 @@ def derive_zone_predicates(conjuncts: Sequence[ast.Expr],
                     ("cmp", right.position,
                      ast.COMMUTED_COMPARISON[conjunct.op].value,
                      left.value))
-        elif isinstance(conjunct, ast.BetweenExpr) \
-                and not conjunct.negated:
+        elif isinstance(conjunct, ast.BetweenExpr):
             operand = conjunct.operand
             if isinstance(operand, ast.ColumnRef) \
                     and operand.entry_id == entry_id \
@@ -240,17 +241,22 @@ def derive_zone_predicates(conjuncts: Sequence[ast.Expr],
                     and conjunct.low.value is not None \
                     and isinstance(conjunct.high, ast.Literal) \
                     and conjunct.high.value is not None:
-                predicates.append(("cmp", operand.position, ">=",
-                                   conjunct.low.value))
-                predicates.append(("cmp", operand.position, "<=",
-                                   conjunct.high.value))
+                if conjunct.negated:
+                    predicates.append(("notbetween", operand.position,
+                                       conjunct.low.value,
+                                       conjunct.high.value))
+                else:
+                    predicates.append(("cmp", operand.position, ">=",
+                                       conjunct.low.value))
+                    predicates.append(("cmp", operand.position, "<=",
+                                       conjunct.high.value))
         elif isinstance(conjunct, ast.IsNullExpr):
             operand = conjunct.operand
             if isinstance(operand, ast.ColumnRef) \
                     and operand.entry_id == entry_id:
                 predicates.append(("null", operand.position,
                                    conjunct.negated))
-        elif isinstance(conjunct, ast.InListExpr) and not conjunct.negated:
+        elif isinstance(conjunct, ast.InListExpr):
             operand = conjunct.operand
             if isinstance(operand, ast.ColumnRef) \
                     and operand.entry_id == entry_id \
@@ -258,7 +264,14 @@ def derive_zone_predicates(conjuncts: Sequence[ast.Expr],
                             for item in conjunct.items):
                 values = [item.value for item in conjunct.items
                           if item.value is not None]
-                if values:
+                if conjunct.negated:
+                    # NOT IN with a NULL item never passes, but that is
+                    # a planner simplification, not a zone fact — only
+                    # derive from an all-literal, NULL-free list.
+                    if values and len(values) == len(conjunct.items):
+                        predicates.append(("notin", operand.position,
+                                           values))
+                elif values:
                     predicates.append(("in", operand.position, values))
     return predicates
 

@@ -8,12 +8,20 @@ The model implemented here:
 * ``EXHAUSTIVE`` — memo DP over connected subsets where one join side is a
   single unit (zig-zag trees: bushy *build* sides of one table);
 * ``EXHAUSTIVE2`` — memo DP over *all* connected partitions (full bushy
-  trees), plus an insertion-polish pass when the join is too wide for DP.
+  trees).
 
 All three share the memo, the histogram-backed cardinality estimates, and
 the Orca cost model — so EXHAUSTIVE2 explores strictly more alternatives,
 reproducing Table 1's compile-time behaviour (near-identical on TPC-H,
 noticeably slower on the widest TPC-DS joins).
+
+Beyond the DP-feasible width, per-component strategy selection moves to
+the :mod:`repro.orca.largejoin` lattice (full DP → linearized DP → GOO →
+greedy), chosen by component relation count and the remaining
+:class:`repro.resilience.CompileBudget` deadline; a mid-search budget
+exhaustion degrades to the best incumbent plan already in the memo
+instead of raising into the MySQL fallback (see
+:meth:`OrcaJoinSearch._search_component`).
 
 Unlike the MySQL search (left-deep, NLJ-costed), every candidate here is
 properly costed, including hash joins — the core reason Orca's plans win
@@ -26,12 +34,18 @@ import enum
 import itertools
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from repro.errors import OrcaError
+from repro.errors import BudgetExceededError, OrcaError
 from repro.mysql_optimizer.access_path import best_local_access, ref_access
 from repro.mysql_optimizer.skeleton import AccessPlan
 from repro.executor.plan import AccessMethod
+from repro.orca import largejoin
 from repro.orca.cost_model import OrcaCostModel
-from repro.orca.memo import Memo
+from repro.orca.largejoin import (
+    DEFAULT_GOO_THRESHOLD,
+    DEFAULT_LINDP_THRESHOLD,
+    JoinStrategy,
+)
+from repro.orca.memo import Group, Memo
 from repro.orca.operators import (
     JoinVariant,
     LogicalGet,
@@ -51,11 +65,11 @@ class JoinSearchMode(enum.Enum):
     EXHAUSTIVE2 = "EXHAUSTIVE2"
 
 
-#: DP is feasible up to this many units; beyond it the searches fall back
-#: (EXHAUSTIVE -> greedy, EXHAUSTIVE2 -> greedy + insertion polish).
-DP_LIMIT = 12
-#: Polish rounds for the EXHAUSTIVE2 fallback on very wide joins.
-POLISH_ROUNDS = 6
+#: How often the full-DP subset enumeration probes the compile budget
+#: (every ``2**k`` candidate subsets): connectivity filtering rejects the
+#: overwhelming majority of subsets on sparse graphs, so waiting for the
+#: next *connected* subset's check could stall past the deadline.
+_BUDGET_PROBE_MASK = 0xFF
 
 
 class SubEstimates:
@@ -122,7 +136,10 @@ class OrcaJoinSearch:
                  cost_model: OrcaCostModel, sub_estimates: SubEstimates,
                  corr: FrozenSet[int], mode: JoinSearchMode,
                  memo: Memo, budget=None,
-                 enable_pruning: bool = True) -> None:
+                 enable_pruning: bool = True,
+                 strategy_policy: str = "adaptive",
+                 lindp_threshold: int = DEFAULT_LINDP_THRESHOLD,
+                 goo_threshold: int = DEFAULT_GOO_THRESHOLD) -> None:
         self.units = units
         self.conjuncts = conjuncts
         self.block = block
@@ -146,20 +163,51 @@ class OrcaJoinSearch:
         #: incumbent, so the chosen plan's cost equals the unpruned
         #: search's choice.
         self.enable_pruning = enable_pruning
+        #: Strategy-selector configuration (the ``orca_join_strategy`` /
+        #: ``orca_lindp_threshold`` / ``orca_goo_threshold`` knobs).
+        self.strategy_policy = strategy_policy
+        self.lindp_threshold = lindp_threshold
+        self.goo_threshold = goo_threshold
         #: Search-effort counters surfaced as ``memo_search`` span
         #: attributes: DP subsets expanded, left-deep chains costed, and
         #: candidates skipped by cost-bound pruning.
         self.expansions = 0
         self.chains_costed = 0
         self.pruned_candidates = 0
+        #: One ``(strategy_name, component_size)`` entry per multi-unit
+        #: component searched, and how often budget exhaustion degraded a
+        #: component to its best incumbent plan.
+        self.strategies: List[Tuple[str, int]] = []
+        self.budget_degradations = 0
         self._entry_sets = [frozenset({unit.descriptor.entry.entry_id})
                             for unit in units]
         self._local: List[Tuple[AccessPlan, float, float, PhysicalGet]] = []
         for index, unit in enumerate(units):
             self._local.append(self._plan_unit(index))
+        # Per-conjunct (touched unit set, fully-mapped flag), computed
+        # once: ``referenced_entries`` walks the expression tree, and the
+        # large-join searches consult conjunct applicability O(n^2) to
+        # O(n^3) times per component.  Each entry id belongs to exactly
+        # one unit, so entry-set tests reduce to unit-set tests:
+        # refs `subset of` entries(S)  <=>  mapped and units `subset of` S.
+        self._conjunct_units: List[Tuple[FrozenSet[int], bool]] = []
+        all_entries: set = set()
+        for entries in self._entry_sets:
+            all_entries |= entries
+        for conjunct in conjuncts:
+            refs = referenced_entries(conjunct) - self.corr
+            touched = frozenset(
+                index for index, entries in enumerate(self._entry_sets)
+                if entries & refs)
+            mapped = bool(refs) and refs.issubset(all_entries)
+            self._conjunct_units.append((touched, mapped))
         self._edges = self._build_edges()
         self._rows_cache: Dict[FrozenSet[int], float] = {}
         self._conn_cache: Dict[FrozenSet[int], bool] = {}
+        self._join_sel_cache: Dict[int, float] = {}
+        self._neighbor_cache: Optional[Dict[int, FrozenSet[int]]] = None
+        self._pair_sel_cache: Dict[FrozenSet[int],
+                                   Dict[Tuple[int, int], float]] = {}
 
     def _check_budget(self) -> None:
         if self.budget is not None:
@@ -173,15 +221,8 @@ class OrcaJoinSearch:
                          self.cost_model, self.sub_estimates, self.corr)
 
     def _build_edges(self) -> List[FrozenSet[int]]:
-        edges: List[FrozenSet[int]] = []
-        for conjunct in self.conjuncts:
-            refs = referenced_entries(conjunct) - self.corr
-            touched = frozenset(
-                index for index, entries in enumerate(self._entry_sets)
-                if entries & refs)
-            if len(touched) >= 2:
-                edges.append(touched)
-        return edges
+        return [units for units, __ in self._conjunct_units
+                if len(units) >= 2]
 
     def _connected(self, subset: FrozenSet[int]) -> bool:
         if len(subset) <= 1:
@@ -214,6 +255,14 @@ class OrcaJoinSearch:
 
     # -- cardinality -----------------------------------------------------------------
 
+    def _join_selectivity(self, conjunct_index: int) -> float:
+        cached = self._join_sel_cache.get(conjunct_index)
+        if cached is None:
+            cached = self.estimator.join_selectivity(
+                self.block, self.conjuncts[conjunct_index])
+            self._join_sel_cache[conjunct_index] = cached
+        return cached
+
     def subset_rows(self, subset: FrozenSet[int]) -> float:
         cached = self._rows_cache.get(subset)
         if cached is not None:
@@ -221,31 +270,57 @@ class OrcaJoinSearch:
         rows = 1.0
         for index in subset:
             rows *= self._local[index][2]
-        entries = self._entries_of(subset)
-        for conjunct in self.conjuncts:
-            refs = referenced_entries(conjunct) - self.corr
-            if not refs or not refs.issubset(entries):
-                continue
-            touched = sum(1 for index in subset
-                          if self._entry_sets[index] & refs)
-            if touched >= 2:
-                rows *= self.estimator.join_selectivity(self.block, conjunct)
+        for conjunct_index, (units, mapped) in \
+                enumerate(self._conjunct_units):
+            if mapped and len(units) >= 2 and units <= subset:
+                rows *= self._join_selectivity(conjunct_index)
         rows = max(1e-3, rows)
         self._rows_cache[subset] = rows
         return rows
 
     def _cross_conjuncts(self, side_a: FrozenSet[int],
                          side_b: FrozenSet[int]) -> List[ast.Expr]:
-        entries_a = self._entries_of(side_a)
-        entries_b = self._entries_of(side_b)
-        visible = entries_a | entries_b | self.corr
+        visible = side_a | side_b
         result = []
-        for conjunct in self.conjuncts:
-            refs = referenced_entries(conjunct) - self.corr
-            if refs and refs.issubset(visible) \
-                    and refs & entries_a and refs & entries_b:
-                result.append(conjunct)
+        for conjunct_index, (units, mapped) in \
+                enumerate(self._conjunct_units):
+            if mapped and units and units <= visible \
+                    and units & side_a and units & side_b:
+                result.append(self.conjuncts[conjunct_index])
         return result
+
+    def pair_selectivities(self, component: FrozenSet[int]
+                           ) -> Dict[Tuple[int, int], float]:
+        """Combined selectivity of the two-unit conjuncts per unit pair,
+        keyed ``(low, high)`` — the IKKBZ/GOO steering matrix.  Conjuncts
+        spanning three or more units are left to :meth:`subset_rows`,
+        which settles cardinalities exactly when a subset materializes.
+        """
+        cached = self._pair_sel_cache.get(component)
+        if cached is not None:
+            return cached
+        result: Dict[Tuple[int, int], float] = {}
+        for conjunct_index, (units, mapped) in \
+                enumerate(self._conjunct_units):
+            if mapped and len(units) == 2 and units <= component:
+                low, high = sorted(units)
+                result[(low, high)] = result.get((low, high), 1.0) \
+                    * self._join_selectivity(conjunct_index)
+        self._pair_sel_cache[component] = result
+        return result
+
+    def unit_neighbors(self) -> Dict[int, FrozenSet[int]]:
+        """Units adjacent to each unit in the join graph."""
+        if self._neighbor_cache is None:
+            neighbors: Dict[int, set] = {
+                index: set() for index in range(len(self.units))}
+            for edge in self._edges:
+                for member in edge:
+                    neighbors[member] |= edge - {member}
+            self._neighbor_cache = {index: frozenset(adjacent)
+                                    for index, adjacent
+                                    in neighbors.items()}
+        return self._neighbor_cache
 
     def _has_equi(self, conjuncts: List[ast.Expr], entries_a: FrozenSet[int],
                   entries_b: FrozenSet[int]) -> bool:
@@ -306,6 +381,11 @@ class OrcaJoinSearch:
             remaining -= seen
         return components
 
+    def _remaining_seconds(self) -> Optional[float]:
+        if self.budget is None:
+            return None
+        return self.budget.remaining_seconds()
+
     def _search_component(self, component: FrozenSet[int]
                           ) -> Tuple[PhysicalOp, float, float]:
         if len(component) == 1:
@@ -315,35 +395,109 @@ class OrcaJoinSearch:
             group.rows = rows
             group.offer(get, cost, costed=False)
             return get, cost, rows
-        if self.mode is JoinSearchMode.GREEDY or len(component) > DP_LIMIT:
-            plan, cost, rows = self._greedy(component)
-            if self.mode is JoinSearchMode.EXHAUSTIVE2 and \
-                    len(component) > DP_LIMIT:
-                plan, cost, rows = self._polish(component, plan, cost, rows)
-            return plan, cost, rows
+        strategy = largejoin.select_strategy(
+            len(component), self.mode is JoinSearchMode.GREEDY,
+            self.strategy_policy, self.lindp_threshold,
+            self.goo_threshold, self._remaining_seconds())
+        self.strategies.append((strategy.value, len(component)))
+        try:
+            return self._run_strategy(strategy, component)
+        except BudgetExceededError:
+            # Budget ran out mid-search.  Every non-greedy strategy
+            # seeds a complete incumbent into the final group before its
+            # main loop, so degrade to it: the statement gets a valid
+            # (merely less-polished) Orca plan instead of a MySQL
+            # fallback.  With no incumbent (e.g. a memo-group cap so
+            # tight even seeding was cut short) the error propagates and
+            # containment maps it to FallbackReason.BUDGET_EXCEEDED as
+            # before.
+            key = frozenset(component)
+            if self.budget is not None and self.memo.has_group(key):
+                group = self.memo.group(key)
+                if group.best_plan is not None:
+                    self.budget.degrade()
+                    self.budget_degradations += 1
+                    return group.best_plan, group.best_cost, group.rows
+            raise
+
+    def _run_strategy(self, strategy: JoinStrategy,
+                      component: FrozenSet[int]
+                      ) -> Tuple[PhysicalOp, float, float]:
+        if strategy is JoinStrategy.GREEDY:
+            return self._greedy(component)
+        if strategy is JoinStrategy.LINDP:
+            return largejoin.lindp_search(self, component)
+        if strategy is JoinStrategy.GOO:
+            return largejoin.goo_search(self, component)
         return self._dp(component)
+
+    # -- group plumbing shared with the largejoin strategies ---------------------
+
+    def ensure_singleton(self, index: int) -> Group:
+        """Memo group for one unit, seeded with its standalone plan."""
+        group = self.memo.group(frozenset({index}))
+        if group.best_plan is None:
+            __, cost, rows, get = self._local[index]
+            group.rows = rows
+            group.offer(get, cost, costed=False)
+        return group
+
+    def join_groups(self, union: FrozenSet[int], side_a: FrozenSet[int],
+                    side_b: FrozenSet[int]) -> Group:
+        """Offer both orientations of A join B into ``union``'s group.
+
+        Guaranteed to leave a plan in the group: when neither
+        orientation yields a candidate (multi-unit x multi-unit with no
+        equi conjunct — hash needs an equi key, NL rescan a singleton
+        inner), B is absorbed into A one unit at a time instead.  Each
+        absorption step has a singleton inner, so an NL-rescan candidate
+        always exists, and the spanning conjuncts — including the
+        non-equi ones a cross join would silently drop — are applied at
+        the step where their units complete.
+        """
+        group = self.memo.group(union)
+        group.rows = self.subset_rows(union)
+        group_a = self.memo.group(side_a)
+        group_b = self.memo.group(side_b)
+        self._offer_joins_bounded(group, group_a, group_b)
+        self._offer_joins_bounded(group, group_b, group_a)
+        if group.best_plan is None:
+            current = side_a
+            for index in sorted(side_b):
+                current = self.join_groups(
+                    current | {index}, current, frozenset({index})).key
+        return group
 
     # -- dynamic programming ----------------------------------------------------------------
 
     def _dp(self, component: FrozenSet[int]
             ) -> Tuple[PhysicalOp, float, float]:
         members = sorted(component)
-        # Seed singleton groups.
         for index in members:
-            key = frozenset({index})
-            group = self.memo.group(key)
-            access, cost, rows, get = self._local[index]
-            group.rows = rows
-            group.offer(get, cost, costed=False)
-        if self.enable_pruning:
-            # A cheap left-deep first pass populates the chain-prefix
-            # groups (and the final group) with complete plans, giving
-            # the branch-and-bound upper bounds something to bite on
-            # from the first DP expansion.
-            self._seed_bounds(component)
+            self.ensure_singleton(index)
+        # A cheap first pass populates the chain-prefix groups (and the
+        # final group) with complete plans: budget degradation has an
+        # incumbent from the very start, and — with pruning on — the
+        # branch-and-bound upper bounds have something to bite on from
+        # the first DP expansion.  Seeding runs in the unpruned search
+        # too so the pruning A/B comparison sees the identical candidate
+        # space (seeds can beat the connectivity-restricted DP outright,
+        # e.g. an IKKBZ chain whose prefix is disconnected under the DP's
+        # hyperedge connectivity).
+        self._seed_bounds(component)
         full_bushy = self.mode is JoinSearchMode.EXHAUSTIVE2
+        probe = 0
         for size in range(2, len(members) + 1):
             for combo in itertools.combinations(members, size):
+                # Probe the budget on candidate subsets, not only on the
+                # connected ones _expand_subset sees: on sparse graphs
+                # connectivity rejects almost every subset, and a forced
+                # full DP past the selector cutoff would otherwise churn
+                # through millions of connectivity checks between
+                # deadline checks.
+                probe += 1
+                if not probe & _BUDGET_PROBE_MASK:
+                    self._check_budget()
                 subset = frozenset(combo)
                 if not self._connected(subset):
                     continue
@@ -353,28 +507,40 @@ class OrcaJoinSearch:
             return self._greedy(component)
         return final.best_plan, final.best_cost, final.rows
 
-    def _seed_bounds(self, component: FrozenSet[int]) -> None:
-        """Cost one connectivity-respecting left-deep chain, cheapest
-        local unit first.  One chain (n-1 join steps) versus the DP's
-        exponential candidate count — negligible seeding cost."""
+    def _seed_bounds(self, component: FrozenSet[int],
+                     with_incumbents: bool = True) -> None:
+        """Seed complete plans for branch-and-bound and degradation.
+
+        Costs one connectivity-respecting left-deep chain, cheapest
+        local unit first (n-1 join steps versus the DP's exponential
+        candidate count — negligible).  With ``with_incumbents``, the
+        IKKBZ-linearized chain and a GOO pass are layered on top: the
+        bushy GOO incumbent is usually far tighter than any left-deep
+        chain, so the ≤``lindp_threshold`` DP prunes harder from its
+        first expansion.  (GOO's own seeding passes ``False`` — it
+        *is* the incumbent builder.)
+        """
         remaining = set(component)
+        neighbors = self.unit_neighbors()
         first = min(remaining,
                     key=lambda index: (self._local[index][2],
                                        self._local[index][1]))
         order = [first]
         remaining.discard(first)
+        frontier = set(neighbors[first]) & remaining
         while remaining:
-            placed = frozenset(order)
-            candidates = [index for index in remaining
-                          if self._connected(placed | {index})]
-            if not candidates:
-                candidates = list(remaining)
+            candidates = frontier or remaining
             next_index = min(candidates,
                              key=lambda index: (self._local[index][2],
                                                 self._local[index][1]))
             order.append(next_index)
             remaining.discard(next_index)
+            frontier.discard(next_index)
+            frontier |= set(neighbors[next_index]) & remaining
         self._cost_chain(order)
+        if with_incumbents and len(component) >= 4:
+            self._cost_chain(largejoin.ikkbz_order(self, component))
+            largejoin.goo_search(self, component)
 
     def _expand_subset(self, subset: FrozenSet[int],
                        full_bushy: bool) -> None:
@@ -564,37 +730,6 @@ class OrcaJoinSearch:
             order.append(best_index)
             remaining.discard(best_index)
         return order
-
-    def _polish(self, component: FrozenSet[int], plan: PhysicalOp,
-                cost: float, rows: float
-                ) -> Tuple[PhysicalOp, float, float]:
-        """EXHAUSTIVE2's extra effort on joins too wide for DP:
-        repeated re-insertion of each unit at every chain position."""
-        order = self._greedy_order(component)
-        best_plan, best_cost, best_rows = self._cost_chain(order)
-        for __ in range(POLISH_ROUNDS):
-            improved = False
-            for position in range(len(order)):
-                unit = order[position]
-                without = order[:position] + order[position + 1:]
-                for insert_at in range(len(without) + 1):
-                    if insert_at == position:
-                        continue
-                    candidate = (without[:insert_at] + [unit]
-                                 + without[insert_at:])
-                    trial_plan, trial_cost, trial_rows = \
-                        self._cost_chain(candidate)
-                    if trial_cost < best_cost:
-                        best_plan, best_cost, best_rows = \
-                            trial_plan, trial_cost, trial_rows
-                        order = candidate
-                        improved = True
-                        break
-                if improved:
-                    break
-            if not improved:
-                break
-        return best_plan, best_cost, best_rows
 
     def _cost_chain(self, order: List[int]
                     ) -> Tuple[PhysicalOp, float, float]:

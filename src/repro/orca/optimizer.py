@@ -79,6 +79,18 @@ class OrcaConfig:
     #: plan are skipped without costing.  Sound (the chosen plan's cost
     #: matches the unpruned search); off only for A/B measurement.
     enable_cost_bound_pruning: bool = True
+    #: Per-component strategy selection for the join search
+    #: (:mod:`repro.orca.largejoin`): ``adaptive`` picks full DP /
+    #: linearized DP / GOO / greedy by component size and remaining
+    #: compile budget; any :class:`~repro.orca.largejoin.JoinStrategy`
+    #: value forces that strategy.
+    join_strategy: str = "adaptive"
+    #: Largest component full bushy/zig-zag DP still handles; above it
+    #: the adaptive policy switches to DP over the IKKBZ linearization.
+    lindp_threshold: int = 12
+    #: Largest component linearized DP still handles; above it the
+    #: adaptive policy switches to greedy operator ordering (GOO).
+    goo_threshold: int = 25
 
 
 @dataclass
@@ -126,6 +138,14 @@ class OrcaOptimizer:
             evaluations = (self.cost_model.evaluations
                            - evaluations_before)
             memo = block_plan.memo
+            # The block's dominant (largest) joined component names the
+            # strategy reported for the whole block; single-unit blocks
+            # never enter the selector.
+            strategies = search.strategies if search else []
+            join_strategy, join_units = (
+                max(strategies, key=lambda item: item[1])
+                if strategies else (None, 0))
+            degradations = search.budget_degradations if search else 0
             span.set(memo_groups=memo.group_count,
                      memo_alternatives=memo.total_alternatives,
                      memo_offered=memo.total_offered,
@@ -134,6 +154,9 @@ class OrcaOptimizer:
                      chains_costed=search.chains_costed if search else 0,
                      pruned_candidates=(search.pruned_candidates
                                         if search else 0),
+                     join_strategy=join_strategy,
+                     join_units=join_units,
+                     join_budget_degradations=degradations,
                      best_cost=block_plan.cost)
             if self.metrics is not None:
                 self.metrics.inc("orca.blocks_optimized")
@@ -144,6 +167,11 @@ class OrcaOptimizer:
                 self.metrics.inc("orca.pruned_candidates",
                                  search.pruned_candidates
                                  if search else 0)
+                for name, __ in strategies:
+                    self.metrics.inc(f"orca.join_strategy.{name}")
+                if degradations:
+                    self.metrics.inc("orca.join_budget_degradations",
+                                     degradations)
             return block_plan
 
     def _optimize_block(self, logical: OrcaLogicalBlock,
@@ -171,7 +199,10 @@ class OrcaOptimizer:
                 logical.core.units, logical.core.conjuncts, block,
                 self.estimator, self.cost_model, sub_estimates, corr,
                 mode, memo, budget=self.budget,
-                enable_pruning=self.config.enable_cost_bound_pruning)
+                enable_pruning=self.config.enable_cost_bound_pruning,
+                strategy_policy=self.config.join_strategy,
+                lindp_threshold=self.config.lindp_threshold,
+                goo_threshold=self.config.goo_threshold)
             plan, cost, rows = search.search()
             placed_entries = frozenset(
                 unit.descriptor.entry.entry_id

@@ -128,7 +128,11 @@ class CompileBudget:
     The Cascades search calls :meth:`check` as it expands memo groups;
     once either cap is hit a :class:`BudgetExceededError` aborts the
     detour (a typed error, so containment maps it to
-    ``FallbackReason.BUDGET_EXCEEDED``).
+    ``FallbackReason.BUDGET_EXCEEDED``) — unless the join search already
+    holds a complete incumbent plan, in which case it calls
+    :meth:`degrade` and finishes with that plan: every later check
+    becomes a no-op so the wrap-up (plan conversion, refinement) runs to
+    completion instead of tripping over the same exhausted budget.
     """
 
     def __init__(self, seconds: Optional[float] = None,
@@ -138,6 +142,9 @@ class CompileBudget:
         self.max_memo_groups = max_memo_groups
         self._clock = clock
         self.started_at = clock()
+        #: Set by :meth:`degrade` when the search settled for its best
+        #: incumbent; from then on :meth:`check` never raises.
+        self.degraded = False
 
     @classmethod
     def from_config(cls, config) -> "CompileBudget":
@@ -153,8 +160,27 @@ class CompileBudget:
     def elapsed(self) -> float:
         return self._clock() - self.started_at
 
+    def remaining_seconds(self) -> Optional[float]:
+        """Wall-clock left before :meth:`check` raises.
+
+        ``None`` means no time cap; a degraded budget reports ``0.0`` so
+        the strategy selector picks the cheapest (greedy) search for any
+        components still to come.
+        """
+        if self.degraded:
+            return 0.0
+        if self.seconds is None:
+            return None
+        return max(0.0, self.seconds - self.elapsed())
+
+    def degrade(self) -> None:
+        """Accept the best incumbent: silence all further checks."""
+        self.degraded = True
+
     def check(self, memo_groups: int = 0) -> None:
         """Raise :class:`BudgetExceededError` when a cap is exhausted."""
+        if self.degraded:
+            return
         if self.seconds is not None:
             elapsed = self.elapsed()
             if elapsed > self.seconds:

@@ -115,6 +115,10 @@ class ColumnChunk:
         * ``("cmp", position, op, value)`` — column *op* literal with
           ``op`` one of ``= <> < <= > >=``;
         * ``("in", position, values)`` — column IN (literals);
+        * ``("notin", position, values)`` — column NOT IN (literals):
+          dead only when the chunk is constant on a listed value;
+        * ``("notbetween", position, a, b)`` — column NOT BETWEEN a
+          AND b: dead when the chunk's [min, max] lies inside [a, b];
         * ``("null", position, negated)`` — IS [NOT] NULL.
         """
         length = len(self.rows)
@@ -159,6 +163,12 @@ class ColumnChunk:
                 elif kind == "in":
                     if all(value < low or value > high
                            for value in predicate[2]):
+                        return True
+                elif kind == "notin":
+                    if low == high and low in predicate[2]:
+                        return True
+                elif kind == "notbetween":
+                    if predicate[2] <= low and high <= predicate[3]:
                         return True
             except TypeError:
                 # Incomparable literal (mixed types): keep the chunk.

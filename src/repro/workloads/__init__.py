@@ -1,1 +1,2 @@
-"""Benchmark workloads: TPC-H and TPC-DS style schemas, data, and queries."""
+"""Benchmark workloads: TPC-H / TPC-DS style schemas, data, and queries,
+plus synthetic wide-join topologies (:mod:`repro.workloads.joins`)."""

@@ -167,6 +167,60 @@ def test_zone_maps_skip_chunks_on_selective_predicate():
     assert db.metrics.count("storage.chunks_skipped") == skipped
 
 
+@pytest.mark.parametrize("mode", ["row", "batch"])
+@pytest.mark.parametrize("predicate,expected_rows,min_skipped", [
+    ("e_id IN (3, 1000)", 2, 28),
+    # BETWEEN targets the unindexed column: a PK range would take an
+    # index scan and never consult the zone maps.
+    ("e_amount BETWEEN 100.0 AND 160.0", 121, 28),
+    ("e_id NOT BETWEEN 64 AND 1983", 128, 28),
+    ("e_amount NOT IN (5.0)", 2047, 0),  # no constant chunk: all kept
+])
+def test_zone_maps_cover_in_and_between(mode, predicate,
+                                        expected_rows, min_skipped):
+    """IN-list and BETWEEN conjuncts (both polarities) feed the zone
+    maps on the row and batch scan paths alike."""
+    db = Database(DatabaseConfig(batch_size=64))
+    from repro.catalog import Column, Index, TableSchema
+    from repro.mysql_types import MySQLType
+
+    db.create_table(TableSchema("points", [
+        Column.of("e_id", MySQLType.LONGLONG, nullable=False),
+        Column.of("e_amount", MySQLType.DOUBLE, nullable=False),
+    ], [Index("PRIMARY", ("e_id",), primary=True)]))
+    db.load("points", [(i, i * 0.5) for i in range(2048)])
+    db.analyze()
+    db.storage.counters.reset()
+    result = db.run(f"SELECT COUNT(*) FROM points WHERE {predicate}",
+                    use_plan_cache=False, executor_mode=mode)
+    assert result.rows[0][0] == expected_rows
+    assert db.storage.counters.chunks_skipped >= min_skipped
+
+
+def test_wide_joins_stay_off_the_exponential_dp_path():
+    """Counter-based large-join gate: above ``orca_lindp_threshold``
+    the adaptive selector must route every component to a polynomial
+    strategy — the ``orca.join_strategy.dp`` counter stays frozen while
+    the polynomial counters advance."""
+    from repro.workloads.joins import load_topology, make_topology
+
+    db = Database(DatabaseConfig(complex_query_threshold=3,
+                                 plan_cache_enabled=False))
+    cutoff = db.config.orca_lindp_threshold
+    for kind, relations in (("chain", cutoff + 4), ("star", 30)):
+        load_topology(db, make_topology(kind, relations, scale=0.25))
+    dp_before = db.metrics.count("orca.join_strategy.dp")
+    for kind, relations in (("chain", cutoff + 4), ("star", 30)):
+        topology = make_topology(kind, relations, scale=0.25)
+        result = db.run(topology.query, optimizer="orca",
+                        use_plan_cache=False)
+        assert result.optimizer_used == "orca"
+        assert result.fallback_reason is None
+    assert db.metrics.count("orca.join_strategy.dp") == dp_before
+    assert (db.metrics.count("orca.join_strategy.lindp")
+            + db.metrics.count("orca.join_strategy.goo")) >= 2
+
+
 def test_parallel_scan_dispatches_more_morsels_than_workers():
     db = Database(DatabaseConfig(batch_size=32,
                                  parallel_min_table_rows=64))

@@ -279,6 +279,51 @@ class TestZoneMaps:
         list(engine.table_scan("t", [("null", 1, True)]))  # IS NOT NULL
         assert engine.counters.chunks_skipped == 1
 
+    def test_in_list_skips_out_of_range_chunks(self):
+        engine = make_column_engine(batch_size=4)
+        engine.load_rows("t", [(i, i, float(i)) for i in range(16)])
+        engine.counters.reset()
+        rows = list(engine.table_scan("t", [("in", 0, [2, 13])]))
+        # Values 2 and 13 live in chunks 0 and 3; chunks 1-2 are dead.
+        assert engine.counters.chunks_skipped == 2
+        assert rows == [(i, i, float(i)) for i in range(16)
+                        if i // 4 in (0, 3)]
+
+    def test_not_in_skips_constant_chunks_only(self):
+        engine = make_column_engine(batch_size=4)
+        # Chunk 0 constant on 7, chunk 1 constant on 9, chunk 2 mixed.
+        engine.load_rows("t", [(i, 7, 0.0) for i in range(4)]
+                         + [(i, 9, 0.0) for i in range(4, 8)]
+                         + [(i, i, 0.0) for i in range(8, 12)])
+        engine.counters.reset()
+        list(engine.table_scan("t", [("notin", 1, [7, 8])]))
+        # Only the all-7 chunk is provably dead: the all-9 chunk's
+        # value is not listed, and the mixed chunk is not constant
+        # (some of its rows survive NOT IN).
+        assert engine.counters.chunks_skipped == 1
+        engine.counters.reset()
+        batched = [row for c in engine.table_scan_batches(
+            "t", 4, [("notin", 1, [7, 9])]) for row in c]
+        assert engine.counters.chunks_skipped == 2
+        assert batched == [(i, i, 0.0) for i in range(8, 12)]
+
+    def test_not_between_skips_contained_chunks(self):
+        engine = make_column_engine(batch_size=4)
+        engine.load_rows("t", [(i, i, float(i)) for i in range(16)])
+        engine.counters.reset()
+        rows = list(engine.table_scan("t", [("notbetween", 0, 4, 11)]))
+        # Chunks [4..7] and [8..11] lie wholly inside the rejected
+        # window; the boundary chunks straddle it and must be kept.
+        assert engine.counters.chunks_skipped == 2
+        assert rows == [(i, i, float(i)) for i in range(16)
+                        if i // 4 in (0, 3)]
+        engine.counters.reset()
+        batched = [row for c in engine.table_scan_batches(
+            "t", 4, [("notbetween", 0, 3, 12)]) for row in c]
+        assert engine.counters.chunks_skipped == 2
+        assert [r[0] for r in batched] == [i for i in range(16)
+                                           if i // 4 in (0, 3)]
+
     def test_analyze_rebuilds_zone_maps(self):
         engine = make_column_engine(batch_size=4)
         engine.load_rows("t", [(i, i, float(i)) for i in range(8)])
