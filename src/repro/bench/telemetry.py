@@ -1,0 +1,159 @@
+"""The telemetry-overhead measurement behind ``BENCH_partelemetry``.
+
+The tentpole claim of the parallel-telemetry work is that the
+always-on surfaces — the flight recorder's per-statement ring append,
+its p95 watchdog, the workload repository bookkeeping, and the worker
+telemetry merged after every parallel operator — are cheap enough to
+leave on in production.  This module prices the claim: two identically
+loaded TPC-H databases run the same warmed query mix, one with every
+optional telemetry surface enabled (the defaults) and one with all of
+them off; the per-query *minimum* latency (the most noise-robust
+estimator) feeds the comparison, and the headline is the suite-median
+per-query overhead percentage.
+
+A second pass reruns the scan-heavy subset at ``parallel_workers``
+workers, so the artifact also prices the fork-boundary telemetry
+(per-worker span grafting is tracer-gated, but the worker records,
+metric deltas, and checkpoint folding ride every parallel statement).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.drift import DRIFT_MIX
+from repro.bench.harness import _median
+from repro.database import Database, DatabaseConfig
+from repro.workloads.tpch.datagen import generate_tpch
+from repro.workloads.tpch.queries import TPCH_QUERIES
+
+__all__ = [
+    "TELEMETRY_MIX",
+    "PARALLEL_MIX",
+    "measure_telemetry_overhead",
+]
+
+#: The serial mix: the drift bench's scan-heavy / selective /
+#: join-heavy TPC-H queries, all millisecond-class at bench scale.
+TELEMETRY_MIX: Tuple[int, ...] = DRIFT_MIX
+
+#: The parallel pass reruns the scan-heavy queries — the ones whose
+#: plans actually parallelize — under a worker pool.
+PARALLEL_MIX: Tuple[int, ...] = (1, 6)
+
+
+def _config(telemetry: bool) -> DatabaseConfig:
+    """Identical engines except for the optional telemetry surfaces.
+
+    ``telemetry=True`` is the shipped default: flight recorder (with
+    its watchdog) and workload tracking on.  ``telemetry=False``
+    strips both.  The slow-query threshold is parked high in *both*
+    so a noisy outlier run cannot add log writes to one side only.
+    """
+    return DatabaseConfig(
+        complex_query_threshold=3,
+        slow_query_log_threshold_seconds=10.0,
+        flight_recorder_enabled=telemetry,
+        workload_tracking_enabled=telemetry,
+    )
+
+
+def _load(config: DatabaseConfig, data: Dict[str, list]) -> Database:
+    from repro.workloads.tpch.schema import create_tpch_tables
+
+    db = Database(config)
+    create_tpch_tables(db)
+    for name, rows in data.items():
+        db.load(name, rows)
+    db.analyze()
+    return db
+
+
+def _minima(db: Database, mix: Tuple[int, ...], runs_per_query: int,
+            workers: Optional[int]) -> Dict[int, float]:
+    """Per-query minimum latency over ``runs_per_query`` warmed runs."""
+    out: Dict[int, float] = {}
+    options = {} if workers is None else {"executor_workers": workers}
+    for number in mix:
+        sql = TPCH_QUERIES[number]
+        db.run(sql, **options)  # warm the plan cache out of the timing
+        samples = []
+        for __ in range(runs_per_query):
+            result = db.run(sql, **options)
+            samples.append(result.compile_seconds
+                           + result.execute_seconds)
+        out[number] = min(samples)
+    return out
+
+
+def measure_telemetry_overhead(scale: float = 0.2, seed: int = 42,
+                               runs_per_query: int = 5,
+                               parallel_workers: int = 4,
+                               progress: Optional[Callable[[str], None]]
+                               = None) -> dict:
+    """Price the always-on telemetry against a stripped engine.
+
+    Returns per-query rows (enabled vs stripped minimum, overhead %)
+    for the serial mix and the parallel subset, plus the headline
+    ``median_overhead_percent`` over the serial mix and, for the
+    artifact's honesty, the flight-recorder state the telemetry run
+    ended with (records, snapshots, watchdog findings).
+    """
+    data = generate_tpch(scale, seed)
+    databases: Dict[str, Database] = {}
+    serial: Dict[str, Dict[int, float]] = {}
+    parallel: Dict[str, Dict[int, float]] = {}
+    for label, telemetry in (("telemetry", True), ("stripped", False)):
+        db = _load(_config(telemetry), data)
+        databases[label] = db
+        serial[label] = _minima(db, TELEMETRY_MIX, runs_per_query,
+                                workers=None)
+        parallel[label] = _minima(db, PARALLEL_MIX, runs_per_query,
+                                  workers=parallel_workers)
+        if progress is not None:
+            progress(f"{label}: serial "
+                     f"{sum(serial[label].values()) * 1000:.2f} ms, "
+                     f"parallel "
+                     f"{sum(parallel[label].values()) * 1000:.2f} ms "
+                     f"summed per-query minima")
+
+    def rows(minima: Dict[str, Dict[int, float]]) -> List[dict]:
+        out = []
+        for number in sorted(minima["telemetry"]):
+            enabled = minima["telemetry"][number]
+            stripped = minima["stripped"][number]
+            overhead = 0.0
+            if stripped > 0:
+                overhead = 100.0 * (enabled - stripped) / stripped
+            out.append({
+                "query": number,
+                "telemetry_seconds": enabled,
+                "stripped_seconds": stripped,
+                "overhead_percent": overhead,
+            })
+        return out
+
+    serial_rows = rows(serial)
+    parallel_rows = rows(parallel)
+    flight = databases["telemetry"].flight
+    metrics = databases["telemetry"].metrics
+    return {
+        "scale": scale,
+        "seed": seed,
+        "runs_per_query": runs_per_query,
+        "mix": list(TELEMETRY_MIX),
+        "parallel_mix": list(PARALLEL_MIX),
+        "parallel_workers": parallel_workers,
+        "serial": serial_rows,
+        "parallel": parallel_rows,
+        "median_overhead_percent": _median(
+            [row["overhead_percent"] for row in serial_rows]),
+        "parallel_median_overhead_percent": _median(
+            [row["overhead_percent"] for row in parallel_rows]),
+        "flight_state": {
+            "records": flight.recorded,
+            "snapshots": len(flight.snapshots()),
+            "watchdog_findings":
+                metrics.count("flight.watchdog_findings"),
+        },
+    }

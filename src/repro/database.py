@@ -40,6 +40,12 @@ from repro.errors import (
 )
 from repro.executor.executor import Executor
 from repro.executor.parallel import PARALLEL_BACKENDS
+from repro.flight import (
+    FlightRecord,
+    FlightRecorder,
+    format_flight_report,
+    format_top_report,
+)
 from repro.governor import CancelToken, ExecutionGovernor
 from repro.executor.explain import explain_plan
 from repro.mysql_optimizer.optimizer import MySQLOptimizer
@@ -255,6 +261,24 @@ class DatabaseConfig:
     #: Tables with fewer rows than this never go parallel — pool setup
     #: would cost more than the scan.
     parallel_min_table_rows: int = 2048
+    #: Flight recorder: keep a bounded ring of per-statement telemetry
+    #: records (see :mod:`repro.flight`).  Cheap enough to leave on; the
+    #: kill switch exists to measure the bookkeeping itself.
+    flight_recorder_enabled: bool = True
+    #: Statement records the flight ring buffer holds.
+    flight_capacity: int = 512
+    #: Whole-registry snapshots are taken every this many records.
+    flight_snapshot_interval: int = 64
+    #: Trailing-window size (statements) for the p95 regression
+    #: watchdog; the trailing window is compared against the window
+    #: immediately before it.
+    flight_watchdog_window: int = 8
+    #: A fingerprint is flagged when its trailing-window p95 exceeds
+    #: this multiple of the prior window's p95.
+    flight_watchdog_factor: float = 2.0
+    #: Executions of a fingerprint required in *both* windows before
+    #: the watchdog compares them.
+    flight_watchdog_min_samples: int = 4
 
     def __post_init__(self) -> None:
         if self.routing not in ROUTING_POLICIES:
@@ -317,6 +341,16 @@ class DatabaseConfig:
                 f"valid choices: {', '.join(PARALLEL_BACKENDS)}")
         if self.parallel_min_table_rows < 1:
             raise ReproError("parallel_min_table_rows must be >= 1")
+        if self.flight_capacity < 1:
+            raise ReproError("flight_capacity must be >= 1")
+        if self.flight_snapshot_interval < 1:
+            raise ReproError("flight_snapshot_interval must be >= 1")
+        if self.flight_watchdog_window < 1:
+            raise ReproError("flight_watchdog_window must be >= 1")
+        if self.flight_watchdog_factor <= 1.0:
+            raise ReproError("flight_watchdog_factor must be > 1.0")
+        if self.flight_watchdog_min_samples < 1:
+            raise ReproError("flight_watchdog_min_samples must be >= 1")
 
 
 @dataclass
@@ -422,6 +456,21 @@ class Database:
             repository=self.workload, catalog=self.catalog,
             storage=self.storage, plan_cache=self.plan_cache,
             config=self.config, metrics=self.metrics)
+        #: Bounded per-statement telemetry ring + regression watchdog
+        #: (None when ``config.flight_recorder_enabled`` is off).
+        self.flight: Optional[FlightRecorder] = None
+        if self.config.flight_recorder_enabled:
+            self.flight = FlightRecorder(
+                capacity=self.config.flight_capacity,
+                snapshot_interval=self.config.flight_snapshot_interval,
+                watchdog_window=self.config.flight_watchdog_window,
+                watchdog_factor=self.config.flight_watchdog_factor,
+                watchdog_min_samples=(
+                    self.config.flight_watchdog_min_samples),
+                metrics=self.metrics)
+        #: ParallelContext of the most recent statement that actually
+        #: ran a parallel operator — ``db.top()``'s worker section.
+        self._last_parallel = None
         #: The router of the most recent Orca detour, kept so callers can
         #: inspect its bridge components (e.g. ``last_accessor.stats()``
         #: for the metadata-cache hit ratio of one statement).
@@ -772,7 +821,8 @@ class Database:
                 # misestimation ledger's streak, planq metrics, and the
                 # compile/execute latency observations — the statement
                 # must leave the Database as if it never ran.
-                self._record_abort(sql, exc, governor, stmt_span)
+                self._record_abort(sql, exc, governor, stmt_span,
+                                   statement_id, start)
                 raise
 
     def _run_governed(self, sql: str, optimizer: str, explain: bool,
@@ -792,6 +842,8 @@ class Database:
             result = self._execute_dml(stmt, start, governor)
             stmt_span.set(optimizer_used=result.optimizer_used)
             result.statement_id = statement_id
+            self._record_flight(sql, result, workers=1,
+                                stmt_span=stmt_span)
             return result
         self.metrics.inc("statements.select")
         cache_enabled = use_plan_cache and \
@@ -830,6 +882,18 @@ class Database:
                 runtime = executor.last_runtime
                 exec_span.set(batches=runtime.batches,
                               batch_rows=runtime.batch_rows)
+            parallel = getattr(executor, "last_parallel", None)
+            if parallel is not None and parallel.ops:
+                # Worker skew rides on the execute span (the grafted
+                # parallel_worker children carry the per-worker detail).
+                self._last_parallel = parallel
+                skew = parallel.skew()
+                exec_span.set(
+                    parallel_backend=parallel.backend,
+                    parallel_workers=skew["workers"],
+                    worker_min_morsels=skew["min_morsels"],
+                    worker_max_morsels=skew["max_morsels"],
+                    worker_stddev_morsels=skew["stddev_morsels"])
         done = time.perf_counter()
         quality = statement_quality(executor)
         self._record_plan_quality(sql, cache_key, quality, used,
@@ -886,7 +950,7 @@ class Database:
         stmt_span.set(optimizer_used=used, rows=len(rows),
                       plan_cache_hit=cached is not None,
                       executor_mode=executor.last_mode)
-        return StatementResult(
+        result = StatementResult(
             rows=rows,
             optimizer_used=used,
             compile_seconds=compiled - start,
@@ -901,6 +965,9 @@ class Database:
             low_memory_retry=low_memory_retry,
             plan_hash=plan_hash,
         )
+        self._record_flight(sql, result, workers=workers,
+                            stmt_span=stmt_span)
+        return result
 
     def _record_workload(self, sql: str, executor: Executor, used: str,
                          plan_cache_hit: bool,
@@ -941,6 +1008,63 @@ class Database:
             with self.tracer.span("advisor_auto_apply"):
                 self.advisor.apply(kinds=("reanalyze",))
         return plan_hash
+
+    def _record_flight(self, sql: str, result: StatementResult,
+                       workers: int, stmt_span=None) -> None:
+        """Append one completed statement to the flight recorder, then
+        run the regression watchdog; free when the recorder is off."""
+        flight = self.flight
+        if flight is None:
+            return
+        stages: Dict[str, float] = {}
+        if isinstance(stmt_span, Span):
+            # The statement span is still open here; its closed
+            # children (parse, route, execute, ...) are the stages.
+            stages = stage_durations(stmt_span)
+            stages.pop("statement", None)
+        quality = result.plan_quality
+        gov = result.governor_stats
+        flight.record(FlightRecord(
+            seq=0,
+            statement_id=result.statement_id,
+            fingerprint=statement_fingerprint(sql),
+            sql=sql,
+            optimizer=result.optimizer_used,
+            executor_mode=result.executor_mode,
+            workers=workers,
+            plan_hash=result.plan_hash,
+            plan_cache_hit=result.plan_cache_hit,
+            rows=len(result.rows),
+            compile_seconds=result.compile_seconds,
+            execute_seconds=result.execute_seconds,
+            stage_seconds=stages,
+            root_q=quality.root_q if quality is not None else None,
+            max_q=quality.max_q if quality is not None else None,
+            fallback_reason=result.fallback_reason.value
+            if result.fallback_reason is not None else None,
+            governor_checkpoints=gov.get("checkpoints")
+            if gov is not None else None,
+            governor_peak_bytes=gov.get("peak_tracked_bytes")
+            if gov is not None else None,
+            low_memory_retry=result.low_memory_retry,
+        ))
+        self._run_watchdog()
+
+    def _run_watchdog(self) -> None:
+        """Feed fresh watchdog findings into the advisor pipeline.
+
+        A flagged fingerprint becomes a workload-repository regression
+        (``from_hash == to_hash``: the *same* plan got slower), which
+        the existing Advisor surfaces as a ``plan_regression``
+        recommendation and remediates via plan-cache purge on apply.
+        """
+        for finding in self.flight.watchdog_check():
+            if self.config.workload_tracking_enabled:
+                self.workload.note_external_regression(
+                    finding.fingerprint, finding.sql,
+                    before_p95=finding.before_p95,
+                    after_p95=finding.after_p95,
+                    plan_hash=finding.plan_hash)
 
     def _execute_governed(self, executor: Executor,
                           skeleton: Optional[SkeletonPlan], mode: str,
@@ -1008,7 +1132,8 @@ class Database:
                 mode=mode, metrics=self.metrics,
                 governor=governor, injector=injector, workers=workers,
                 parallel_backend=self.config.parallel_backend,
-                parallel_min_table_rows=self.config.parallel_min_table_rows)
+                parallel_min_table_rows=self.config.parallel_min_table_rows,
+                tracer=self.tracer)
         except ReproError:
             raise
         except Exception as exc:
@@ -1017,7 +1142,8 @@ class Database:
 
     def _record_abort(self, sql: str, exc: ReproError,
                       governor: Optional[ExecutionGovernor],
-                      stmt_span) -> None:
+                      stmt_span, statement_id: int = 0,
+                      start: Optional[float] = None) -> None:
         """Bookkeeping for an aborted statement.
 
         Records a FallbackEvent with the execution-stage reason and
@@ -1042,6 +1168,29 @@ class Database:
                                  governor.memory.peak_bytes)
         stmt_span.set(aborted=True, abort_reason=reason.value,
                       error_type=type(exc).__name__)
+        if self.flight is not None:
+            # An abort still leaves a flight record — the crash history
+            # right before a bad stretch is the recorder's whole point.
+            # Latency is elapsed-until-abort (the bound, not the
+            # statement), so the watchdog excludes aborted records.
+            elapsed = 0.0
+            if governor is not None:
+                elapsed = governor.elapsed_seconds()
+            elif start is not None:
+                elapsed = time.perf_counter() - start
+            self.flight.record(FlightRecord(
+                seq=0,
+                statement_id=statement_id,
+                fingerprint=statement_fingerprint(sql),
+                sql=sql,
+                execute_seconds=elapsed,
+                aborted=True,
+                abort_reason=reason.value,
+                governor_checkpoints=governor.checkpoints
+                if governor is not None else None,
+                governor_peak_bytes=governor.memory.peak_bytes
+                if governor is not None else None,
+            ))
 
     def _record_plan_quality(self, sql: str, cache_key: str,
                              quality: StatementQuality, used: str,
@@ -1123,7 +1272,8 @@ class Database:
                                  or self.config.executor_workers),
                         parallel_backend=self.config.parallel_backend,
                         parallel_min_table_rows=self.config
-                        .parallel_min_table_rows)
+                        .parallel_min_table_rows,
+                        tracer=self.tracer)
                 done = time.perf_counter()
         finally:
             self.tracer = previous
@@ -1147,6 +1297,11 @@ class Database:
                 join_units = units
             join_degradations += span.attributes.get(
                 "join_budget_degradations", 0)
+        worker_spans = [span.to_dict()
+                        for span in find_spans(root, "parallel_worker")]
+        parallel = getattr(executor, "last_parallel", None)
+        worker_skew = parallel.skew() \
+            if parallel is not None and parallel.ops else None
         footer = format_stage_footer(
             optimizer_used=used,
             optimize_seconds=compiled - start,
@@ -1164,6 +1319,8 @@ class Database:
             join_strategy=join_strategy,
             join_units=join_units,
             join_budget_degradations=join_degradations,
+            worker_spans=worker_spans or None,
+            worker_skew=worker_skew,
         )
         # Copy rebind counts (Section 7, Orca change 3) onto the
         # materialise nodes so the rendering can show them.
@@ -1304,19 +1461,88 @@ class Database:
         """``workload_report()`` rendered as plain text."""
         return format_workload_report(self.workload_report(limit=limit))
 
+    def flight_report(self, limit: int = 20) -> dict:
+        """The flight recorder's JSON-ready payload (buffer stats plus
+        the most recent records, latest first).  Raises when the
+        recorder is disabled — a silent empty report would read as "the
+        engine did nothing"."""
+        if self.flight is None:
+            raise ReproError("flight recorder is disabled "
+                             "(config.flight_recorder_enabled)")
+        return self.flight.report(limit=limit)
+
+    def flight_report_text(self, limit: int = 20) -> str:
+        """``flight_report()`` rendered as plain text."""
+        return format_flight_report(self.flight_report(limit=limit))
+
+    def flight_export(self, path: str) -> int:
+        """Dump the whole flight buffer (records + registry snapshots)
+        as JSONL; returns the line count."""
+        if self.flight is None:
+            raise ReproError("flight recorder is disabled "
+                             "(config.flight_recorder_enabled)")
+        return self.flight.export_jsonl(path)
+
+    def top_data(self, limit: int = 10) -> dict:
+        """The live engine state behind :meth:`top`, JSON-ready:
+        in-flight statements (elapsed, last governor stage), hottest
+        fingerprints, and per-worker utilization of the most recent
+        parallel statement."""
+        active = []
+        for sid, (sql, governor) in sorted(
+                self._active_statements.items()):
+            active.append({
+                "statement_id": sid,
+                "sql": sql,
+                "elapsed_seconds": governor.elapsed_seconds(),
+                "last_stage": governor.last_stage,
+            })
+        hottest = [{
+            "fingerprint": entry.fingerprint,
+            "sql": entry.sample_sql,
+            "executions": entry.executions,
+            "p95_seconds": entry.latency.quantile(0.95),
+        } for entry in self.workload.entries()[:limit]]
+        parallel = self._last_parallel
+        return {
+            "statements_total":
+                int(self.metrics.count("statements.total")),
+            "statements_aborted":
+                int(self.metrics.count("statements.aborted")),
+            "active_count": len(active),
+            "active": active,
+            "hottest": hottest,
+            "workers": parallel.utilization()
+            if parallel is not None else [],
+            "worker_skew": parallel.skew()
+            if parallel is not None else None,
+        }
+
+    def top(self, limit: int = 10) -> str:
+        """Live ``top``-style text report of the engine right now."""
+        return format_top_report(self.top_data(limit=limit))
+
     def metrics_report(self) -> str:
         """One text report answering "what happened and why": routing
         (detour rate), resilience (fallbacks by reason), metadata-cache
-        effectiveness, and the raw counter/gauge/histogram dump."""
+        effectiveness, and the raw counter/gauge/histogram dump.
+
+        Every ratio line is empty-safe: after ``metrics.reset()`` (or
+        before any statement ran) denominators are zero and each rate
+        renders as 0.0% rather than dividing."""
+
+        def pct(numerator: float, denominator: float) -> float:
+            return 100.0 * numerator / denominator if denominator \
+                else 0.0
+
         m = self.metrics
         selects = m.count("statements.select")
         entered = m.count("detour.entered")
-        rate = entered / selects if selects else 0.0
         lines = ["Optimizer metrics", "=" * 17,
                  f"statements:        "
                  f"{int(m.count('statements.total'))} total, "
                  f"{int(selects)} SELECT",
-                 f"detour rate:       {100.0 * rate:.1f}% "
+                 f"detour rate:       {pct(entered, selects):.1f}% "
                  f"({int(entered)}/{int(selects)} SELECTs entered the "
                  f"Orca detour)",
                  f"detours succeeded: {int(m.count('detour.succeeded'))}"]
@@ -1327,13 +1553,13 @@ class Database:
             lines.append(f"  {name[len('fallback.'):]}: {int(value)}")
         hits = m.count("mdcache.hits")
         misses = m.count("mdcache.misses")
-        requests = hits + misses
-        ratio = hits / requests if requests else 0.0
-        lines.append(f"mdcache hit ratio: {100.0 * ratio:.1f}% "
+        lines.append(f"mdcache hit ratio: "
+                     f"{pct(hits, hits + misses):.1f}% "
                      f"({int(hits)} hits / {int(misses)} misses)")
         pc = self.plan_cache.stats()
         lines.append(
-            f"plan cache:        {100.0 * pc['hit_ratio']:.1f}% hits "
+            f"plan cache:        "
+            f"{pct(pc['hits'], pc['hits'] + pc['misses']):.1f}% hits "
             f"({pc['hits']} hits / {pc['misses']} misses, "
             f"{pc['evictions']} evictions, "
             f"{pc['invalidations']} invalidations, "

@@ -132,6 +132,7 @@ class Executor:
                 metrics=None, governor=None, injector=None,
                 workers: int = 1, parallel_backend: str = "fork",
                 parallel_min_table_rows: int = DEFAULT_MIN_TABLE_ROWS,
+                tracer=None,
                 ) -> List[tuple]:
         """Run the statement and return all output rows.
 
@@ -151,7 +152,8 @@ class Executor:
         if workers > 1 and mode == "batch" and self.ensure_batch_lowered():
             parallel = ParallelContext(
                 workers, backend=parallel_backend,
-                min_table_rows=parallel_min_table_rows)
+                min_table_rows=parallel_min_table_rows,
+                tracer=tracer, metrics=metrics)
         runtime = ExecutionRuntime(self.storage, self.context.entry_count,
                                    governor=governor, injector=injector,
                                    parallel=parallel)

@@ -129,7 +129,9 @@ def format_stage_footer(optimizer_used: str, optimize_seconds: float,
                         governor_stats: Optional[dict] = None,
                         join_strategy: Optional[str] = None,
                         join_units: int = 0,
-                        join_budget_degradations: int = 0) -> str:
+                        join_budget_degradations: int = 0,
+                        worker_spans: Optional[List[dict]] = None,
+                        worker_skew: Optional[dict] = None) -> str:
     """The EXPLAIN ANALYZE "stage breakdown" footer.
 
     Shows the optimize-vs-execute wall-clock split, the per-stage trace
@@ -144,7 +146,11 @@ def format_stage_footer(optimizer_used: str, optimize_seconds: float,
     budget used, and checkpoints hit.  ``join_strategy`` adds the
     join-order strategy the selector picked for the statement's widest
     joined component (with its relation count and any budget
-    degradations).
+    degradations).  ``worker_spans`` (exported ``parallel_worker`` span
+    dicts from the cross-process telemetry) adds one line per morsel
+    worker — morsels, rows, busy milliseconds — and ``worker_skew``
+    (:meth:`repro.executor.parallel.ParallelContext.skew`) the
+    distribution summary.
     """
     total = optimize_seconds + execute_seconds
     share = 100.0 * optimize_seconds / total if total > 0 else 0.0
@@ -178,6 +184,28 @@ def format_stage_footer(optimizer_used: str, optimize_seconds: float,
             strategy_line += (f", budget degradations "
                               f"{join_budget_degradations}")
         lines.append(strategy_line)
+    if worker_spans:
+        # One worker can contribute several spans (one per parallel
+        # operator); fold them so the footer shows totals per worker.
+        per_worker: dict = {}
+        for span in worker_spans:
+            attrs = span.get("attributes", {})
+            worker = attrs.get("worker", 0)
+            totals = per_worker.setdefault(worker, [0, 0, 0.0])
+            totals[0] += attrs.get("morsels", 0)
+            totals[1] += attrs.get("rows", 0)
+            totals[2] += attrs.get("seconds", 0.0)
+        lines.append(f"parallel: {len(per_worker)} workers")
+        for worker in sorted(per_worker):
+            morsels, rows, seconds = per_worker[worker]
+            lines.append(f"  worker {worker}: {morsels} morsels, "
+                         f"{rows} rows, {seconds * 1000.0:.3f} ms busy")
+        if worker_skew is not None:
+            lines.append(
+                f"  skew: min {worker_skew['min_morsels']} / "
+                f"max {worker_skew['max_morsels']} / "
+                f"stddev {worker_skew['stddev_morsels']:.2f} "
+                f"morsels per worker")
     if governor_stats is not None:
         peak = governor_stats.get("peak_tracked_bytes", 0)
         gov_line = (f"governor: peak tracked memory "

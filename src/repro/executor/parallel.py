@@ -44,6 +44,31 @@ a typed tuple and re-raised in the parent as the *same* exception type,
 so abort classification (deadline / cancelled / memory) is identical to
 serial execution.  Memory charging stays in the parent's merge loop —
 charging from two processes would double-count.
+
+Telemetry
+---------
+
+Each worker — forked or threaded — runs a :class:`WorkerTelemetry`: a
+lightweight child tracer (per-morsel records: chunk index, rows
+produced, wall seconds) plus a
+:class:`repro.observability.MetricsDelta`.  Forked workers pickle the
+telemetry back over the existing result pipes alongside the results;
+the coordinator then
+
+* grafts one ``parallel_worker`` child span per worker under the open
+  ``execute`` span (morsel/row counts, busy seconds, governor
+  checkpoints, peak result bytes), so ``EXPLAIN ANALYZE`` and
+  ``trace_export()`` see through the fork boundary;
+* merges the counter/histogram deltas into the parent
+  :class:`~repro.observability.MetricsRegistry`
+  (``executor.worker_morsels`` / ``executor.worker_rows`` counters,
+  per-morsel ``executor.morsel_seconds`` and per-worker
+  ``executor.worker_seconds`` histograms);
+* folds forked workers' governor-checkpoint counts back into the
+  parent governor (thread/inline workers already share it);
+* accumulates per-worker utilization (:meth:`ParallelContext.skew`,
+  :meth:`ParallelContext.utilization`) for the execute-span skew
+  attributes and ``db.top()``.
 """
 
 from __future__ import annotations
@@ -51,8 +76,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import sys
 import threading
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     DeadlineExceededError,
@@ -62,6 +89,7 @@ from repro.errors import (
 )
 from repro.executor.batch import RowBatch
 from repro.governor import BUCKET_OVERHEAD_BYTES, approx_row_bytes
+from repro.observability import MetricsDelta, graft_span
 
 #: Backends a :class:`ParallelContext` accepts.
 PARALLEL_BACKENDS = ("fork", "thread")
@@ -74,11 +102,87 @@ DEFAULT_MIN_TABLE_ROWS = 2048
 _PIPE_READ_SIZE = 1 << 20
 
 
+def _count_rows(rows_of: Callable[[object], int], value: object) -> int:
+    """Row count of one morsel result, for telemetry only.
+
+    Defensive: a result shape the extractor cannot count (direct
+    ``_run_morsels`` callers with scalar tasks) records 0 rows instead
+    of failing the morsel — telemetry must never change execution."""
+    try:
+        return int(rows_of(value))
+    except (TypeError, IndexError, KeyError):
+        return 0
+
+
+def _approx_result_bytes(value: object) -> int:
+    """Size estimate of one morsel's result (one level deep, sampled).
+
+    Same estimation philosophy as the governor's
+    :func:`~repro.governor.approx_row_bytes`: a cheap deterministic
+    approximation, not an allocator hook."""
+    try:
+        total = sys.getsizeof(value)
+    except TypeError:  # pragma: no cover — exotic objects
+        return 0
+    if isinstance(value, (list, tuple)) and value:
+        total += len(value) * approx_row_bytes(value[0])
+    return total
+
+
+class WorkerTelemetry:
+    """One worker's child tracer + metrics delta for one operator.
+
+    Lives inside the worker (forked process or thread), records one
+    entry per morsel, and travels back to the coordinator — over the
+    result pipe for forked workers — as plain picklable state.
+    """
+
+    __slots__ = ("worker_id", "morsels", "rows", "seconds",
+                 "checkpoints", "peak_bytes", "records", "delta")
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.morsels = 0
+        self.rows = 0
+        self.seconds = 0.0
+        #: Governor checkpoints this worker ran (shipped so forked
+        #: workers' counts fold back into the parent governor).
+        self.checkpoints = 0
+        #: Largest single-morsel result, estimated bytes.
+        self.peak_bytes = 0
+        #: Per-morsel ``(chunk_index, rows, seconds)`` records.
+        self.records: List[Tuple[int, int, float]] = []
+        self.delta = MetricsDelta()
+
+    def note_morsel(self, chunk_index: int, rows: int, seconds: float,
+                    result_bytes: int) -> None:
+        self.morsels += 1
+        self.rows += rows
+        self.seconds += seconds
+        if result_bytes > self.peak_bytes:
+            self.peak_bytes = result_bytes
+        self.records.append((chunk_index, rows, seconds))
+        self.delta.inc("executor.worker_morsels")
+        self.delta.inc("executor.worker_rows", rows)
+        self.delta.observe("executor.morsel_seconds", seconds)
+
+    def __getstate__(self) -> tuple:
+        return (self.worker_id, self.morsels, self.rows, self.seconds,
+                self.checkpoints, self.peak_bytes, self.records,
+                self.delta)
+
+    def __setstate__(self, state: tuple) -> None:
+        (self.worker_id, self.morsels, self.rows, self.seconds,
+         self.checkpoints, self.peak_bytes, self.records,
+         self.delta) = state
+
+
 class ParallelContext:
     """Per-execution parallel state: pool policy plus morsel counters."""
 
     def __init__(self, workers: int, backend: str = "fork",
-                 min_table_rows: int = DEFAULT_MIN_TABLE_ROWS) -> None:
+                 min_table_rows: int = DEFAULT_MIN_TABLE_ROWS,
+                 tracer=None, metrics=None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if backend not in PARALLEL_BACKENDS:
@@ -89,6 +193,10 @@ class ParallelContext:
         #: ``fork`` degrades to ``thread`` where fork is unavailable.
         self.backend = backend if hasattr(os, "fork") else "thread"
         self.min_table_rows = min_table_rows
+        #: Tracer worker spans are grafted into (None / disabled = skip).
+        self.tracer = tracer
+        #: Parent :class:`MetricsRegistry` worker deltas merge into.
+        self.metrics = metrics
         #: Chunks dispatched to workers this execution.
         self.morsels = 0
         #: Parallel operators that actually ran (0 after a batch
@@ -97,6 +205,12 @@ class ParallelContext:
         self.ops = 0
         #: Largest worker count any single operator used.
         self.workers_spawned = 0
+        #: Cumulative per-worker utilization across this execution's
+        #: operators: worker id -> [morsels, rows, busy seconds].
+        self.worker_stats: Dict[int, List[float]] = {}
+        #: Every per-morsel record of this execution:
+        #: ``(worker_id, chunk_index, rows, seconds)``.
+        self.morsel_records: List[Tuple[int, int, int, float]] = []
 
     # -- scan eligibility -------------------------------------------------------
 
@@ -166,7 +280,8 @@ class ParallelContext:
             batch = batch.filter_true(mask_fn(batch))
             return batch.columns[entry_id] if batch.length else []
 
-        for rows in self._run_morsels(runtime, survivors, task, n_workers):
+        for rows in self._run_morsels(runtime, survivors, task, n_workers,
+                                      op="scan", rows_of=len):
             if rows:
                 yield scan._note(runtime,
                                  RowBatch({entry_id: rows}, len(rows)))
@@ -238,7 +353,9 @@ class ParallelContext:
                 merged.append((key, partials))
             return length, merged
 
-        results = self._run_morsels(runtime, survivors, task, n_workers)
+        results = self._run_morsels(runtime, survivors, task, n_workers,
+                                    op="agg_build",
+                                    rows_of=lambda r: r[0])
         groups: dict = {}
         order: List[tuple] = []
         gov = runtime.governor
@@ -325,7 +442,9 @@ class ParallelContext:
                         setdefault(key, []).append(saved)
             return length, sample, list(fragment.items())
 
-        results = self._run_morsels(runtime, survivors, task, n_workers)
+        results = self._run_morsels(runtime, survivors, task, n_workers,
+                                    op="join_build",
+                                    rows_of=lambda r: r[0])
         table: dict = {}
         gov = runtime.governor
         charged = 0
@@ -358,41 +477,134 @@ class ParallelContext:
             raise
         return table, charged
 
+    # -- telemetry --------------------------------------------------------------
+
+    def _merge_telemetry(self, op: str, telemetries: List[WorkerTelemetry],
+                         runtime, op_start: float,
+                         external_checkpoints: bool) -> None:
+        """Fold worker telemetry into the parent-side surfaces.
+
+        ``external_checkpoints`` is True when the workers ran in forked
+        processes whose governor-checkpoint counts the parent never saw
+        (thread/inline workers share the parent governor, so merging
+        theirs would double-count).
+        """
+        governor = runtime.governor
+        tracer = self.tracer
+        parent = tracer.current if tracer is not None \
+            and tracer.enabled else None
+        metrics = self.metrics
+        for wt in telemetries:
+            stats = self.worker_stats.setdefault(
+                wt.worker_id, [0, 0, 0.0])
+            stats[0] += wt.morsels
+            stats[1] += wt.rows
+            stats[2] += wt.seconds
+            for chunk_index, rows, seconds in wt.records:
+                self.morsel_records.append(
+                    (wt.worker_id, chunk_index, rows, seconds))
+            if external_checkpoints and governor is not None:
+                governor.note_worker_checkpoints(wt.checkpoints)
+            if metrics is not None:
+                wt.delta.merge_into(metrics)
+                metrics.observe("executor.worker_seconds", wt.seconds)
+            if parent is not None:
+                graft_span(
+                    parent, "parallel_worker",
+                    start=op_start, end=op_start + wt.seconds,
+                    worker=wt.worker_id, op=op, backend=self.backend,
+                    morsels=wt.morsels, rows=wt.rows,
+                    seconds=wt.seconds, checkpoints=wt.checkpoints,
+                    peak_bytes=wt.peak_bytes)
+
+    def skew(self) -> Optional[dict]:
+        """Morsel-distribution skew across workers, or None when no
+        parallel operator ran.  Idle spawned workers count as zero —
+        a worker that never got a morsel *is* the skew story."""
+        if not self.ops:
+            return None
+        counts = [self.worker_stats.get(worker, [0, 0, 0.0])[0]
+                  for worker in range(max(1, self.workers_spawned))]
+        mean = sum(counts) / len(counts)
+        variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+        return {
+            "workers": len(counts),
+            "min_morsels": min(counts),
+            "max_morsels": max(counts),
+            "mean_morsels": mean,
+            "stddev_morsels": variance ** 0.5,
+        }
+
+    def utilization(self) -> List[dict]:
+        """Per-worker utilization rows (worker id ascending)."""
+        return [{"worker": worker, "morsels": int(stats[0]),
+                 "rows": int(stats[1]), "seconds": stats[2]}
+                for worker, stats in sorted(self.worker_stats.items())]
+
     # -- dispatch ---------------------------------------------------------------
 
     def _run_morsels(self, runtime, indices: List[int],
                      task: Callable[[int], object],
-                     n_workers: int) -> List[object]:
+                     n_workers: int, op: str = "scan",
+                     rows_of: Callable[[object], int] = len
+                     ) -> List[object]:
         """Run ``task`` over every chunk index; results in index order.
 
         Dispatch is dynamic (a shared next-morsel dispenser) but the
         returned list is ordered like ``indices``, so every downstream
-        merge is deterministic regardless of scheduling."""
+        merge is deterministic regardless of scheduling.  ``rows_of``
+        extracts the row count from one morsel's result for telemetry
+        (each operator shape returns a different result tuple)."""
+        op_start = time.perf_counter()
         if n_workers <= 1 or len(indices) <= 1:
             # Degenerate pool: run inline (still a parallel operator for
-            # accounting — eligibility, zone skips, and merges behaved
-            # identically, there was just nothing to overlap).
+            # accounting — eligibility, zone skips, merges, *and worker
+            # telemetry* behave identically, there was just nothing to
+            # overlap).
             governor = runtime.governor
+            telemetry = WorkerTelemetry(0)
             results = []
             for index in indices:
                 if governor is not None:
                     governor.checkpoint(stage="parallel")
-                results.append(task(index))
+                    telemetry.checkpoints += 1
+                started = time.perf_counter()
+                value = task(index)
+                telemetry.note_morsel(
+                    index, _count_rows(rows_of, value),
+                    time.perf_counter() - started,
+                    _approx_result_bytes(value))
+                results.append(value)
+            self._merge_telemetry(op, [telemetry], runtime, op_start,
+                                  external_checkpoints=False)
             return results
         if self.backend == "fork":
-            return self._fork_map(runtime, indices, task, n_workers)
-        return self._thread_map(runtime, indices, task, n_workers)
+            results, telemetries = self._fork_map(
+                runtime, indices, task, n_workers, rows_of)
+            self._merge_telemetry(op, telemetries, runtime, op_start,
+                                  external_checkpoints=True)
+        else:
+            results, telemetries = self._thread_map(
+                runtime, indices, task, n_workers, rows_of)
+            self._merge_telemetry(op, telemetries, runtime, op_start,
+                                  external_checkpoints=False)
+        return results
 
     def _thread_map(self, runtime, indices: List[int],
                     task: Callable[[int], object],
-                    n_workers: int) -> List[object]:
+                    n_workers: int,
+                    rows_of: Callable[[object], int]
+                    ) -> Tuple[List[object], List[WorkerTelemetry]]:
         governor = runtime.governor
         next_slot = [0]
         lock = threading.Lock()
         results: List[object] = [None] * len(indices)
         failures: List[BaseException] = []
+        telemetries = [WorkerTelemetry(worker)
+                       for worker in range(n_workers)]
 
-        def worker_loop() -> None:
+        def worker_loop(worker_id: int) -> None:
+            telemetry = telemetries[worker_id]
             while True:
                 with lock:
                     if failures:
@@ -404,25 +616,34 @@ class ParallelContext:
                 try:
                     if governor is not None:
                         governor.checkpoint(stage="parallel")
-                    results[slot] = task(indices[slot])
+                        telemetry.checkpoints += 1
+                    started = time.perf_counter()
+                    value = task(indices[slot])
+                    telemetry.note_morsel(
+                        indices[slot], _count_rows(rows_of, value),
+                        time.perf_counter() - started,
+                        _approx_result_bytes(value))
+                    results[slot] = value
                 except BaseException as exc:  # noqa: BLE001 — shipped
                     with lock:
                         failures.append(exc)
                     return
 
-        threads = [threading.Thread(target=worker_loop)
-                   for __ in range(n_workers)]
+        threads = [threading.Thread(target=worker_loop, args=(worker,))
+                   for worker in range(n_workers)]
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join()
         if failures:
             raise failures[0]
-        return results
+        return results, telemetries
 
     def _fork_map(self, runtime, indices: List[int],
                   task: Callable[[int], object],
-                  n_workers: int) -> List[object]:
+                  n_workers: int,
+                  rows_of: Callable[[object], int]
+                  ) -> Tuple[List[object], List[WorkerTelemetry]]:
         governor = runtime.governor
         if governor is not None:
             # Back the cancel flag with fork-inheritable shared memory
@@ -436,7 +657,7 @@ class ParallelContext:
         pids: List[int] = []
         payloads: List[bytes] = []
         try:
-            for __ in range(n_workers):
+            for worker_id in range(n_workers):
                 read_fd, write_fd = os.pipe()
                 pid = os.fork()
                 if pid == 0:
@@ -447,8 +668,9 @@ class ParallelContext:
                     try:
                         os.close(read_fd)
                         payload = pickle.dumps(
-                            _worker_payload(indices, dispenser, lock,
-                                            task, governor),
+                            _worker_payload(worker_id, indices,
+                                            dispenser, lock, task,
+                                            governor, rows_of),
                             pickle.HIGHEST_PROTOCOL)
                         _write_all(write_fd, payload)
                         os.close(write_fd)
@@ -476,29 +698,34 @@ class ParallelContext:
                     pass
         results: List[object] = [None] * len(indices)
         errors: List[tuple] = []
+        telemetries: List[WorkerTelemetry] = []
         for payload in payloads:
             if not payload:
                 errors.append(("generic", "WorkerExit",
                                "morsel worker exited before reporting"))
                 continue
-            worker_results, error = pickle.loads(payload)
+            worker_results, error, telemetry = pickle.loads(payload)
             for slot, value in worker_results:
                 results[slot] = value
+            if telemetry is not None:
+                telemetries.append(telemetry)
             if error is not None:
                 errors.append(error)
         if errors:
             raise _decode_error(_pick_error(errors))
-        return results
+        return results, telemetries
 
 
-def _worker_payload(indices: List[int], dispenser, lock,
-                    task: Callable[[int], object],
-                    governor) -> tuple:
+def _worker_payload(worker_id: int, indices: List[int], dispenser, lock,
+                    task: Callable[[int], object], governor,
+                    rows_of: Callable[[object], int]) -> tuple:
     """One forked worker's whole run: pull morsels until the dispenser
-    is empty or a bound trips; returns ``([(slot, result), ...], error)``
-    with the error already encoded for transport."""
+    is empty or a bound trips; returns
+    ``([(slot, result), ...], error, telemetry)`` with the error already
+    encoded for transport and the telemetry picklable as-is."""
     results: List[Tuple[int, object]] = []
     error: Optional[tuple] = None
+    telemetry = WorkerTelemetry(worker_id)
     total = len(indices)
     while error is None:
         with lock:
@@ -509,10 +736,17 @@ def _worker_payload(indices: List[int], dispenser, lock,
         try:
             if governor is not None:
                 governor.checkpoint(stage="parallel")
-            results.append((slot, task(indices[slot])))
+                telemetry.checkpoints += 1
+            started = time.perf_counter()
+            value = task(indices[slot])
+            telemetry.note_morsel(
+                indices[slot], _count_rows(rows_of, value),
+                time.perf_counter() - started,
+                _approx_result_bytes(value))
+            results.append((slot, value))
         except BaseException as exc:  # noqa: BLE001 — shipped typed
             error = _encode_error(exc)
-    return results, error
+    return results, error, telemetry
 
 
 def _encode_error(exc: BaseException) -> tuple:

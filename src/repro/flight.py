@@ -1,0 +1,414 @@
+"""Flight recorder: a bounded time-series memory for the engine.
+
+The metrics registry (PR 2) answers "what happened since process
+start", and the workload repository (PR 7) answers "what does this
+statement shape usually do" — but neither can answer "what was the
+engine doing *right before* things went bad".  The flight recorder is
+that missing surface: a bounded ring buffer of one
+:class:`FlightRecord` per finished statement (successful or aborted)
+plus periodic whole-registry snapshots, cheap enough to leave on in
+production (an append into a ``deque(maxlen=N)`` and a handful of
+attribute copies per statement).
+
+Three consumers:
+
+* ``db.flight_report()`` / :func:`format_flight_report` — the recent
+  history, latest first, with per-statement stage splits and abort
+  reasons;
+* ``export_jsonl()`` — the post-mortem artifact: the whole buffer as
+  JSONL for offline tooling;
+* :meth:`FlightRecorder.watchdog_check` — an online p95 regression
+  watchdog: for each statement fingerprint it compares the trailing
+  window's execute-latency p95 against the window before it and flags
+  fingerprints that got ``watchdog_factor`` × slower.  The Database
+  feeds confirmed findings into the
+  :class:`repro.workload.WorkloadRepository` as
+  ``PlanRegression``-style entries, so the existing Advisor surfaces
+  them (and ``advisor.apply`` remediates via plan-cache purge) with no
+  new machinery.
+
+``db.top()`` (:func:`format_top_report`) is the live counterpart: the
+operational one-pager the upcoming multi-session server front-end will
+expose — in-flight statements from the governor registry, the hottest
+fingerprints from the workload repository, and per-worker utilization
+from the parallel-execution telemetry.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "FlightRecord",
+    "FlightRecorder",
+    "WatchdogFinding",
+    "format_flight_report",
+    "format_top_report",
+]
+
+
+@dataclass
+class FlightRecord:
+    """One statement's telemetry, as recorded at completion or abort."""
+
+    seq: int
+    statement_id: int
+    fingerprint: str
+    sql: str
+    optimizer: Optional[str] = None
+    executor_mode: Optional[str] = None
+    workers: int = 1
+    plan_hash: Optional[str] = None
+    plan_cache_hit: bool = False
+    rows: int = 0
+    compile_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    #: Per-stage trace seconds (empty when the statement ran untraced).
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    root_q: Optional[float] = None
+    max_q: Optional[float] = None
+    fallback_reason: Optional[str] = None
+    aborted: bool = False
+    abort_reason: Optional[str] = None
+    governor_checkpoints: Optional[int] = None
+    governor_peak_bytes: Optional[int] = None
+    low_memory_retry: bool = False
+    #: Wall-clock timestamp (ISO 8601); informational only — every
+    #: comparison in this module uses record order, never the clock.
+    ts: str = ""
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compile_seconds + self.execute_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "statement_id": self.statement_id,
+            "fingerprint": self.fingerprint,
+            "sql": self.sql,
+            "optimizer": self.optimizer,
+            "executor_mode": self.executor_mode,
+            "workers": self.workers,
+            "plan_hash": self.plan_hash,
+            "plan_cache_hit": self.plan_cache_hit,
+            "rows": self.rows,
+            "compile_seconds": self.compile_seconds,
+            "execute_seconds": self.execute_seconds,
+            "total_seconds": self.total_seconds,
+            "stage_seconds": dict(self.stage_seconds),
+            "root_q": self.root_q,
+            "max_q": self.max_q,
+            "fallback_reason": self.fallback_reason,
+            "aborted": self.aborted,
+            "abort_reason": self.abort_reason,
+            "governor_checkpoints": self.governor_checkpoints,
+            "governor_peak_bytes": self.governor_peak_bytes,
+            "low_memory_retry": self.low_memory_retry,
+        }
+
+
+@dataclass
+class WatchdogFinding:
+    """One fingerprint whose trailing-window p95 regressed."""
+
+    fingerprint: str
+    sql: str
+    plan_hash: Optional[str]
+    before_p95: float
+    after_p95: float
+    factor: float
+    samples_before: int
+    samples_after: int
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "sql": self.sql,
+            "plan_hash": self.plan_hash,
+            "before_p95_seconds": self.before_p95,
+            "after_p95_seconds": self.after_p95,
+            "factor": self.factor,
+            "samples_before": self.samples_before,
+            "samples_after": self.samples_after,
+        }
+
+
+def _exact_p95(values: List[float]) -> float:
+    """Exact interpolated p95 over a small window (not a reservoir —
+    windows are bounded by the watchdog config, so exactness is free)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    position = 0.95 * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class FlightRecorder:
+    """Bounded ring buffer of statement telemetry + registry snapshots.
+
+    ``capacity`` bounds the record ring; every ``snapshot_interval``
+    records a whole-registry snapshot (``MetricsRegistry.to_dict``) is
+    appended to its own small ring, so a post-mortem export carries the
+    counter trajectory, not just the endpoint.
+
+    The watchdog is stateless between calls except for
+    ``_flagged`` — (fingerprint, window-end seq) pairs already
+    reported, so one regression is surfaced once, not on every
+    subsequent statement while it remains in the window.
+    """
+
+    #: Registry snapshots kept (small: each is a full counter dump).
+    SNAPSHOT_RING = 16
+
+    def __init__(self, capacity: int = 512,
+                 snapshot_interval: int = 64,
+                 watchdog_window: int = 8,
+                 watchdog_factor: float = 2.0,
+                 watchdog_min_samples: int = 4,
+                 metrics=None) -> None:
+        if capacity < 1:
+            raise ValueError("flight capacity must be >= 1")
+        if snapshot_interval < 1:
+            raise ValueError("snapshot_interval must be >= 1")
+        if watchdog_window < 1:
+            raise ValueError("watchdog_window must be >= 1")
+        if watchdog_factor <= 1.0:
+            raise ValueError("watchdog_factor must be > 1.0")
+        if watchdog_min_samples < 1:
+            raise ValueError("watchdog_min_samples must be >= 1")
+        self.capacity = capacity
+        self.snapshot_interval = snapshot_interval
+        self.watchdog_window = watchdog_window
+        self.watchdog_factor = watchdog_factor
+        self.watchdog_min_samples = watchdog_min_samples
+        self.metrics = metrics
+        self._records: "deque[FlightRecord]" = deque(maxlen=capacity)
+        self._snapshots: "deque[dict]" = deque(maxlen=self.SNAPSHOT_RING)
+        self._seq = 0
+        #: (fingerprint, last record seq of the flagged window) pairs —
+        #: dedupe so a regression is reported once per occurrence.
+        self._flagged: set = set()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def recorded(self) -> int:
+        """Total records ever appended (>= len once the ring wraps)."""
+        return self._seq
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, record: FlightRecord) -> FlightRecord:
+        """Append one statement record (and maybe a registry snapshot)."""
+        self._seq += 1
+        record.seq = self._seq
+        if not record.ts:
+            record.ts = datetime.datetime.now().isoformat()
+        self._records.append(record)
+        if self.metrics is not None:
+            self.metrics.inc("flight.records")
+            if self._seq % self.snapshot_interval == 0:
+                self._snapshots.append({
+                    "seq": self._seq,
+                    "ts": record.ts,
+                    "registry": self.metrics.to_dict(),
+                })
+                self.metrics.inc("flight.snapshots")
+        return record
+
+    # -- watchdog ----------------------------------------------------------------
+
+    def watchdog_check(self) -> List[WatchdogFinding]:
+        """Compare trailing-window p95 per fingerprint against the
+        window before it; return freshly-flagged regressions.
+
+        Aborted records are excluded (their latency is the bound, not
+        the statement).  Both windows must hold at least
+        ``watchdog_min_samples`` executions of the fingerprint — a
+        regression needs evidence on *both* sides.
+        """
+        window = self.watchdog_window
+        # Only the last 2*window non-aborted records can matter; walk
+        # the ring backwards and stop there, so the per-statement cost
+        # is bounded by the watchdog config, not the ring capacity.
+        usable: List[FlightRecord] = []
+        for record in reversed(self._records):
+            if not record.aborted:
+                usable.append(record)
+                if len(usable) == 2 * window:
+                    break
+        usable.reverse()
+        if len(usable) < 2 * self.watchdog_min_samples:
+            return []
+        trailing = usable[-window:]
+        prior = usable[-2 * window:-window]
+        by_fp_trailing: Dict[str, List[FlightRecord]] = {}
+        for record in trailing:
+            by_fp_trailing.setdefault(record.fingerprint, []).append(record)
+        by_fp_prior: Dict[str, List[float]] = {}
+        for record in prior:
+            by_fp_prior.setdefault(record.fingerprint, []).append(
+                record.execute_seconds)
+        findings: List[WatchdogFinding] = []
+        for fingerprint in sorted(by_fp_trailing):
+            recent = by_fp_trailing[fingerprint]
+            before_samples = by_fp_prior.get(fingerprint, [])
+            if len(recent) < self.watchdog_min_samples \
+                    or len(before_samples) < self.watchdog_min_samples:
+                continue
+            key = (fingerprint, recent[-1].seq)
+            if key in self._flagged:
+                continue
+            before = _exact_p95(before_samples)
+            after = _exact_p95([r.execute_seconds for r in recent])
+            if before <= 0.0 or after <= self.watchdog_factor * before:
+                continue
+            self._flagged.add(key)
+            findings.append(WatchdogFinding(
+                fingerprint=fingerprint,
+                sql=recent[-1].sql,
+                plan_hash=recent[-1].plan_hash,
+                before_p95=before,
+                after_p95=after,
+                factor=after / before,
+                samples_before=len(before_samples),
+                samples_after=len(recent),
+            ))
+            if self.metrics is not None:
+                self.metrics.inc("flight.watchdog_findings")
+        return findings
+
+    # -- export ------------------------------------------------------------------
+
+    def records(self, limit: Optional[int] = None) -> List[FlightRecord]:
+        """Most recent records, latest first."""
+        out = list(self._records)
+        out.reverse()
+        return out if limit is None else out[:limit]
+
+    def snapshots(self) -> List[dict]:
+        return list(self._snapshots)
+
+    def report(self, limit: int = 20) -> dict:
+        """JSON-ready flight report: buffer stats + recent records."""
+        return {
+            "stats": {
+                "capacity": self.capacity,
+                "size": len(self._records),
+                "recorded": self._seq,
+                "snapshots": len(self._snapshots),
+                "watchdog_window": self.watchdog_window,
+                "watchdog_factor": self.watchdog_factor,
+            },
+            "records": [r.to_dict() for r in self.records(limit)],
+        }
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the whole buffer (oldest first) plus snapshots as
+        JSONL; returns the number of lines written."""
+        lines = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(
+                    {"kind": "statement", **record.to_dict()},
+                    default=str) + "\n")
+                lines += 1
+            for snapshot in self._snapshots:
+                handle.write(json.dumps(
+                    {"kind": "snapshot", **snapshot},
+                    default=str) + "\n")
+                lines += 1
+        return lines
+
+
+def _short_sql(sql: str, width: int = 48) -> str:
+    flat = " ".join(sql.split())
+    return flat if len(flat) <= width else flat[:width - 3] + "..."
+
+
+def format_flight_report(payload: dict) -> str:
+    """Render ``FlightRecorder.report()`` as plain text, latest first."""
+    stats = payload["stats"]
+    lines = ["Flight recorder", "=" * 15,
+             f"records: {stats['size']}/{stats['capacity']} buffered "
+             f"({stats['recorded']} recorded, "
+             f"{stats['snapshots']} registry snapshots)"]
+    records = payload["records"]
+    if not records:
+        lines.append("(no statements recorded)")
+        return "\n".join(lines)
+    lines.append(f"{'seq':>5}  {'total ms':>9}  {'exec ms':>8}  "
+                 f"{'opt':<5} {'mode':<5} {'wrk':>3}  statement")
+    for record in records:
+        if record["aborted"]:
+            status = f"ABORTED ({record['abort_reason']})"
+        elif record["fallback_reason"]:
+            status = f"fallback ({record['fallback_reason']})"
+        else:
+            status = ""
+        suffix = f"  [{status}]" if status else ""
+        lines.append(
+            f"{record['seq']:>5}  "
+            f"{record['total_seconds'] * 1000.0:>9.3f}  "
+            f"{record['execute_seconds'] * 1000.0:>8.3f}  "
+            f"{(record['optimizer'] or '-'):<5} "
+            f"{(record['executor_mode'] or '-'):<5} "
+            f"{record['workers']:>3}  "
+            f"{_short_sql(record['sql'])}{suffix}")
+    return "\n".join(lines)
+
+
+def format_top_report(payload: dict) -> str:
+    """Render ``db.top_data()`` as the live one-pager.
+
+    Three sections mirroring an OS ``top``: in-flight statements (with
+    elapsed seconds and last governor stage), the hottest statement
+    fingerprints by recorded executions, and per-worker parallel
+    utilization from the most recent parallel statement.
+    """
+    lines = ["engine top", "=" * 10,
+             f"statements: {payload['statements_total']} total, "
+             f"{payload['statements_aborted']} aborted, "
+             f"{payload['active_count']} in flight"]
+    active = payload["active"]
+    lines.append("active statements:" if active
+                 else "active statements: (none)")
+    for item in active:
+        stage = item.get("last_stage") or "-"
+        lines.append(
+            f"  #{item['statement_id']:<5} "
+            f"{item['elapsed_seconds'] * 1000.0:>9.3f} ms  "
+            f"stage {stage:<10} {_short_sql(item['sql'])}")
+    hottest = payload["hottest"]
+    lines.append("hottest fingerprints (by executions):" if hottest
+                 else "hottest fingerprints: (none recorded)")
+    for item in hottest:
+        lines.append(
+            f"  x{item['executions']:<6} "
+            f"p95 {item['p95_seconds'] * 1000.0:>9.3f} ms  "
+            f"{_short_sql(item['sql'])}")
+    workers = payload["workers"]
+    lines.append("parallel workers (last parallel statement):" if workers
+                 else "parallel workers: (no parallel statement yet)")
+    for item in workers:
+        lines.append(
+            f"  worker {item['worker']:<3} {item['morsels']:>5} morsels  "
+            f"{item['rows']:>8} rows  "
+            f"{item['seconds'] * 1000.0:>9.3f} ms busy")
+    skew = payload.get("worker_skew")
+    if skew:
+        lines.append(
+            f"  skew: min {skew['min_morsels']} / "
+            f"max {skew['max_morsels']} / "
+            f"stddev {skew['stddev_morsels']:.2f} morsels per worker")
+    return "\n".join(lines)

@@ -248,6 +248,9 @@ class ExecutionGovernor:
         #: True on the reduced-memory retry governor (reported in stats).
         self.low_memory = low_memory
         self.checkpoints = 0
+        #: Stage label of the most recent named checkpoint — what the
+        #: statement was last seen doing (``db.top()``'s "stage" column).
+        self.last_stage: Optional[str] = None
         self._ticks = 0
 
     # -- control ----------------------------------------------------------------
@@ -286,6 +289,8 @@ class ExecutionGovernor:
         an explicit ``db.cancel()`` is never misreported as a timeout.
         """
         self.checkpoints += 1
+        if stage is not None:
+            self.last_stage = stage
         token = self.cancel_token
         if token._cancel_after_checks is not None:
             token._note_check()
@@ -299,6 +304,15 @@ class ExecutionGovernor:
             if now > self.deadline_at:
                 raise DeadlineExceededError(now - self.started_at,
                                             self.timeout_seconds, stage)
+
+    def note_worker_checkpoints(self, n: int) -> None:
+        """Fold checkpoints run by *forked* morsel workers into this
+        governor's count.  Forked children inherit a copy-on-write
+        governor, so their checkpoint counts never reach the parent by
+        themselves; the parallel coordinator ships them back with the
+        worker telemetry.  Thread workers share this object and need no
+        folding."""
+        self.checkpoints += int(n)
 
     def tick(self) -> None:
         """Amortised checkpoint: full check every ``check_interval`` calls."""
@@ -348,6 +362,7 @@ class ExecutionGovernor:
             "elapsed_seconds": elapsed,
             "deadline_used_fraction": used_fraction,
             "checkpoints": self.checkpoints,
+            "last_stage": self.last_stage,
             "cancelled": self.cancel_token.cancelled,
             "memory_limit_bytes": self.memory.limit_bytes,
             "peak_tracked_bytes": self.memory.peak_bytes,

@@ -54,6 +54,7 @@ import time
 from typing import Callable, Dict, Iterator, List, Optional
 
 __all__ = [
+    "MetricsDelta",
     "MetricsRegistry",
     "NOOP_TRACER",
     "NullTracer",
@@ -61,6 +62,7 @@ __all__ = [
     "StreamingHistogram",
     "Tracer",
     "find_spans",
+    "graft_span",
     "stage_durations",
 ]
 
@@ -121,11 +123,19 @@ class Span:
             yield from child.walk()
 
     def to_dict(self) -> dict:
-        """Nested JSON-ready representation (children inline)."""
+        """Nested JSON-ready representation (children inline).
+
+        A span that never closed (the statement aborted mid-execute, or
+        the export happened while the statement is still running) is
+        marked ``closed: false`` and carries ``duration: null`` — a
+        fabricated 0.0 would read as "instant", which is exactly wrong
+        for the span that was open the longest.
+        """
         return {
             "name": self.name,
             "start": self.start,
-            "duration": self.duration,
+            "duration": self.duration if self.closed else None,
+            "closed": self.closed,
             "attributes": dict(self.attributes),
             "children": [child.to_dict() for child in self.children],
         }
@@ -135,7 +145,8 @@ class Span:
 
         ``depth`` and ``parent`` (the parent's index in the list) make
         the tree reconstructible without nesting — the format the bench
-        harness and external tools consume.
+        harness and external tools consume.  Unclosed spans export with
+        ``closed: false`` and a null duration (see :meth:`to_dict`).
         """
         out: List[dict] = []
 
@@ -144,7 +155,8 @@ class Span:
             out.append({
                 "name": span.name,
                 "start": span.start,
-                "duration": span.duration,
+                "duration": span.duration if span.closed else None,
+                "closed": span.closed,
                 "depth": depth,
                 "parent": parent,
                 "attributes": dict(span.attributes),
@@ -278,9 +290,47 @@ class NullTracer:
 NOOP_TRACER = NullTracer()
 
 
-def find_spans(root: Span, name: str) -> List[Span]:
-    """Every span named ``name`` in the tree under ``root`` (pre-order)."""
-    return [span for span in root.walk() if span.name == name]
+def find_spans(root, name: str) -> list:
+    """Every span named ``name`` under ``root``, pre-order.
+
+    ``root`` may be a live :class:`Span`, one *exported* nested dict
+    (:meth:`Span.to_dict`), or a flat exported list
+    (:meth:`Span.to_dicts` / ``StatementResult.trace_export()``) — so
+    trace consumers can search a JSON export exactly like a live tree.
+    The return items match the input shape (spans in, dicts out of a
+    dict export).
+    """
+    if isinstance(root, Span):
+        return [span for span in root.walk() if span.name == name]
+    if isinstance(root, dict):
+        out: List[dict] = []
+        stack = [root]
+        while stack:
+            node = stack.pop(0)
+            if node.get("name") == name:
+                out.append(node)
+            stack[0:0] = node.get("children", ())
+        return out
+    return [node for node in root if node.get("name") == name]
+
+
+def graft_span(parent: Span, name: str, start: float, end: float,
+               **attributes: object) -> Span:
+    """Attach an already-finished span under ``parent``.
+
+    Used to splice telemetry that was recorded *elsewhere* — a forked
+    morsel worker, a remote process — into a live trace: the child span
+    never passes through the tracer's open/close stack, its lifetime is
+    whatever the recorder measured.  No-op (returns the parent) when
+    the parent is the shared null span of a disabled tracer.
+    """
+    if not isinstance(parent, Span):
+        return parent
+    span = Span(name, parent._tracer, attributes or None)
+    span.start = start
+    span.end = end
+    parent.children.append(span)
+    return span
 
 
 def stage_durations(root: Span) -> Dict[str, float]:
@@ -527,6 +577,52 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+
+class MetricsDelta:
+    """A picklable, mergeable slice of registry activity.
+
+    Forked morsel workers cannot write to the parent's
+    :class:`MetricsRegistry` (it lives in another process), so each
+    worker records into one of these — plain dicts and lists, cheap to
+    pickle over the existing result pipes — and the coordinator folds
+    it into the real registry with :meth:`merge_into`.  Counter bumps
+    add; histogram observations replay one by one, so the parent's
+    reservoir sees the same stream it would have seen in-process.
+    """
+
+    __slots__ = ("counters", "observations")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.observations: List[tuple] = []
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        self.observations.append((name, float(value)))
+
+    def merge(self, other: "MetricsDelta") -> None:
+        """Fold another delta into this one (worker → op aggregation)."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        self.observations.extend(other.observations)
+
+    def merge_into(self, registry: Optional[MetricsRegistry]) -> None:
+        """Replay this delta against a real registry (None = drop)."""
+        if registry is None:
+            return
+        for name, value in sorted(self.counters.items()):
+            registry.inc(name, value)
+        for name, value in self.observations:
+            registry.observe(name, value)
+
+    def __getstate__(self) -> tuple:
+        return (self.counters, self.observations)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.counters, self.observations = state
 
 
 _PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")

@@ -31,6 +31,7 @@ purpose:
 from __future__ import annotations
 
 import enum
+import functools
 import hashlib
 import re
 import time
@@ -99,8 +100,14 @@ _NUMBER_LITERAL = re.compile(r"\b\d+(?:\.\d+)?\b")
 _WHITESPACE = re.compile(r"\s+")
 
 
+@functools.lru_cache(maxsize=1024)
 def statement_fingerprint(sql: str) -> str:
     """A stable digest of a statement with literals normalised away.
+
+    Memoized on the raw SQL text (pure function, bounded cache): the
+    facade fingerprints each statement several times per execution —
+    fallback log, workload repository, flight recorder — and a warm
+    workload repeats the same text, so the regex+sha1 work runs once.
 
     ``WHERE o_totalprice > 100`` and ``WHERE o_totalprice > 250`` share a
     fingerprint, so the circuit breaker quarantines the statement *shape*

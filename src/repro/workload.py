@@ -448,6 +448,41 @@ class WorkloadRepository:
         entry = self._get_or_create(fingerprint, sql)
         entry.aborts += 1
 
+    def note_external_regression(self, fingerprint: str, sql: str,
+                                 before_p95: float, after_p95: float,
+                                 plan_hash: Optional[str] = None
+                                 ) -> Optional[PlanRegression]:
+        """Record a regression confirmed by an *external* detector.
+
+        The flight recorder's watchdog compares trailing execution
+        windows rather than plan phases, so it catches same-plan
+        slowdowns (data growth, stats drift) the phase-based rule never
+        sees.  Its finding enters here as a :class:`PlanRegression`
+        with ``from_hash == to_hash`` — the advisor then surfaces and
+        remediates it through the exact same ``plan_regression`` path.
+        Deduped: while an unresolved regression with the same target
+        hash exists for the fingerprint, repeated findings are dropped
+        (returns None).
+        """
+        entry = self._get_or_create(fingerprint, sql)
+        hash_text = plan_hash or (entry.plan_hash or "")
+        for existing in entry.regressions:
+            if not existing.resolved and existing.to_hash == hash_text:
+                return None
+        regression = PlanRegression(
+            fingerprint=fingerprint,
+            from_hash=hash_text,
+            to_hash=hash_text,
+            before_p95=before_p95,
+            after_p95=after_p95,
+            factor=after_p95 / before_p95 if before_p95 > 0.0 else 0.0,
+        )
+        entry.regressions.append(regression)
+        self.total_regressions += 1
+        if self.metrics is not None:
+            self.metrics.inc("workload.plan_regressions")
+        return regression
+
     # -- aggregates --------------------------------------------------------------
 
     def column_usage(self) -> List[dict]:

@@ -1,0 +1,112 @@
+"""Metric-name lint: every metric written in the source must be in
+the DESIGN.md Appendix A catalog.
+
+The lint walks ``src/repro`` for literal first arguments to
+``inc(`` / ``observe(`` / ``set_gauge(`` / ``register_gauge(`` calls
+(including f-strings, whose ``{placeholder}`` segments become
+wildcards) and fails when a name is absent from the catalog — so the
+catalog cannot silently rot as instrumentation grows.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+DESIGN = REPO / "DESIGN.md"
+
+APPENDIX_HEADER = "## Appendix A. Metric-name catalog"
+
+#: A metric write with a literal (possibly f-string) name.  ``\s*``
+#: crosses newlines, so wrapped calls still match.
+WRITE_CALL = re.compile(
+    r"""\.(?:inc|observe|set_gauge|register_gauge)\(\s*(f?)(["'])"""
+    r"""([a-z0-9_.{}\[\]'"]*?)\2""",
+    re.IGNORECASE)
+
+#: Backticked metric names inside the appendix tables.
+CATALOG_NAME = re.compile(r"`([a-z0-9_.]+(?:\{[a-z_]+\})?[a-z0-9_.]*)`")
+
+PLACEHOLDER = re.compile(r"\{[^{}]*\}")
+
+
+def _used_names():
+    """(name, file:line) pairs for every literal metric write in src."""
+    out = []
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in WRITE_CALL.finditer(text):
+            name = PLACEHOLDER.sub("*", match.group(3))
+            if not name or name == "*":
+                continue  # a pure-variable name is not lintable
+            line = text.count("\n", 0, match.start()) + 1
+            out.append((name, f"{path.relative_to(REPO)}:{line}"))
+    return out
+
+
+def _catalog_patterns():
+    """Documented names from Appendix A, as compiled regexes
+    (``{placeholder}`` segments match any non-dot run)."""
+    text = DESIGN.read_text(encoding="utf-8")
+    assert APPENDIX_HEADER in text, \
+        "DESIGN.md lost its metric-name catalog appendix"
+    appendix = text.split(APPENDIX_HEADER, 1)[1]
+    patterns = {}
+    for line in appendix.splitlines():
+        # Catalog entries are the *name column* (first cell) of the
+        # tables; backticked values elsewhere in a row are examples.
+        if not line.startswith("| `"):
+            continue
+        match = CATALOG_NAME.search(line.split("|")[1])
+        if match is None:
+            continue
+        normalized = PLACEHOLDER.sub("*", match.group(1))
+        regex = "".join("[a-z0-9_]+" if part == "*"
+                        else re.escape(part)
+                        for part in re.split(r"(\*)", normalized))
+        patterns[normalized] = re.compile(regex + r"\Z")
+    return patterns
+
+
+def test_lint_finds_the_known_write_sites():
+    used = _used_names()
+    names = {name for name, __ in used}
+    # Sanity anchor: the lint must actually see the core sites (a
+    # regex regression would otherwise pass vacuously).
+    for expected in ("statements.total", "detour.entered",
+                    "executor.worker_morsels", "flight.records",
+                    "fallback.*", "plan_cache.hit_ratio",
+                    "workload.fingerprints"):
+        assert expected in names, \
+            f"lint regex no longer finds {expected!r} writes"
+    assert len(used) >= 50
+
+
+def test_every_written_metric_is_documented():
+    patterns = _catalog_patterns()
+    undocumented = []
+    for name, location in _used_names():
+        # A wildcarded write site matches its catalog family by
+        # normalized name; a literal name may also fall under one.
+        if name not in patterns and not any(
+                pattern.fullmatch(name)
+                for pattern in patterns.values()):
+            undocumented.append(f"{name}  ({location})")
+    assert not undocumented, (
+        "metric names written in src but missing from DESIGN.md "
+        "Appendix A:\n  " + "\n  ".join(sorted(set(undocumented))))
+
+
+def test_documented_exact_names_are_real():
+    """The reverse direction, for exact (non-wildcard) names: a
+    documented metric no code writes is a stale catalog row."""
+    used = {name for name, __ in _used_names()}
+    stale = []
+    for normalized in _catalog_patterns():
+        if "*" in normalized:
+            continue
+        if normalized not in used:
+            stale.append(normalized)
+    assert not stale, (
+        "DESIGN.md Appendix A documents metrics no source writes:\n  "
+        + "\n  ".join(sorted(stale)))

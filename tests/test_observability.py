@@ -14,7 +14,7 @@ import pytest
 
 from repro.bench.harness import run_suite
 from repro.bench.report import format_stage_breakdown
-from repro.observability import (MetricsRegistry, NOOP_TRACER,
+from repro.observability import (MetricsRegistry, NOOP_TRACER, Span,
                                  StreamingHistogram, Tracer, find_spans,
                                  stage_durations)
 from repro.resilience import FaultInjector
@@ -345,3 +345,85 @@ class TestBenchStageBreakdown:
         assert result.timings[0].orca_stages == {}
         table = format_stage_breakdown(result)
         assert "no stage data recorded" in table
+
+
+class TestUnclosedSpanExport:
+    """Satellite: exporting a tree mid-flight must mark open spans
+    ``closed: false`` with a null duration — a fabricated 0.0 would
+    read as "instant" for exactly the span that was open longest."""
+
+    def test_unclosed_spans_export_null_duration(self):
+        tracer = Tracer()
+        outer = tracer.span("outer").__enter__()
+        inner = tracer.span("inner").__enter__()
+        try:
+            nested = outer.to_dict()
+            assert nested["closed"] is False
+            assert nested["duration"] is None
+            child = nested["children"][0]
+            assert child["name"] == "inner"
+            assert child["closed"] is False and child["duration"] is None
+            flat = outer.to_dicts()
+            assert all(d["closed"] is False and d["duration"] is None
+                       for d in flat)
+        finally:
+            inner.__exit__(None, None, None)
+            outer.__exit__(None, None, None)
+        # Once closed, the same exports carry real durations again.
+        closed = outer.to_dict()
+        assert closed["closed"] is True
+        assert closed["duration"] == pytest.approx(outer.duration)
+
+    def test_mixed_tree_only_open_spans_marked(self):
+        tracer = Tracer()
+        outer = tracer.span("outer").__enter__()
+        with tracer.span("done"):
+            pass
+        flat = {d["name"]: d for d in outer.to_dicts()}
+        assert flat["done"]["closed"] is True
+        assert flat["done"]["duration"] is not None
+        assert flat["outer"]["closed"] is False
+        outer.__exit__(None, None, None)
+
+    def test_find_spans_on_exported_dict_and_list(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        root = tracer.last_root
+        # Live tree: Span objects out.
+        live = find_spans(root, "inner")
+        assert len(live) == 2
+        assert all(isinstance(span, Span) for span in live)
+        # Nested dict export: dicts out, same hits.
+        nested = find_spans(root.to_dict(), "inner")
+        assert [d["name"] for d in nested] == ["inner", "inner"]
+        assert all(isinstance(d, dict) for d in nested)
+        # Flat list export (Tracer.export shape): same answer again.
+        flat = find_spans(root.to_dicts(), "inner")
+        assert len(flat) == 2
+        assert find_spans(root.to_dicts(), "outer")[0]["depth"] == 0
+        assert find_spans(root.to_dict(), "missing") == []
+
+
+class TestMetricsReportEmptySafety:
+    """Satellite: every ratio line must render (as 0.0%) when its
+    denominator is zero — fresh registry or right after reset()."""
+
+    def test_report_on_fresh_database(self):
+        db = build_mini_db(orders=10)
+        report = db.metrics_report()
+        assert "detour rate:       0.0%" in report
+        assert "(0/0 SELECTs entered the Orca detour)" in report
+        assert "mdcache hit ratio: 0.0%" in report
+
+    def test_report_after_reset(self):
+        db = build_mini_db(orders=40)
+        db.run(JOIN_SQL, use_plan_cache=False)
+        db.metrics.reset()
+        report = db.metrics_report()
+        assert "detour rate:       0.0%" in report
+        assert "mdcache hit ratio: 0.0%" in report
+        assert "fallbacks by reason: (none)" in report
